@@ -1,0 +1,174 @@
+// Command harness regenerates every table and figure of the paper's
+// evaluation section (§8) and the leakage-bound experiment.
+//
+// Usage:
+//
+//	harness [-experiment all|table1|figure7|table2|figure8|figure9|leakage]
+//	        [-quick] [-format text|json|csv]
+//
+// The text format is the human-readable table; json and csv emit the
+// raw data for external plotting (table1 is text-only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps/login"
+	"repro/internal/apps/rsa"
+	"repro/internal/experiments"
+)
+
+func main() {
+	which := flag.String("experiment", "all",
+		"experiment to run: all, table1, figure7, table2, figure8, figure9, leakage")
+	quick := flag.Bool("quick", false, "reduced-scale run (faster)")
+	format := flag.String("format", "text", "output format: text, json, csv")
+	parallel := flag.Bool("parallel", true, "fan independent figure7 probes across goroutines")
+	plot := flag.Bool("plot", false, "render figures as ASCII charts (text format only)")
+	flag.Parse()
+
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "harness: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "harness: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	emit := func(name, text string, data experiments.CSV) {
+		switch *format {
+		case "text":
+			fmt.Print(text)
+			fmt.Println()
+		case "json":
+			if err := experiments.WriteJSON(os.Stdout, data); err != nil {
+				fail(name, err)
+			}
+		case "csv":
+			if err := experiments.WriteCSV(os.Stdout, data); err != nil {
+				fail(name, err)
+			}
+		}
+	}
+
+	want := func(name string) bool { return *which == "all" || *which == name }
+
+	if want("table1") {
+		if *format != "text" {
+			fmt.Fprintln(os.Stderr, "harness: table1 is configuration; text only")
+		} else {
+			fmt.Print(experiments.Table1())
+			fmt.Println()
+		}
+	}
+
+	if want("figure7") {
+		cfg := experiments.Figure7Config{}
+		if *quick {
+			cfg = experiments.Figure7Config{
+				App:         login.Config{TableSize: 20, WorkFactor: 60},
+				Attempts:    20,
+				ValidCounts: []int{4, 10, 20},
+			}
+		}
+		cfg.Parallel = *parallel
+		d, err := experiments.Figure7(cfg)
+		if err != nil {
+			fail("figure7", err)
+		}
+		text := d.Render() + fig7Summary(d)
+		if *plot {
+			text = d.Plot() + fig7Summary(d)
+		}
+		emit("figure7", text, d)
+	}
+
+	if want("table2") {
+		cfg := experiments.Table2Config{}
+		if *quick {
+			cfg = experiments.Table2Config{
+				App:      login.Config{TableSize: 20, WorkFactor: 60},
+				NumValid: 10,
+				Attempts: 10,
+			}
+		}
+		d, err := experiments.Table2(cfg)
+		if err != nil {
+			fail("table2", err)
+		}
+		emit("table2", d.Render(), d)
+	}
+
+	if want("figure8") {
+		cfg := experiments.Figure8Config{}
+		if *quick {
+			cfg = experiments.Figure8Config{
+				App:      rsa.Config{MaxBlocks: 4, Modulus: 1000003},
+				Messages: 10,
+				Blocks:   3,
+			}
+		}
+		d, err := experiments.Figure8(cfg)
+		if err != nil {
+			fail("figure8", err)
+		}
+		text := d.Render()
+		if *plot {
+			text = d.Plot()
+		}
+		emit("figure8", text, d)
+	}
+
+	if want("figure9") {
+		cfg := experiments.Figure9Config{}
+		if *quick {
+			cfg = experiments.Figure9Config{
+				App:       rsa.Config{MaxBlocks: 8, Modulus: 1000003},
+				MaxBlocks: 8,
+			}
+		}
+		d, err := experiments.Figure9(cfg)
+		if err != nil {
+			fail("figure9", err)
+		}
+		text := d.Render()
+		if *plot {
+			text = d.Plot()
+		}
+		emit("figure9", text, d)
+	}
+
+	if want("leakage") {
+		cfg := experiments.LeakageConfig{}
+		if *quick {
+			cfg = experiments.LeakageConfig{
+				App:    rsa.Config{MaxBlocks: 4, Modulus: 1000003},
+				Blocks: 2,
+			}
+		}
+		d, err := experiments.LeakageBounds(cfg)
+		if err != nil {
+			fail("leakage", err)
+		}
+		emit("leakage", d.Render(), d)
+	}
+}
+
+// fig7Summary appends the qualitative check to the text rendering.
+func fig7Summary(d *experiments.Figure7Data) string {
+	allEqual := true
+	for _, s := range d.Mitigated[1:] {
+		for i := range s.Times {
+			if s.Times[i] != d.Mitigated[0].Times[i] {
+				allEqual = false
+			}
+		}
+	}
+	return fmt.Sprintf("mitigated curves coincide: %v\n", allEqual)
+}

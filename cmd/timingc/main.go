@@ -1,0 +1,20 @@
+// Command timingc is the compiler driver and interpreter for the
+// timing-channel language; see internal/cli for the implementation.
+//
+// Usage:
+//
+//	timingc check   [-lattice L] file
+//	timingc fmt     [-lattice L] [-resolved] file
+//	timingc run     [-lattice L] [-hw HW] [-mitigate] [-set x=v]... file
+//	timingc verify  [-lattice L] [-hw HW] [-trials N] file
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Run(os.Args[1:], os.Stdout, os.Stderr))
+}

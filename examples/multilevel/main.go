@@ -1,0 +1,95 @@
+// The multilevel example exercises the paper's multilevel leakage
+// theory (§6) on the lattice L ⊑ M ⊑ H: the quantitative measure Q
+// distinguishes which *levels* leak to which adversaries. A program
+// whose timing depends on an H secret leaks from {H} to L — boundedly,
+// via mitigation — but leaks nothing from {M} to L, and an M-level
+// adversary (who can read M data directly) learns only the same
+// bounded H information.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/lang/parser"
+	"repro/internal/lattice"
+	"repro/internal/leakage"
+	"repro/internal/machine/hw"
+	"repro/internal/sem/mem"
+	"repro/internal/types"
+)
+
+const src = `
+var h : H;      // top secret
+var m : M;      // confidential
+var l : L;      // public
+
+// Timing depends on h (mitigated) but never on m.
+mitigate (64, H) [L,L] {
+    sleep(h % 200) [H,H];
+}
+l := 1;
+`
+
+func main() {
+	lat := lattice.ThreePoint()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := types.Check(prog, lat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	L := lat.Bot()
+	M, _ := lat.Lookup("M")
+	H, _ := lat.Lookup("H")
+
+	newEnv := func() hw.Env { return hw.NewPartitioned(lat, hw.Table1Config()) }
+
+	measure := func(from lattice.Label, adversary lattice.Label, secrets []leakage.Secret) *leakage.Measurement {
+		meas, err := leakage.Measure(leakage.Config{
+			Prog:      prog,
+			Res:       res,
+			NewEnv:    newEnv,
+			Adversary: adversary,
+			From:      []lattice.Label{from},
+		}, secrets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return meas
+	}
+
+	// Vary h over a wide range (several mitigation buckets).
+	hSecrets := []leakage.Secret{}
+	for _, v := range []int64{0, 30, 60, 90, 120, 150, 180, 199} {
+		v := v
+		hSecrets = append(hSecrets, func(mm *mem.Memory) { mm.Set("h", v) })
+	}
+	// Vary m only.
+	mSecrets := []leakage.Secret{}
+	for _, v := range []int64{1, 2, 3, 4, 5, 6, 7, 8} {
+		v := v
+		mSecrets = append(mSecrets, func(mm *mem.Memory) { mm.Set("m", v) })
+	}
+
+	qHtoL := measure(H, L, hSecrets)
+	qMtoL := measure(M, L, mSecrets)
+
+	fmt.Println("program under test:")
+	fmt.Print(src)
+	fmt.Printf("leakage {H} -> L adversary: %.2f bits over %d secrets (Theorem 2 cap %.2f bits)\n",
+		qHtoL.QBits, qHtoL.Trials, qHtoL.VBits)
+	fmt.Printf("leakage {M} -> L adversary: %.2f bits over %d secrets\n",
+		qMtoL.QBits, qMtoL.Trials)
+	fmt.Printf("analytic §7 bound for the H flow: %.2f bits (K=%d, T=%d)\n\n",
+		leakage.BoundForMeasurement(qHtoL, len(lattice.UpwardClosure(lat, []lattice.Label{H}))),
+		qHtoL.RelevantMitigates, qHtoL.MaxClock)
+
+	if qMtoL.QBits != 0 {
+		log.Fatal("unexpected: M leaked to L")
+	}
+	fmt.Println("the M level contributes zero timing leakage — exactly the fine-grained")
+	fmt.Println("separation the paper's multilevel measure provides (its §6.2 example).")
+}

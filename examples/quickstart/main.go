@@ -1,0 +1,85 @@
+// The quickstart example walks the full pipeline on a tiny program:
+// parse → infer timing labels → type-check → execute on simulated
+// partitioned hardware — first demonstrating the timing channel the
+// type system rejects, then the mitigated version it accepts, and
+// finally that the mitigated program's timing is secret-independent.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/lang/parser"
+	"repro/internal/lang/printer"
+	"repro/internal/lattice"
+	"repro/internal/machine/hw"
+	"repro/internal/sem/full"
+	"repro/internal/types"
+)
+
+// insecure leaks the secret h through the time at which the public
+// variable done is assigned (sleep(h) taints timing at level H).
+const insecure = `
+var h : H;
+var done : L;
+sleep(h) [H,H];
+done := 1;
+`
+
+// secure wraps the secret-dependent timing in a mitigate command, which
+// bounds its leakage; the trailing public assignment then type-checks.
+const secure = `
+var h : H;
+var done : L;
+mitigate (64, H) [L,L] {
+    sleep(h) [H,H];
+}
+done := 1;
+`
+
+func main() {
+	lat := lattice.TwoPoint()
+
+	// 1. The type system rejects the unmitigated program.
+	prog, err := parser.Parse(insecure)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := types.Check(prog, lat); err == nil {
+		log.Fatal("expected the insecure program to be rejected")
+	} else {
+		fmt.Println("insecure program rejected:")
+		fmt.Printf("  %v\n\n", err)
+	}
+
+	// 2. The mitigated program type-checks; print it with the inferred
+	// labels made explicit.
+	prog, err = parser.Parse(secure)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := types.Check(prog, lat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mitigated program accepted; resolved labels:")
+	fmt.Println(printer.Print(prog, printer.Options{ShowResolved: true, Indent: "  "}))
+
+	// 3. Run it with two different secrets on partitioned hardware:
+	// the observable event times coincide.
+	for _, h := range []int64{3, 55} {
+		env := hw.NewPartitioned(lat, hw.Table1Config())
+		m, err := full.New(prog, res, env, full.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.Memory().Set("h", h)
+		if err := m.Run(100000); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("secret h=%-3d -> events %v, mitigations %v, total %d cycles\n",
+			h, m.Trace(), m.Mitigations(), m.Clock())
+	}
+	fmt.Println("\nthe adversary-visible assignment to done happens at the same " +
+		"cycle for every secret: the channel is closed.")
+}

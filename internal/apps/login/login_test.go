@@ -1,0 +1,253 @@
+package login
+
+import (
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/machine/hw"
+	"repro/internal/sem/full"
+)
+
+func small() Config { return Config{TableSize: 16, WorkFactor: 48} }
+
+func buildSmall(t *testing.T) *App {
+	t.Helper()
+	app, err := Build(small(), lattice.TwoPoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func flatEnv(a *App) func() hw.Env {
+	return func() hw.Env { return hw.NewFlat(a.Lat, 2) }
+}
+
+func TestBuildTypechecks(t *testing.T) {
+	app := buildSmall(t)
+	if app.Prog.NumMitigates != 2 {
+		t.Errorf("NumMitigates = %d, want 2", app.Prog.NumMitigates)
+	}
+	if _, err := Build(DefaultConfig(), lattice.TwoPoint()); err != nil {
+		t.Errorf("default config: %v", err)
+	}
+}
+
+func TestDigestDeterministicAndPositive(t *testing.T) {
+	a := Digest("alice")
+	b := Digest("alice")
+	c := Digest("bob")
+	if a != b {
+		t.Error("digest must be deterministic")
+	}
+	if a == c {
+		t.Error("distinct names should (almost surely) hash apart")
+	}
+	if a < 0 || c < 0 {
+		t.Error("digests are masked positive")
+	}
+}
+
+func TestLoginSemantics(t *testing.T) {
+	app := buildSmall(t)
+	creds := MakeCredentials(4)
+	run := func(att Attempt) (valid bool) {
+		res, err := app.Run(RunOptions{Env: flatEnv(app)(), Mitigate: false, Pred1: 1, Pred2: 1}, creds, att)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// state increments exactly on a fully valid login; read it from
+		// the final trace... state is high and not directly dumped, so
+		// check via the H-observable trace.
+		for _, e := range res.Trace {
+			if e.Var == "state" && e.Value == 1 {
+				return true
+			}
+		}
+		return false
+	}
+	if !run(Attempt{User: creds[2].User, Pass: creds[2].Pass}) {
+		t.Error("valid credentials should log in")
+	}
+	if run(Attempt{User: creds[2].User, Pass: "wrong"}) {
+		t.Error("wrong password should fail")
+	}
+	if run(Attempt{User: "mallory", Pass: "x"}) {
+		t.Error("unknown user should fail")
+	}
+}
+
+func TestUnmitigatedTimingLeaksValidity(t *testing.T) {
+	app := buildSmall(t)
+	creds := MakeCredentials(8)
+	timeOf := func(att Attempt) uint64 {
+		res, err := app.Run(RunOptions{Env: flatEnv(app)(), Mitigate: false, Pred1: 1, Pred2: 1}, creds, att)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm, err := ResponseTime(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tm
+	}
+	valid := timeOf(Attempt{User: creds[0].User, Pass: creds[0].Pass})
+	invalid := timeOf(Attempt{User: "nobody", Pass: "x"})
+	if valid <= invalid {
+		t.Errorf("valid login (%d) should take longer than invalid (%d) unmitigated", valid, invalid)
+	}
+	// Different valid usernames: different scan positions, different
+	// times (the secondary leak the paper notes).
+	v0 := timeOf(Attempt{User: creds[0].User, Pass: creds[0].Pass})
+	v7 := timeOf(Attempt{User: creds[7].User, Pass: creds[7].Pass})
+	if v0 == v7 {
+		t.Error("scan position should affect unmitigated time")
+	}
+}
+
+func TestMitigatedTimingIndependentOfSecrets(t *testing.T) {
+	app := buildSmall(t)
+	pred1, pred2 := int64(4096), int64(4096)
+	timeOf := func(creds []Credential, att Attempt) uint64 {
+		res, err := app.Run(RunOptions{Env: flatEnv(app)(), Mitigate: true, Pred1: pred1, Pred2: pred2}, creds, att)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm, err := ResponseTime(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tm
+	}
+	creds := MakeCredentials(8)
+	att := Attempt{User: creds[3].User, Pass: creds[3].Pass}
+	tValid := timeOf(creds, att)
+	tInvalid := timeOf(creds, Attempt{User: "nobody", Pass: "x"})
+	tFewer := timeOf(MakeCredentials(2), att) // att no longer valid
+	if tValid != tInvalid || tValid != tFewer {
+		t.Errorf("mitigated times differ: valid=%d invalid=%d fewer=%d", tValid, tInvalid, tFewer)
+	}
+}
+
+func TestSamplePredictions(t *testing.T) {
+	app := buildSmall(t)
+	creds := MakeCredentials(6)
+	attempts := []Attempt{
+		{User: creds[0].User, Pass: creds[0].Pass},
+		{User: creds[5].User, Pass: "bad"},
+		{User: "ghost", Pass: "x"},
+	}
+	p1, p2, err := app.SamplePredictions(flatEnv(app), creds, attempts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 <= 0 || p2 <= 0 {
+		t.Errorf("predictions %d/%d should be positive", p1, p2)
+	}
+	// With sampled predictions, mitigated runs should rarely blow past
+	// double the sampled value for in-distribution attempts.
+	res, err := app.Run(RunOptions{Env: flatEnv(app)(), Mitigate: true, Pred1: p1, Pred2: p2},
+		creds, attempts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Mitigations {
+		if r.Duration > uint64(4*(p1+p2)) {
+			t.Errorf("mitigated duration %d far exceeds sampled prediction", r.Duration)
+		}
+	}
+}
+
+func TestSamplePredictionsWarm(t *testing.T) {
+	app := buildSmall(t)
+	creds := MakeCredentials(8)
+	env := hw.NewPartitioned(app.Lat, hw.Table1Config())
+	atts := []Attempt{
+		{User: creds[0].User, Pass: creds[0].Pass}, // warm-up (discarded)
+		{User: creds[7].User, Pass: "wrong"},       // full work
+		{User: "ghost", Pass: "x"},                 // full scan
+	}
+	p1, p2, err := app.SamplePredictionsWarm(env, creds, atts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 <= 0 || p2 <= 0 {
+		t.Errorf("warm predictions %d/%d", p1, p2)
+	}
+	// Warm predictions are no larger than cold ones (warm bodies are
+	// faster, and both get the 10% margin).
+	cp1, cp2, err := app.SamplePredictions(func() hw.Env {
+		return hw.NewPartitioned(app.Lat, hw.Table1Config())
+	}, creds, atts[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 > cp1 || p2 > cp2 {
+		t.Errorf("warm (%d,%d) should not exceed cold (%d,%d)", p1, p2, cp1, cp2)
+	}
+	// Error paths.
+	if _, _, err := app.SamplePredictionsWarm(env, creds, atts[:1]); err == nil {
+		t.Error("warm sampling needs ≥2 attempts")
+	}
+	// Even all-invalid samples exercise both mitigates (phase 2 runs
+	// its else branch), so sampling succeeds — with a small phase-2
+	// prediction.
+	ghostOnly := []Attempt{{User: "g1", Pass: "x"}, {User: "g2", Pass: "x"}}
+	g1, g2, err := app.SamplePredictionsWarm(hw.NewFlat(app.Lat, 2), creds, ghostOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 >= p2 {
+		t.Errorf("invalid-only phase-2 prediction (%d) should be far below full-work (%d)", g2, p2)
+	}
+	_ = g1
+}
+
+func TestSetupRejectsOverflow(t *testing.T) {
+	app := buildSmall(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for too many credentials")
+		}
+	}()
+	res, _ := app.Run(RunOptions{Env: flatEnv(app)(), Pred1: 1, Pred2: 1},
+		MakeCredentials(17), Attempt{})
+	_ = res
+}
+
+func TestResponseTimeMissing(t *testing.T) {
+	if _, err := ResponseTime(&full.Result{}); err == nil {
+		t.Error("expected error for missing response")
+	}
+}
+
+func TestMakeCredentialsDistinct(t *testing.T) {
+	creds := MakeCredentials(50)
+	seen := map[string]bool{}
+	for _, c := range creds {
+		if seen[c.User] {
+			t.Fatalf("duplicate user %s", c.User)
+		}
+		seen[c.User] = true
+	}
+}
+
+func TestRunOnPartitionedHardware(t *testing.T) {
+	app, err := Build(small(), lattice.TwoPoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := hw.NewPartitioned(app.Lat, hw.Table1Config())
+	creds := MakeCredentials(4)
+	res, err := app.Run(RunOptions{Env: env, Mitigate: true, Pred1: 2048, Pred2: 2048},
+		creds, Attempt{User: creds[0].User, Pass: creds[0].Pass})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResponseTime(res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.L1DHits == 0 {
+		t.Error("expected cache activity")
+	}
+}

@@ -1,0 +1,20 @@
+package login
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The browsable listing in testdata/login.tc must match the generated
+// source exactly; regenerate with `go run ./internal/tools/gentestdata`.
+func TestTestdataListingInSync(t *testing.T) {
+	path := filepath.Join("..", "..", "..", "testdata", "login.tc")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing listing (run go run ./internal/tools/gentestdata): %v", err)
+	}
+	if got := Source(DefaultConfig()); got != string(want) {
+		t.Error("testdata/login.tc is stale; run go run ./internal/tools/gentestdata")
+	}
+}

@@ -1,0 +1,267 @@
+// Package rsa implements the paper's RSA decryption case study (§8.4).
+//
+// A multi-block message is decrypted with square-and-multiply modular
+// exponentiation written in the timing-channel language. Only the
+// exponentiation uses the private key, so only that code is high; the
+// per-block pre/post-processing performs public assignments whose
+// timing the adversary observes. Unmitigated, decryption time depends
+// on the key's bit pattern (the Kocher/Brumley–Boneh channel); with
+// each block's exponentiation wrapped in mitigate, the total time
+// depends only on public data (message length).
+//
+// The package also builds the "system-level mitigation" variant used
+// by Fig. 9: the entire decryption wrapped in a single mitigate, which
+// cannot distinguish benign (public) timing variation due to message
+// length from secret-dependent variation, and therefore over-pads.
+package rsa
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/parser"
+	"repro/internal/lattice"
+	"repro/internal/machine/hw"
+	"repro/internal/sem/full"
+	"repro/internal/sem/mem"
+	"repro/internal/types"
+)
+
+// Config sizes the RSA application.
+type Config struct {
+	// MaxBlocks is the capacity of the message buffer (public).
+	MaxBlocks int
+	// Modulus is the public RSA modulus (small, for the simulated
+	// 32-bit-block variant; timing behaviour — the channel — is the
+	// same as for real key sizes, just scaled).
+	Modulus int64
+}
+
+// DefaultConfig uses a 10-block buffer like the paper's experiment and
+// a small prime-product modulus.
+func DefaultConfig() Config {
+	return Config{MaxBlocks: 10, Modulus: 2147483647} // 2^31 − 1
+}
+
+// Mode selects which program variant to build.
+type Mode int
+
+const (
+	// LanguageLevel wraps each block's exponentiation in its own
+	// mitigate (the paper's approach).
+	LanguageLevel Mode = iota
+	// SystemLevel wraps the whole decryption in a single mitigate
+	// (the black-box baseline of Fig. 9).
+	SystemLevel
+	// Unmitigated runs with mitigation disabled at run time; the
+	// program is the LanguageLevel one (its mitigates become
+	// measurement probes).
+	Unmitigated
+)
+
+func (m Mode) String() string {
+	switch m {
+	case LanguageLevel:
+		return "language-level"
+	case SystemLevel:
+		return "system-level"
+	case Unmitigated:
+		return "unmitigated"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Source returns the decryption program for a mode.
+func Source(cfg Config, mode Mode) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `// RSA decryption case study (paper §8.4), %s variant.
+var nblocks : L;    // message length in blocks (public)
+var pred : L;       // initial prediction (public)
+array blocks[%d] : L; // ciphertext blocks (public)
+var progress : L;   // low postprocess output per block
+var response : L;
+var key : H;        // private exponent (secret)
+var result : H;
+var acc : H;
+var e : H;
+var c : L;
+var b : L;
+var cs : H;         // block copy used inside system-level mitigation
+var bs : H;         // block index used inside system-level mitigation
+
+b := 0;
+`, mode, cfg.MaxBlocks)
+
+	// modexp expands the square-and-multiply body reading the current
+	// ciphertext block from the named variable.
+	modexp := func(blockVar string) string {
+		return fmt.Sprintf(`        result := 1 [H,H];
+        e := key [H,H];
+        acc := %s %% %d [H,H];
+        while (e > 0) [H,H] {
+            if (e & 1) [H,H] {
+                result := (result * acc) %% %d [H,H];
+            } else {
+                skip [H,H];
+            }
+            acc := (acc * acc) %% %d [H,H];
+            e := e >> 1 [H,H];
+        }
+`, blockVar, cfg.Modulus, cfg.Modulus, cfg.Modulus)
+	}
+
+	switch mode {
+	case SystemLevel:
+		// One mitigate around the whole loop; no intermediate low
+		// events (the black box emits only the final response). All
+		// loop state inside is high: under a high read label, even the
+		// public block index would taint low variables.
+		b.WriteString("mitigate@0 (pred, H) [L,L] {\n")
+		fmt.Fprintf(&b, `    bs := 0 [H,H];
+    while (bs < nblocks) [H,H] {
+        cs := blocks[bs] [H,H];
+%s        bs := bs + 1 [H,H];
+    }
+`, modexp("cs"))
+		b.WriteString("}\nresponse := 1;\n")
+	default:
+		// Per-block mitigation; pre/post-processing stays public and
+		// emits observable low events.
+		fmt.Fprintf(&b, `while (b < nblocks) [L,L] {
+    c := blocks[b];        // preprocess (low)
+    progress := b;         // observable low assignment
+    mitigate@0 (pred, H) [L,L] {
+%s    }
+    progress := b + 1;     // postprocess (low)
+    b := b + 1;
+}
+response := 1;
+`, modexp("c"))
+	}
+	return b.String()
+}
+
+// App is a compiled RSA application.
+type App struct {
+	Cfg  Config
+	Mode Mode
+	Prog *ast.Program
+	Res  *types.Result
+}
+
+// Build parses and type-checks the decryption program.
+func Build(cfg Config, mode Mode, lat lattice.Lattice) (*App, error) {
+	src := Source(cfg, mode)
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("rsa: parse: %w", err)
+	}
+	res, err := types.Check(prog, lat)
+	if err != nil {
+		return nil, fmt.Errorf("rsa: typecheck: %w", err)
+	}
+	return &App{Cfg: cfg, Mode: mode, Prog: prog, Res: res}, nil
+}
+
+// Message generates a deterministic ciphertext of n blocks.
+func Message(n int, seed int64) []int64 {
+	out := make([]int64, n)
+	x := seed*2654435761 + 12345
+	for i := range out {
+		x = x*6364136223846793005 + 1442695040888963407
+		v := x >> 16
+		if v < 0 {
+			v = -v
+		}
+		out[i] = v % 1000000007
+	}
+	return out
+}
+
+// Setup writes the message, key, and prediction into memory.
+func (a *App) Setup(m *mem.Memory, key int64, message []int64, pred int64) {
+	if len(message) > a.Cfg.MaxBlocks {
+		panic(fmt.Sprintf("rsa: %d blocks exceed capacity %d", len(message), a.Cfg.MaxBlocks))
+	}
+	m.Set("key", key)
+	m.Set("nblocks", int64(len(message)))
+	m.Set("pred", pred)
+	for i, blk := range message {
+		m.SetEl("blocks", int64(i), blk)
+	}
+}
+
+// Run decrypts one message and returns the full result. Mitigation is
+// enabled unless the app was built in (or run as) Unmitigated mode.
+func (a *App) Run(env hw.Env, key int64, message []int64, pred int64, mitigate bool) (*full.Result, error) {
+	opts := full.Options{DisableMitigation: !mitigate}
+	return full.Execute(a.Prog, a.Res, env, opts, func(m *mem.Memory) {
+		a.Setup(m, key, message, pred)
+	}, 50_000_000)
+}
+
+// ResponseTime returns the time of the final response event.
+func ResponseTime(res *full.Result) (uint64, error) {
+	for i := len(res.Trace) - 1; i >= 0; i-- {
+		if res.Trace[i].Var == "response" {
+			return res.Trace[i].Time, nil
+		}
+	}
+	return 0, fmt.Errorf("rsa: no response event in trace")
+}
+
+// SampleElapsed measures the mitigate bodies' elapsed times with
+// mitigation disabled over the given keys/messages, returning the
+// average and the maximum (§8.2's sampling step).
+func (a *App) SampleElapsed(newEnv func() hw.Env, keys []int64, messages [][]int64) (avg, max int64, err error) {
+	var sum, n, mx uint64
+	for _, key := range keys {
+		for _, msg := range messages {
+			res, err := a.Run(newEnv(), key, msg, 1, false)
+			if err != nil {
+				return 0, 0, err
+			}
+			for _, r := range res.Mitigations {
+				sum += r.Elapsed
+				n++
+				if r.Elapsed > mx {
+					mx = r.Elapsed
+				}
+			}
+		}
+	}
+	if n == 0 {
+		return 0, 0, fmt.Errorf("rsa: sampling produced no mitigation records")
+	}
+	return int64(sum / n), int64(mx), nil
+}
+
+// SamplePrediction returns 110% of the maximum sampled body time — an
+// initial prediction that avoids mispredictions for in-distribution
+// inputs, which is what makes mitigated decryption time exactly
+// constant (Fig. 8). Sample with a dense key to cover the worst case.
+func (a *App) SamplePrediction(newEnv func() hw.Env, keys []int64, messages [][]int64) (int64, error) {
+	_, max, err := a.SampleElapsed(newEnv, keys, messages)
+	if err != nil {
+		return 0, err
+	}
+	return max * 110 / 100, nil
+}
+
+// Reference computes the expected plaintext of one block in Go, for
+// validating the interpreter's modexp against an independent
+// implementation.
+func Reference(cfg Config, key, block int64) int64 {
+	result := int64(1)
+	acc := block % cfg.Modulus
+	e := key
+	for e > 0 {
+		if e&1 == 1 {
+			result = (result * acc) % cfg.Modulus
+		}
+		acc = (acc * acc) % cfg.Modulus
+		e >>= 1
+	}
+	return result
+}

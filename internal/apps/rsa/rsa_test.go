@@ -1,0 +1,254 @@
+package rsa
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/machine/hw"
+	"repro/internal/sem/full"
+)
+
+func smallCfg() Config { return Config{MaxBlocks: 10, Modulus: 1000003} }
+
+func buildMode(t *testing.T, mode Mode) *App {
+	t.Helper()
+	app, err := Build(smallCfg(), mode, lattice.TwoPoint())
+	if err != nil {
+		t.Fatalf("build %v: %v", mode, err)
+	}
+	return app
+}
+
+func flatEnv(lat lattice.Lattice) hw.Env { return hw.NewFlat(lat, 2) }
+
+func TestBuildAllModes(t *testing.T) {
+	for _, m := range []Mode{LanguageLevel, SystemLevel, Unmitigated} {
+		buildMode(t, m)
+	}
+	if _, err := Build(DefaultConfig(), LanguageLevel, lattice.TwoPoint()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if LanguageLevel.String() != "language-level" || SystemLevel.String() != "system-level" ||
+		Unmitigated.String() != "unmitigated" {
+		t.Error("mode names")
+	}
+	if !strings.Contains(Mode(9).String(), "9") {
+		t.Error("unknown mode")
+	}
+}
+
+// The interpreter's square-and-multiply must agree with an independent
+// Go implementation of modular exponentiation.
+func TestModexpCorrectness(t *testing.T) {
+	app := buildMode(t, LanguageLevel)
+	keys := []int64{1, 2, 3, 0x5, 0xABCD, 65537, 99991}
+	msg := Message(1, 7)
+	for _, key := range keys {
+		res, err := app.Run(flatEnv(app.Res.Lat), key, msg, 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Reference(app.Cfg, key, msg[0])
+		got := int64(-1)
+		for _, e := range res.Trace {
+			if e.Var == "result" {
+				got = e.Value
+			}
+		}
+		if got != want {
+			t.Errorf("key %#x: result = %d, want %d", key, got, want)
+		}
+	}
+}
+
+func TestMessageDeterministic(t *testing.T) {
+	a := Message(5, 1)
+	b := Message(5, 1)
+	c := Message(5, 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should give same message")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+	if len(Message(0, 1)) != 0 {
+		t.Error("empty message")
+	}
+}
+
+// Unmitigated decryption time depends on the private key (the paper's
+// Fig. 8 upper plot).
+func TestUnmitigatedKeyDependentTiming(t *testing.T) {
+	app := buildMode(t, Unmitigated)
+	msg := Message(3, 42)
+	timeOf := func(key int64) uint64 {
+		res, err := app.Run(flatEnv(app.Res.Lat), key, msg, 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm, err := ResponseTime(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tm
+	}
+	// Dense key (many multiplies) vs sparse key (few) of the same bit
+	// length.
+	dense := timeOf(0xFFFF)
+	sparse := timeOf(0x8001)
+	if dense <= sparse {
+		t.Errorf("dense key (%d) should be slower than sparse (%d)", dense, sparse)
+	}
+}
+
+// Mitigated decryption time is identical for different keys (Fig. 8
+// lower plot: exactly constant).
+func TestMitigatedKeyIndependentTiming(t *testing.T) {
+	app := buildMode(t, LanguageLevel)
+	msg := Message(4, 42)
+	pred := int64(1 << 14)
+	timeOf := func(key int64) uint64 {
+		res, err := app.Run(flatEnv(app.Res.Lat), key, msg, pred, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm, err := ResponseTime(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tm
+	}
+	t1 := timeOf(0xFFFF)
+	t2 := timeOf(0x8001)
+	t3 := timeOf(0xBEEF)
+	if t1 != t2 || t2 != t3 {
+		t.Errorf("mitigated times differ: %d %d %d", t1, t2, t3)
+	}
+}
+
+// Language-level mitigation scales with the public block count and
+// beats system-level mitigation (Fig. 9's shape).
+func TestLanguageBeatsSystemLevel(t *testing.T) {
+	lang := buildMode(t, LanguageLevel)
+	sys := buildMode(t, SystemLevel)
+	key := int64(0xC0FFEE)
+
+	perBlock, err := lang.SamplePrediction(func() hw.Env { return flatEnv(lang.Res.Lat) },
+		[]int64{key}, [][]int64{Message(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// System-level prediction sampled on a 1-block message, as a system
+	// mitigator would calibrate on some observed run.
+	whole, err := sys.SamplePrediction(func() hw.Env { return flatEnv(sys.Res.Lat) },
+		[]int64{key}, [][]int64{Message(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var prevLang, sumLang, sumSys uint64
+	for blocks := 1; blocks <= 8; blocks++ {
+		msg := Message(blocks, 9)
+		lr, err := lang.Run(flatEnv(lang.Res.Lat), key, msg, perBlock, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := sys.Run(flatEnv(sys.Res.Lat), key, msg, whole, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lt, _ := ResponseTime(lr)
+		st, _ := ResponseTime(sr)
+		sumLang += lt
+		sumSys += st
+		// At non-power-of-two block counts the system-level doubling
+		// schedule over-pads well past the language-level time; at
+		// powers of two the two can tie (within per-block overhead).
+		switch blocks {
+		case 3, 5, 6, 7:
+			if float64(st) < 1.1*float64(lt) {
+				t.Errorf("%d blocks: system-level (%d) should over-pad vs language-level (%d)",
+					blocks, st, lt)
+			}
+		}
+		if lt <= prevLang {
+			t.Errorf("language-level time should grow with blocks: %d then %d", prevLang, lt)
+		}
+		prevLang = lt
+	}
+	if float64(sumSys) < 1.15*float64(sumLang) {
+		t.Errorf("aggregate: system-level (%d) should cost ≥15%% more than language-level (%d)",
+			sumSys, sumLang)
+	}
+}
+
+func TestSystemLevelHidesBlockCountInSchedule(t *testing.T) {
+	// System-level durations land on the doubling schedule: messages of
+	// 3 and 4 blocks often cost the same padded time (over-padding).
+	sys := buildMode(t, SystemLevel)
+	key := int64(0xABC)
+	timeOf := func(blocks int) uint64 {
+		res, err := sys.Run(flatEnv(sys.Res.Lat), key, Message(blocks, 3), 1024, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Mitigations) != 1 {
+			t.Fatalf("system-level should have exactly one mitigation, got %d", len(res.Mitigations))
+		}
+		return res.Mitigations[0].Duration
+	}
+	d1 := timeOf(1)
+	d2 := timeOf(2)
+	// Both on schedule {1024·2^k}.
+	for _, d := range []uint64{d1, d2} {
+		on := false
+		for s := uint64(1024); s <= 1<<40; s *= 2 {
+			if d == s {
+				on = true
+			}
+		}
+		if !on {
+			t.Errorf("duration %d off the doubling schedule", d)
+		}
+	}
+}
+
+func TestSetupRejectsOverflow(t *testing.T) {
+	app := buildMode(t, LanguageLevel)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	app.Run(flatEnv(app.Res.Lat), 1, Message(11, 1), 1, false)
+}
+
+func TestResponseTimeMissing(t *testing.T) {
+	if _, err := ResponseTime(&full.Result{}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestRunOnTable1Hardware(t *testing.T) {
+	app := buildMode(t, LanguageLevel)
+	env := hw.NewPartitioned(app.Res.Lat, hw.Table1Config())
+	res, err := app.Run(env, 0x10001, Message(2, 5), 1<<15, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResponseTime(res); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,26 @@
+package rsa
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The browsable listings in testdata/ must match the generated sources
+// exactly; regenerate with `go run ./internal/tools/gentestdata`.
+func TestTestdataListingsInSync(t *testing.T) {
+	cases := map[string]Mode{
+		"rsa.tc":        LanguageLevel,
+		"rsa_system.tc": SystemLevel,
+	}
+	for name, mode := range cases {
+		path := filepath.Join("..", "..", "..", "testdata", name)
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing listing (run go run ./internal/tools/gentestdata): %v", err)
+		}
+		if got := Source(DefaultConfig(), mode); got != string(want) {
+			t.Errorf("testdata/%s is stale; run go run ./internal/tools/gentestdata", name)
+		}
+	}
+}

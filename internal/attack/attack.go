@@ -1,0 +1,206 @@
+// Package attack implements the adversaries of the paper's threat
+// model as reusable analyses over observed timings: a two-cluster
+// threshold classifier (the Bortz–Boneh username prober of §8.3), a
+// linear timing regression (Kocher-style key-weight estimation for
+// §8.4), and an exact empirical mutual-information estimator that
+// quantifies how many bits the observed timings carry about the
+// secrets. The tests use these to show the attacks succeed against
+// unmitigated executions and collapse against mitigated ones —
+// the operational counterpart of the leakage package's trace counting.
+package attack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BestThreshold finds the split of a 1-D sample that maximizes the
+// between-cluster separation (the midpoint of the largest gap between
+// consecutive sorted values). It returns the threshold and the gap
+// width; a gap of zero means the sample is a single cluster (all values
+// equal or uniformly spread).
+func BestThreshold(times []uint64) (threshold uint64, gap uint64) {
+	if len(times) < 2 {
+		return 0, 0
+	}
+	sorted := append([]uint64(nil), times...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	bestGap := uint64(0)
+	best := sorted[0]
+	for i := 1; i < len(sorted); i++ {
+		if g := sorted[i] - sorted[i-1]; g > bestGap {
+			bestGap = g
+			best = sorted[i-1] + g/2
+		}
+	}
+	return best, bestGap
+}
+
+// Classify labels each observation as above-threshold (true) or not.
+func Classify(times []uint64, threshold uint64) []bool {
+	out := make([]bool, len(times))
+	for i, t := range times {
+		out[i] = t > threshold
+	}
+	return out
+}
+
+// Accuracy scores a classification against ground truth, returning the
+// fraction correct under whichever polarity (above = positive or
+// above = negative) fits better — the attacker does not know which
+// cluster is which a priori.
+func Accuracy(guess, truth []bool) float64 {
+	if len(guess) != len(truth) || len(guess) == 0 {
+		return 0
+	}
+	same, diff := 0, 0
+	for i := range guess {
+		if guess[i] == truth[i] {
+			same++
+		} else {
+			diff++
+		}
+	}
+	best := same
+	if diff > best {
+		best = diff
+	}
+	return float64(best) / float64(len(guess))
+}
+
+// ProbeResult summarizes a username-probing attack.
+type ProbeResult struct {
+	Threshold uint64
+	Gap       uint64
+	Accuracy  float64
+}
+
+// ProbeUsernames runs the full §8.3 attack pipeline on observed login
+// times and ground-truth validity.
+func ProbeUsernames(times []uint64, valid []bool) (ProbeResult, error) {
+	if len(times) != len(valid) {
+		return ProbeResult{}, fmt.Errorf("attack: %d times but %d labels", len(times), len(valid))
+	}
+	th, gap := BestThreshold(times)
+	return ProbeResult{
+		Threshold: th,
+		Gap:       gap,
+		Accuracy:  Accuracy(Classify(times, th), valid),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Linear timing regression (key-weight estimation)
+
+// LinearFit is a least-squares line fit t ≈ Intercept + Slope·x.
+type LinearFit struct {
+	Intercept float64
+	Slope     float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+}
+
+// FitLinear performs ordinary least squares of y against x. It returns
+// an error if fewer than two distinct x values are given.
+func FitLinear(x []float64, y []uint64) (LinearFit, error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return LinearFit{}, fmt.Errorf("attack: need ≥2 paired samples, got %d/%d", len(x), len(y))
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += float64(y[i])
+		sxx += x[i] * x[i]
+		sxy += x[i] * float64(y[i])
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return LinearFit{}, fmt.Errorf("attack: x values are all equal")
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	// R².
+	meanY := sy / n
+	var ssTot, ssRes float64
+	for i := range x {
+		pred := intercept + slope*x[i]
+		ssTot += (float64(y[i]) - meanY) * (float64(y[i]) - meanY)
+		ssRes += (float64(y[i]) - pred) * (float64(y[i]) - pred)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Intercept: intercept, Slope: slope, R2: r2}, nil
+}
+
+// Predict evaluates the fit at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// Invert estimates the x that would produce observation t. It returns
+// an error when the slope is (near) zero — the defining signature of a
+// successfully mitigated system, where time carries no information
+// about x.
+func (f LinearFit) Invert(t uint64) (float64, error) {
+	if math.Abs(f.Slope) < 1e-9 {
+		return 0, fmt.Errorf("attack: timing is flat; nothing to invert")
+	}
+	return (float64(t) - f.Intercept) / f.Slope, nil
+}
+
+// ---------------------------------------------------------------------------
+// Empirical mutual information
+
+// MutualInformationBits computes the exact mutual information (in bits)
+// of the empirical joint distribution of (secret, time) pairs. For
+// deterministic timing this equals the entropy of the time marginal,
+// which is also what Definition 1's log-count measure bounds; unlike
+// the count it weights observations by frequency.
+func MutualInformationBits(secrets []int64, times []uint64) float64 {
+	if len(secrets) != len(times) || len(secrets) == 0 {
+		return 0
+	}
+	n := float64(len(secrets))
+	joint := make(map[[2]uint64]float64)
+	ms := make(map[uint64]float64)
+	mt := make(map[uint64]float64)
+	for i := range secrets {
+		s := uint64(secrets[i])
+		t := times[i]
+		joint[[2]uint64{s, t}]++
+		ms[s]++
+		mt[t]++
+	}
+	mi := 0.0
+	for k, c := range joint {
+		pxy := c / n
+		px := ms[k[0]] / n
+		py := mt[k[1]] / n
+		mi += pxy * math.Log2(pxy/(px*py))
+	}
+	if mi < 0 {
+		mi = 0 // numerical noise
+	}
+	return mi
+}
+
+// TimeEntropyBits is the Shannon entropy of the observed time marginal
+// — an upper bound on what any function of time can reveal.
+func TimeEntropyBits(times []uint64) float64 {
+	if len(times) == 0 {
+		return 0
+	}
+	n := float64(len(times))
+	counts := make(map[uint64]float64)
+	for _, t := range times {
+		counts[t]++
+	}
+	h := 0.0
+	for _, c := range counts {
+		p := c / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}

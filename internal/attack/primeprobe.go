@@ -1,0 +1,84 @@
+package attack
+
+import (
+	"repro/internal/machine/hw"
+)
+
+// Prime+probe (§2.1's coresident adversary): the attacker controls a
+// concurrent thread that can fill public cache sets with its own lines
+// (prime), let the victim run, and then time re-accesses to those lines
+// (probe). Lines the victim's secret-dependent accesses evicted now
+// miss, so probe times image the victim's access pattern — unless the
+// hardware confines victim fills to confidential partitions.
+
+// PrimeProbeResult records one prime+probe round.
+type PrimeProbeResult struct {
+	// Addrs are the primed addresses, in prime order.
+	Addrs []uint64
+	// PrimeTimes and ProbeTimes are per-address access costs before and
+	// after the victim ran.
+	PrimeTimes []uint64
+	ProbeTimes []uint64
+}
+
+// Evicted reports which primed lines became slower after the victim ran
+// — the attacker's signal.
+func (r PrimeProbeResult) Evicted() []bool {
+	out := make([]bool, len(r.Addrs))
+	for i := range r.Addrs {
+		out[i] = r.ProbeTimes[i] > r.PrimeTimes[i]
+	}
+	return out
+}
+
+// EvictedCount is the number of signaled lines.
+func (r PrimeProbeResult) EvictedCount() int {
+	n := 0
+	for _, e := range r.Evicted() {
+		if e {
+			n++
+		}
+	}
+	return n
+}
+
+// PrimeProbe runs one round: prime the given public addresses on env,
+// run the victim (which shares the environment, modeling coresidency),
+// then probe. The adversary is public: all of its accesses carry the
+// bottom label on both sides, exactly what a coresident unprivileged
+// thread can do.
+func PrimeProbe(env hw.Env, addrs []uint64, victim func(hw.Env)) PrimeProbeResult {
+	lat := env.Lattice()
+	bot := lat.Bot()
+	res := PrimeProbeResult{
+		Addrs:      append([]uint64(nil), addrs...),
+		PrimeTimes: make([]uint64, len(addrs)),
+		ProbeTimes: make([]uint64, len(addrs)),
+	}
+	// Prime twice: the first pass loads, the second records the warm
+	// (hit) baseline.
+	for _, a := range addrs {
+		env.Access(hw.Read, a, bot, bot)
+	}
+	for i, a := range addrs {
+		res.PrimeTimes[i] = env.Access(hw.Read, a, bot, bot)
+	}
+	victim(env)
+	for i, a := range addrs {
+		res.ProbeTimes[i] = env.Access(hw.Read, a, bot, bot)
+	}
+	return res
+}
+
+// ConflictAddrs returns n distinct addresses that all map to the same
+// set of a cache with the given geometry — the attacker's eviction set
+// for one cache set. Addresses start at base and are spaced one full
+// cache stride apart.
+func ConflictAddrs(base uint64, sets, blockSize, n int) []uint64 {
+	stride := uint64(sets * blockSize)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base + uint64(i)*stride
+	}
+	return out
+}

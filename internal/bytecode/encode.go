@@ -1,0 +1,213 @@
+package bytecode
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/lattice"
+)
+
+// Binary serialization of compiled programs, so bytecode can be built
+// once and shipped/executed separately (timingc compile -o / -exec-file
+// workflows). The format is a small tagged container:
+//
+//	magic "TCBC" | version u8 | lattice name | mitigates uvarint
+//	scalars: count + names | arrays: count + (name, size) pairs
+//	code: count + (op u8, A varint, B varint) triples
+//
+// Strings are uvarint-length-prefixed UTF-8. Labels inside SETLBL and
+// MITENTER operands are lattice element IDs; Decode therefore needs the
+// same lattice, which is recorded by name and validated.
+
+const (
+	encodeMagic   = "TCBC"
+	encodeVersion = 1
+)
+
+// Encode writes the program to w.
+func (p *Program) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(encodeMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(encodeVersion); err != nil {
+		return err
+	}
+	writeString := func(s string) {
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], uint64(len(s)))
+		bw.Write(buf[:n])
+		bw.WriteString(s)
+	}
+	writeUvarint := func(v uint64) {
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], v)
+		bw.Write(buf[:n])
+	}
+	writeVarint := func(v int64) {
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutVarint(buf[:], v)
+		bw.Write(buf[:n])
+	}
+	writeString(p.Lat.Name())
+	writeUvarint(uint64(p.NumMitigates))
+	writeUvarint(uint64(len(p.ScalarNames)))
+	for _, s := range p.ScalarNames {
+		writeString(s)
+	}
+	writeUvarint(uint64(len(p.ArrayNames)))
+	for i, s := range p.ArrayNames {
+		writeString(s)
+		writeUvarint(uint64(p.ArraySizes[i]))
+	}
+	writeUvarint(uint64(len(p.Code)))
+	for _, ins := range p.Code {
+		bw.WriteByte(byte(ins.Op))
+		writeVarint(ins.A)
+		writeVarint(ins.B)
+	}
+	return bw.Flush()
+}
+
+// Decode reads a program from r. The caller supplies the lattice the
+// program was compiled against; its name must match the recorded one.
+func Decode(r io.Reader, lat lattice.Lattice) (*Program, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(encodeMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("bytecode: reading magic: %w", err)
+	}
+	if string(magic) != encodeMagic {
+		return nil, fmt.Errorf("bytecode: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != encodeVersion {
+		return nil, fmt.Errorf("bytecode: unsupported version %d", ver)
+	}
+	readString := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("bytecode: string length %d too large", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	latName, err := readString()
+	if err != nil {
+		return nil, err
+	}
+	if latName != lat.Name() {
+		return nil, fmt.Errorf("bytecode: compiled for lattice %q, decoding with %q", latName, lat.Name())
+	}
+	p := &Program{Lat: lat}
+	mits, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	p.NumMitigates = int(mits)
+	nScalars, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nScalars > 1<<20 {
+		return nil, fmt.Errorf("bytecode: scalar count %d too large", nScalars)
+	}
+	for i := uint64(0); i < nScalars; i++ {
+		s, err := readString()
+		if err != nil {
+			return nil, err
+		}
+		p.ScalarNames = append(p.ScalarNames, s)
+	}
+	nArrays, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nArrays > 1<<20 {
+		return nil, fmt.Errorf("bytecode: array count %d too large", nArrays)
+	}
+	for i := uint64(0); i < nArrays; i++ {
+		s, err := readString()
+		if err != nil {
+			return nil, err
+		}
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if size == 0 || size > 1<<30 {
+			return nil, fmt.Errorf("bytecode: array %q size %d out of range", s, size)
+		}
+		p.ArrayNames = append(p.ArrayNames, s)
+		p.ArraySizes = append(p.ArraySizes, int64(size))
+	}
+	nCode, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nCode > 1<<24 {
+		return nil, fmt.Errorf("bytecode: code length %d too large", nCode)
+	}
+	for i := uint64(0); i < nCode; i++ {
+		op, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		a, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		b, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		p.Code = append(p.Code, Instr{Op: Op(op), A: a, B: b})
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// validate performs structural checks on a decoded program so a
+// corrupted file fails fast instead of panicking mid-execution.
+func (p *Program) validate() error {
+	n := int64(len(p.Code))
+	levels := int64(p.Lat.Size())
+	for i, ins := range p.Code {
+		switch ins.Op {
+		case OpJmp, OpJz:
+			if ins.A < 0 || ins.A > n {
+				return fmt.Errorf("bytecode: instr %d: jump target %d out of range", i, ins.A)
+			}
+		case OpLoad, OpStore:
+			if ins.A < 0 || ins.A >= int64(len(p.ScalarNames)) {
+				return fmt.Errorf("bytecode: instr %d: scalar %d out of range", i, ins.A)
+			}
+		case OpLoadIdx, OpStoreIdx:
+			if ins.A < 0 || ins.A >= int64(len(p.ArrayNames)) {
+				return fmt.Errorf("bytecode: instr %d: array %d out of range", i, ins.A)
+			}
+		case OpSetLbl:
+			if ins.A < 0 || ins.A >= levels || ins.B < 0 || ins.B >= levels {
+				return fmt.Errorf("bytecode: instr %d: label id out of range", i)
+			}
+		case OpMitEnter:
+			if ins.B < 0 || ins.B >= levels {
+				return fmt.Errorf("bytecode: instr %d: mitigation level out of range", i)
+			}
+		}
+	}
+	return nil
+}

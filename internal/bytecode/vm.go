@@ -1,0 +1,324 @@
+package bytecode
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/lang/token"
+	"repro/internal/lattice"
+	"repro/internal/machine/hw"
+	"repro/internal/mitigation"
+	"repro/internal/sem/core"
+	"repro/internal/sem/events"
+)
+
+// ErrStepLimit is returned by Run when the instruction budget runs out.
+var ErrStepLimit = errors.New("bytecode: instruction limit exceeded")
+
+// VMOptions configure the virtual machine's timing model.
+type VMOptions struct {
+	// BaseCost is the fixed per-instruction cost; default 1.
+	BaseCost uint64
+	// CodeBase is the address of instruction 0; default 0x400000.
+	CodeBase uint64
+	// InstrSize is the encoded size of one instruction in bytes
+	// (controls instruction-cache behaviour); default 4.
+	InstrSize uint64
+	// DataBase is the address of the data segment; default 0x10000.
+	DataBase uint64
+	// Scheme and Policy configure predictive mitigation; defaults are
+	// FastDoubling and PerLevel.
+	Scheme mitigation.Scheme
+	Policy mitigation.Policy
+	// DisableMitigation makes MITENTER/MITEXIT record but not pad.
+	DisableMitigation bool
+}
+
+func (o VMOptions) withDefaults() VMOptions {
+	if o.BaseCost == 0 {
+		o.BaseCost = 1
+	}
+	if o.CodeBase == 0 {
+		o.CodeBase = 0x400000
+	}
+	if o.InstrSize == 0 {
+		o.InstrSize = 4
+	}
+	if o.DataBase == 0 {
+		o.DataBase = 0x10000
+	}
+	if o.Scheme == nil {
+		o.Scheme = mitigation.FastDoubling{}
+	}
+	return o
+}
+
+// mitFrame tracks one open mitigation region.
+type mitFrame struct {
+	id    int
+	level lattice.Label
+	init  int64
+	start uint64
+}
+
+// VM executes a bytecode program against a machine environment. It is
+// an alternative language implementation: same observable values as the
+// tree-walking semantics (value adequacy), different — finer-grained —
+// timing, still governed by the same label contract.
+type VM struct {
+	prog *Program
+	opts VMOptions
+	env  hw.Env
+
+	pc      int
+	stack   []int64
+	scalars []int64
+	arrays  [][]int64
+	// arrayBase[i] is the data address of array i's first element.
+	arrayBase  []uint64
+	scalarAddr []uint64
+
+	// er/ew mirror the timing-label register.
+	er, ew lattice.Label
+
+	clock  uint64
+	steps  int
+	trace  events.Trace
+	mits   events.MitTrace
+	mstate *mitigation.State
+	open   []mitFrame
+}
+
+// NewVM creates a VM for a compiled program.
+func NewVM(prog *Program, env hw.Env, opts VMOptions) *VM {
+	opts = opts.withDefaults()
+	vm := &VM{
+		prog:    prog,
+		opts:    opts,
+		env:     env,
+		scalars: make([]int64, len(prog.ScalarNames)),
+		arrays:  make([][]int64, len(prog.ArrayNames)),
+		er:      prog.Lat.Bot(),
+		ew:      prog.Lat.Bot(),
+		mstate:  mitigation.NewState(prog.Lat, opts.Scheme, opts.Policy),
+	}
+	next := opts.DataBase
+	vm.scalarAddr = make([]uint64, len(prog.ScalarNames))
+	for i := range prog.ScalarNames {
+		vm.scalarAddr[i] = next
+		next += 8
+	}
+	vm.arrayBase = make([]uint64, len(prog.ArrayNames))
+	for i, n := range prog.ArraySizes {
+		vm.arrays[i] = make([]int64, n)
+		vm.arrayBase[i] = next
+		next += 8 * uint64(n)
+	}
+	return vm
+}
+
+// SetScalar sets an input variable by source name.
+func (vm *VM) SetScalar(name string, v int64) error {
+	for i, n := range vm.prog.ScalarNames {
+		if n == name {
+			vm.scalars[i] = v
+			return nil
+		}
+	}
+	return fmt.Errorf("bytecode: no scalar %q", name)
+}
+
+// Scalar reads a variable by source name.
+func (vm *VM) Scalar(name string) (int64, error) {
+	for i, n := range vm.prog.ScalarNames {
+		if n == name {
+			return vm.scalars[i], nil
+		}
+	}
+	return 0, fmt.Errorf("bytecode: no scalar %q", name)
+}
+
+// SetArrayEl sets one array element by source name.
+func (vm *VM) SetArrayEl(name string, idx, v int64) error {
+	for i, n := range vm.prog.ArrayNames {
+		if n == name {
+			vm.arrays[i][wrap(idx, len(vm.arrays[i]))] = v
+			return nil
+		}
+	}
+	return fmt.Errorf("bytecode: no array %q", name)
+}
+
+// Clock returns the global time in cycles.
+func (vm *VM) Clock() uint64 { return vm.clock }
+
+// Steps returns the number of instructions executed.
+func (vm *VM) Steps() int { return vm.steps }
+
+// Trace returns the observable assignment events.
+func (vm *VM) Trace() events.Trace { return vm.trace }
+
+// Mitigations returns the completed mitigation records.
+func (vm *VM) Mitigations() events.MitTrace { return vm.mits }
+
+func wrap(i int64, n int) int64 {
+	if n <= 0 {
+		panic("bytecode: empty array")
+	}
+	r := i % int64(n)
+	if r < 0 {
+		r += int64(n)
+	}
+	return r
+}
+
+func (vm *VM) push(v int64) { vm.stack = append(vm.stack, v) }
+
+func (vm *VM) pop() int64 {
+	if len(vm.stack) == 0 {
+		panic("bytecode: stack underflow (miscompiled program)")
+	}
+	v := vm.stack[len(vm.stack)-1]
+	vm.stack = vm.stack[:len(vm.stack)-1]
+	return v
+}
+
+// Run executes until HALT or the instruction budget is exhausted.
+func (vm *VM) Run(maxInstrs int) error {
+	for vm.steps < maxInstrs {
+		if vm.pc < 0 || vm.pc >= len(vm.prog.Code) {
+			return fmt.Errorf("bytecode: pc %d out of range", vm.pc)
+		}
+		ins := vm.prog.Code[vm.pc]
+		vm.steps++
+		cost := vm.opts.BaseCost
+		cost += vm.env.Access(hw.Fetch, vm.opts.CodeBase+uint64(vm.pc)*vm.opts.InstrSize, vm.er, vm.ew)
+		vm.pc++
+
+		switch ins.Op {
+		case OpNop:
+		case OpHalt:
+			vm.clock += cost
+			// Close any regions left open by a miscompiled program.
+			for len(vm.open) > 0 {
+				vm.exitMitigation()
+			}
+			return nil
+		case OpSetLbl:
+			vm.er = vm.label(ins.A)
+			vm.ew = vm.label(ins.B)
+		case OpPush:
+			vm.push(ins.A)
+		case OpLoad:
+			cost += vm.env.Access(hw.Read, vm.scalarAddr[ins.A], vm.er, vm.ew)
+			vm.push(vm.scalars[ins.A])
+		case OpLoadIdx:
+			idx := wrap(vm.pop(), len(vm.arrays[ins.A]))
+			cost += vm.env.Access(hw.Read, vm.arrayBase[ins.A]+8*uint64(idx), vm.er, vm.ew)
+			vm.push(vm.arrays[ins.A][idx])
+		case OpStore:
+			v := vm.pop()
+			cost += vm.env.Access(hw.Write, vm.scalarAddr[ins.A], vm.er, vm.ew)
+			vm.scalars[ins.A] = v
+			vm.clock += cost
+			vm.trace = append(vm.trace, events.Event{
+				Var: vm.prog.ScalarNames[ins.A], Value: v, Time: vm.clock})
+			continue
+		case OpStoreIdx:
+			v := vm.pop()
+			idx := wrap(vm.pop(), len(vm.arrays[ins.A]))
+			cost += vm.env.Access(hw.Write, vm.arrayBase[ins.A]+8*uint64(idx), vm.er, vm.ew)
+			vm.arrays[ins.A][idx] = v
+			vm.clock += cost
+			vm.trace = append(vm.trace, events.Event{
+				Var: fmt.Sprintf("%s[%d]", vm.prog.ArrayNames[ins.A], idx), Value: v, Time: vm.clock})
+			continue
+		case OpUnop:
+			v := vm.pop()
+			switch token.Kind(ins.A) {
+			case token.MINUS:
+				vm.push(-v)
+			case token.NOT:
+				if v == 0 {
+					vm.push(1)
+				} else {
+					vm.push(0)
+				}
+			default:
+				return fmt.Errorf("bytecode: bad unary operator %v", token.Kind(ins.A))
+			}
+		case OpBinop:
+			y := vm.pop()
+			x := vm.pop()
+			vm.push(core.EvalBinop(token.Kind(ins.A), x, y))
+		case OpJmp:
+			vm.pc = int(ins.A)
+		case OpJz:
+			taken := vm.pop() == 0
+			cost += vm.env.Branch(vm.opts.CodeBase+uint64(vm.pc-1)*vm.opts.InstrSize,
+				taken, vm.er, vm.ew)
+			if taken {
+				vm.pc = int(ins.A)
+			}
+		case OpSleep:
+			if n := vm.pop(); n > 0 {
+				cost += uint64(n)
+			}
+		case OpMitEnter:
+			init := vm.pop()
+			vm.clock += cost
+			vm.open = append(vm.open, mitFrame{
+				id:    int(ins.A),
+				level: vm.label(ins.B),
+				init:  init,
+				start: vm.clock,
+			})
+			continue
+		case OpMitExit:
+			vm.clock += cost
+			if len(vm.open) == 0 {
+				return fmt.Errorf("bytecode: MITEXIT with no open region")
+			}
+			if vm.open[len(vm.open)-1].id != int(ins.A) {
+				return fmt.Errorf("bytecode: mismatched MITEXIT %d", ins.A)
+			}
+			vm.exitMitigation()
+			continue
+		default:
+			return fmt.Errorf("bytecode: unknown opcode %v", ins.Op)
+		}
+		vm.clock += cost
+	}
+	return fmt.Errorf("%w (%d instructions)", ErrStepLimit, vm.steps)
+}
+
+// exitMitigation closes the innermost region: penalize and pad exactly
+// as the tree-walking semantics does.
+func (vm *VM) exitMitigation() {
+	f := vm.open[len(vm.open)-1]
+	vm.open = vm.open[:len(vm.open)-1]
+	elapsed := vm.clock - f.start
+	if vm.opts.DisableMitigation {
+		vm.mits = append(vm.mits, events.MitRecord{
+			ID: f.id, Duration: elapsed, Elapsed: elapsed, Start: f.start})
+		return
+	}
+	pred, missed := vm.mstate.Penalize(f.init, f.level, f.id, elapsed)
+	if pred > elapsed {
+		vm.clock = f.start + pred
+	}
+	vm.mits = append(vm.mits, events.MitRecord{
+		ID: f.id, Duration: vm.clock - f.start, Elapsed: elapsed,
+		Start: f.start, Mispredicted: missed,
+	})
+}
+
+func (vm *VM) label(id int64) lattice.Label {
+	levels := vm.prog.Lat.Levels()
+	for _, l := range levels {
+		if int64(l.ID()) == id {
+			return l
+		}
+	}
+	panic(fmt.Sprintf("bytecode: bad label id %d", id))
+}

@@ -1,0 +1,129 @@
+package bytecode
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/lang/token"
+	"repro/internal/lattice"
+	"repro/internal/machine/hw"
+)
+
+// handProgram builds a raw bytecode program for error-path testing.
+func handProgram(code ...Instr) *Program {
+	return &Program{Code: code, Lat: lattice.TwoPoint(), NumMitigates: 4}
+}
+
+func runHand(p *Program, budget int) error {
+	vm := NewVM(p, hw.NewFlat(lattice.TwoPoint(), 1), VMOptions{})
+	return vm.Run(budget)
+}
+
+func TestVMInstructionBudget(t *testing.T) {
+	// An infinite JMP loop exhausts the budget.
+	p := handProgram(Instr{Op: OpJmp, A: 0})
+	err := runHand(p, 100)
+	if !errors.Is(err, ErrStepLimit) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVMPCOutOfRange(t *testing.T) {
+	p := handProgram(Instr{Op: OpJmp, A: 99})
+	if err := runHand(p, 10); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("err = %v", err)
+	}
+	// Falling off the end (no HALT) is also out of range.
+	p = handProgram(Instr{Op: OpNop})
+	if err := runHand(p, 10); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVMBadUnaryOp(t *testing.T) {
+	p := handProgram(
+		Instr{Op: OpPush, A: 1},
+		Instr{Op: OpUnop, A: int64(token.PLUS)}, // + is not unary
+		Instr{Op: OpHalt},
+	)
+	if err := runHand(p, 10); err == nil || !strings.Contains(err.Error(), "unary") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVMUnknownOpcode(t *testing.T) {
+	p := handProgram(Instr{Op: Op(200)}, Instr{Op: OpHalt})
+	if err := runHand(p, 10); err == nil || !strings.Contains(err.Error(), "unknown opcode") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVMMismatchedMitExit(t *testing.T) {
+	p := handProgram(Instr{Op: OpMitExit, A: 0}, Instr{Op: OpHalt})
+	if err := runHand(p, 10); err == nil || !strings.Contains(err.Error(), "no open region") {
+		t.Errorf("err = %v", err)
+	}
+	p = handProgram(
+		Instr{Op: OpPush, A: 1},
+		Instr{Op: OpMitEnter, A: 0, B: 1},
+		Instr{Op: OpMitExit, A: 3}, // wrong id
+		Instr{Op: OpHalt},
+	)
+	if err := runHand(p, 10); err == nil || !strings.Contains(err.Error(), "mismatched") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVMHaltClosesOpenRegions(t *testing.T) {
+	// A region left open at HALT is closed (padded) so the record
+	// exists — defensive behaviour for miscompiled programs.
+	p := handProgram(
+		Instr{Op: OpPush, A: 64},
+		Instr{Op: OpMitEnter, A: 2, B: 1},
+		Instr{Op: OpHalt},
+	)
+	vm := NewVM(p, hw.NewFlat(lattice.TwoPoint(), 1), VMOptions{})
+	if err := vm.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(vm.Mitigations()) != 1 || vm.Mitigations()[0].ID != 2 {
+		t.Errorf("mitigations = %v", vm.Mitigations())
+	}
+}
+
+func TestVMStackUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	runHand(handProgram(Instr{Op: OpStore, A: 0}, Instr{Op: OpHalt}), 10)
+}
+
+func TestVMBadLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	runHand(handProgram(Instr{Op: OpSetLbl, A: 99, B: 99}, Instr{Op: OpHalt}), 10)
+}
+
+func TestVMSleepNegative(t *testing.T) {
+	p := handProgram(
+		Instr{Op: OpPush, A: -5},
+		Instr{Op: OpSleep},
+		Instr{Op: OpPush, A: 0},
+		Instr{Op: OpSleep},
+		Instr{Op: OpHalt},
+	)
+	vm := NewVM(p, hw.NewFlat(lattice.TwoPoint(), 1), VMOptions{})
+	if err := vm.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	// 5 instructions at (1 base + 1 flat fetch) each, no extra sleep.
+	if vm.Clock() != 10 {
+		t.Errorf("clock = %d, want 10", vm.Clock())
+	}
+}

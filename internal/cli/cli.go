@@ -1,0 +1,715 @@
+// Package cli implements the timingc command: the compiler driver and
+// interpreter for the timing-channel language. It type-checks programs
+// (inferring omitted timing labels), pretty-prints them with resolved
+// labels, runs them on a choice of simulated hardware, and verifies
+// hardware models against the paper's software–hardware contract.
+//
+// The entry point is Run, which takes argv-style arguments and output
+// writers so the whole command surface is testable in-process;
+// cmd/timingc is a thin wrapper.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bytecode"
+	"repro/internal/lang/ast"
+	"repro/internal/lang/diag"
+	"repro/internal/lang/parser"
+	"repro/internal/lang/printer"
+	"repro/internal/lattice"
+	"repro/internal/leakage"
+	"repro/internal/machine/hw"
+	"repro/internal/opt"
+	"repro/internal/props"
+	"repro/internal/sem/full"
+	"repro/internal/sem/mem"
+	"repro/internal/types"
+)
+
+// Run executes the timingc command line and returns a process exit
+// code: 0 on success, 1 on command failure, 2 on usage errors.
+func Run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "check":
+		err = runCheck(rest, stdout, stderr)
+	case "fmt":
+		err = runFmt(rest, stdout, stderr)
+	case "run":
+		err = runRun(rest, stdout, stderr)
+	case "trace":
+		err = runTrace(rest, stdout, stderr)
+	case "explain":
+		err = runExplain(rest, stdout, stderr)
+	case "compile":
+		err = runCompile(rest, stdout, stderr)
+	case "exec":
+		err = runExec(rest, stdout, stderr)
+	case "leak":
+		err = runLeak(rest, stdout, stderr)
+	case "verify":
+		err = runVerify(rest, stdout, stderr)
+	case "help", "-h", "--help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "timingc: unknown command %q\n", cmd)
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		if err == flag.ErrHelp {
+			return 2
+		}
+		fmt.Fprintf(stderr, "timingc: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage: timingc <command> [flags] file
+
+commands:
+  check    type-check a program, reporting inferred timing labels
+  fmt      pretty-print a program
+  run      execute a program on simulated hardware
+  trace    execute step by step, printing each command's cost
+  explain  show the typing judgment (pc, timing start/end) per command
+  compile  compile to bytecode (disassemble, -exec to run, -o to save)
+  exec     run a saved bytecode file on the VM
+  leak     measure leakage over secret ranges (Theorem 2 / §7 bound)
+  verify   check a hardware model against the software-hardware contract
+`)
+}
+
+func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+func latticeFlag(fs *flag.FlagSet) *string {
+	return fs.String("lattice", "two", "security lattice: two, three, diamond")
+}
+
+// PickLattice resolves a lattice by its CLI name.
+func PickLattice(name string) (lattice.Lattice, error) {
+	switch name {
+	case "two":
+		return lattice.TwoPoint(), nil
+	case "three":
+		return lattice.ThreePoint(), nil
+	case "diamond":
+		return lattice.Diamond(), nil
+	}
+	return nil, fmt.Errorf("unknown lattice %q (want two, three, or diamond)", name)
+}
+
+// PickEnv resolves a hardware model by its CLI name.
+func PickEnv(name string, lat lattice.Lattice) (hw.Env, error) {
+	cfg := hw.Table1Config()
+	switch name {
+	case "flat":
+		return hw.NewFlat(lat, 2), nil
+	case "nopar", "unpartitioned":
+		return hw.NewUnpartitioned(lat, cfg), nil
+	case "nofill":
+		return hw.NewNoFill(lat, cfg), nil
+	case "partitioned", "":
+		return hw.NewPartitioned(lat, cfg), nil
+	case "flush":
+		return hw.NewFlushOnHigh(lat, cfg), nil
+	case "lock":
+		return hw.NewLockProtect(lat, cfg), nil
+	}
+	return nil, fmt.Errorf("unknown hardware %q (want flat, nopar, nofill, partitioned, flush, or lock)", name)
+}
+
+func load(fs *flag.FlagSet, latName string) (*ast.Program, *types.Result, lattice.Lattice, error) {
+	if fs.NArg() != 1 {
+		return nil, nil, nil, fmt.Errorf("expected exactly one source file")
+	}
+	file := fs.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	lat, err := PickLattice(latName)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	prog, err := parser.Parse(string(src))
+	if err != nil {
+		return nil, nil, nil, &diagError{diag.Format(file, string(src), err)}
+	}
+	res, err := types.Check(prog, lat)
+	if err != nil {
+		return nil, nil, nil, &diagError{diag.Format(file, string(src), err)}
+	}
+	return prog, res, lat, nil
+}
+
+// diagError carries pre-rendered multi-line diagnostics.
+type diagError struct{ rendered string }
+
+func (e *diagError) Error() string { return strings.TrimSuffix(e.rendered, "\n") }
+
+func runCheck(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("check", stderr)
+	latName := latticeFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prog, res, _, err := load(fs, *latName)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s: OK (end timing label %s)\n", fs.Arg(0), res.End)
+	for _, m := range res.Mitigates {
+		if m.Level.Valid() {
+			fmt.Fprintf(stdout, "  mitigate@%d at %s: pc=%s, level=%s\n", m.ID, m.Pos, m.PC, m.Level)
+		}
+	}
+	fmt.Fprint(stdout, printer.Print(prog, printer.Options{ShowResolved: true}))
+	return nil
+}
+
+func runFmt(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("fmt", stderr)
+	latName := latticeFlag(fs)
+	resolved := fs.Bool("resolved", false, "print inferred labels")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *resolved {
+		prog, _, _, err := load(fs, *latName)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, printer.Print(prog, printer.Options{ShowResolved: true}))
+		return nil
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one source file")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := parser.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, printer.Print(prog, printer.Options{}))
+	return nil
+}
+
+// setFlags collects repeated -set x=v flags.
+type setFlags map[string]int64
+
+func (s setFlags) String() string { return fmt.Sprintf("%v", map[string]int64(s)) }
+
+// Set implements flag.Value.
+func (s setFlags) Set(v string) error {
+	name, val, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want -set name=value, got %q", v)
+	}
+	n, err := strconv.ParseInt(val, 0, 64)
+	if err != nil {
+		return err
+	}
+	s[name] = n
+	return nil
+}
+
+func runRun(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("run", stderr)
+	latName := latticeFlag(fs)
+	hwName := fs.String("hw", "partitioned", "hardware model: flat, nopar, nofill, partitioned")
+	mitigate := fs.Bool("mitigate", true, "enable predictive mitigation")
+	optimize := fs.Bool("opt", false, "apply timing-aware optimizations before running")
+	maxSteps := fs.Int("max-steps", 10_000_000, "step budget")
+	sets := setFlags{}
+	fs.Var(sets, "set", "set an input variable, e.g. -set h=42 (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prog, res, lat, err := load(fs, *latName)
+	if err != nil {
+		return err
+	}
+	if *optimize {
+		folds, branches := opt.Program(prog)
+		fmt.Fprintf(stdout, "optimizer: %d expressions folded, %d branches eliminated\n",
+			folds, branches)
+	}
+	env, err := PickEnv(*hwName, lat)
+	if err != nil {
+		return err
+	}
+	m, err := full.New(prog, res, env, full.Options{DisableMitigation: !*mitigate})
+	if err != nil {
+		return err
+	}
+	for name, v := range sets {
+		if !m.Memory().HasScalar(name) {
+			return fmt.Errorf("-set %s: no such scalar variable", name)
+		}
+		m.Memory().Set(name, v)
+	}
+	if err := m.Run(*maxSteps); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "terminated in %d steps, %d cycles on %s hardware\n",
+		m.Steps(), m.Clock(), env.Name())
+	if tr := m.Trace(); len(tr) > 0 {
+		fmt.Fprintln(stdout, "events:")
+		for _, e := range tr {
+			fmt.Fprintf(stdout, "  %s\n", e)
+		}
+	}
+	if mt := m.Mitigations(); len(mt) > 0 {
+		fmt.Fprintln(stdout, "mitigations:")
+		for _, r := range mt {
+			miss := ""
+			if r.Mispredicted {
+				miss = " (mispredicted)"
+			}
+			fmt.Fprintf(stdout, "  mitigate@%d: %d cycles (body %d)%s\n", r.ID, r.Duration, r.Elapsed, miss)
+		}
+	}
+	return nil
+}
+
+func runCompile(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("compile", stderr)
+	latName := latticeFlag(fs)
+	exec := fs.Bool("exec", false, "execute the bytecode on the VM after compiling")
+	outFile := fs.String("o", "", "write encoded bytecode to this file instead of disassembling")
+	hwName := fs.String("hw", "partitioned", "hardware model for -exec")
+	sets := setFlags{}
+	fs.Var(sets, "set", "set an input variable for -exec (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prog, res, lat, err := load(fs, *latName)
+	if err != nil {
+		return err
+	}
+	bc, err := bytecode.Compile(prog, res)
+	if err != nil {
+		return err
+	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		if err := bc.Encode(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d instructions)\n", *outFile, len(bc.Code))
+	} else {
+		fmt.Fprint(stdout, bc.Disassemble())
+	}
+	if !*exec {
+		return nil
+	}
+	env, err := PickEnv(*hwName, lat)
+	if err != nil {
+		return err
+	}
+	vm := bytecode.NewVM(bc, env, bytecode.VMOptions{})
+	for name, v := range sets {
+		if err := vm.SetScalar(name, v); err != nil {
+			return err
+		}
+	}
+	if err := vm.Run(50_000_000); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "VM: %d instructions, %d cycles on %s hardware\n",
+		vm.Steps(), vm.Clock(), env.Name())
+	for _, e := range vm.Trace() {
+		fmt.Fprintf(stdout, "  %s\n", e)
+	}
+	return nil
+}
+
+func runExec(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("exec", stderr)
+	latName := latticeFlag(fs)
+	hwName := fs.String("hw", "partitioned", "hardware model")
+	sets := setFlags{}
+	fs.Var(sets, "set", "set an input variable (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one bytecode file")
+	}
+	lat, err := PickLattice(*latName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bc, err := bytecode.Decode(f, lat)
+	if err != nil {
+		return err
+	}
+	env, err := PickEnv(*hwName, lat)
+	if err != nil {
+		return err
+	}
+	vm := bytecode.NewVM(bc, env, bytecode.VMOptions{})
+	for name, v := range sets {
+		if err := vm.SetScalar(name, v); err != nil {
+			return err
+		}
+	}
+	if err := vm.Run(50_000_000); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "VM: %d instructions, %d cycles on %s hardware\n",
+		vm.Steps(), vm.Clock(), env.Name())
+	for _, e := range vm.Trace() {
+		fmt.Fprintf(stdout, "  %s\n", e)
+	}
+	return nil
+}
+
+func runExplain(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("explain", stderr)
+	latName := latticeFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one source file")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	lat, err := PickLattice(*latName)
+	if err != nil {
+		return err
+	}
+	prog, err := parser.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	_, typings, err := types.CheckDetailed(prog, lat, types.Options{CoupleReadWrite: true})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%-8s %-14s %-4s %-8s %s\n", "pos", "command", "pc", "[er,ew]", "timing start → end")
+	ast.WalkCmds(prog.Body, func(c ast.Cmd) bool {
+		lc, ok := c.(ast.Labeled)
+		if !ok {
+			return true // Seq carries no judgment of its own
+		}
+		ty, ok := typings[c.ID()]
+		if !ok {
+			return true
+		}
+		lab := lc.Labels()
+		fmt.Fprintf(stdout, "%-8s %-14s %-4s [%s,%s]%*s %s → %s\n",
+			c.Pos().String(), cmdKind(c), ty.PC.String(), lab.RL, lab.WL,
+			5-len(lab.RL.String())-len(lab.WL.String()), "",
+			ty.Start, ty.End)
+		return true
+	})
+	return nil
+}
+
+// cmdKind names a command node for the trace listing.
+func cmdKind(c ast.Cmd) string {
+	switch c := c.(type) {
+	case *ast.Skip:
+		return "skip"
+	case *ast.Assign:
+		return "assign " + c.Name
+	case *ast.Store:
+		return "store " + c.Name
+	case *ast.If:
+		return "if"
+	case *ast.While:
+		return "while"
+	case *ast.Sleep:
+		return "sleep"
+	case *ast.Mitigate:
+		return fmt.Sprintf("mitigate@%d", c.MitID)
+	}
+	return fmt.Sprintf("%T", c)
+}
+
+func runTrace(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("trace", stderr)
+	latName := latticeFlag(fs)
+	hwName := fs.String("hw", "partitioned", "hardware model")
+	mitigate := fs.Bool("mitigate", true, "enable predictive mitigation")
+	maxSteps := fs.Int("max-steps", 100_000, "step budget")
+	sets := setFlags{}
+	fs.Var(sets, "set", "set an input variable (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prog, res, lat, err := load(fs, *latName)
+	if err != nil {
+		return err
+	}
+	env, err := PickEnv(*hwName, lat)
+	if err != nil {
+		return err
+	}
+	m, err := full.New(prog, res, env, full.Options{DisableMitigation: !*mitigate})
+	if err != nil {
+		return err
+	}
+	for name, v := range sets {
+		if !m.Memory().HasScalar(name) {
+			return fmt.Errorf("-set %s: no such scalar variable", name)
+		}
+		m.Memory().Set(name, v)
+	}
+	fmt.Fprintf(stdout, "%5s %8s %8s %-8s %-6s %s\n", "step", "clock", "cost", "pos", "labels", "command")
+	mitsSeen := 0
+	for step := 0; step < *maxSteps; step++ {
+		head := m.Peek()
+		if head == nil {
+			break
+		}
+		// Completed mitigations resolved by Peek (padding applied).
+		for ; mitsSeen < len(m.Mitigations()); mitsSeen++ {
+			r := m.Mitigations()[mitsSeen]
+			fmt.Fprintf(stdout, "%5s %8d %8s %-8s %-6s mitigate@%d completed: %d cycles (body %d)\n",
+				"", m.Clock(), "", "", "", r.ID, r.Duration, r.Elapsed)
+		}
+		lab := head.(ast.Labeled).Labels()
+		before := m.Clock()
+		m.Step()
+		fmt.Fprintf(stdout, "%5d %8d %8d %-8s [%s,%s] %s\n",
+			m.Steps(), m.Clock(), m.Clock()-before, head.Pos().String(), lab.RL, lab.WL, cmdKind(head))
+	}
+	if m.Peek() != nil {
+		return fmt.Errorf("step budget exhausted")
+	}
+	for ; mitsSeen < len(m.Mitigations()); mitsSeen++ {
+		r := m.Mitigations()[mitsSeen]
+		fmt.Fprintf(stdout, "%5s %8d %8s %-8s %-6s mitigate@%d completed: %d cycles (body %d)\n",
+			"", m.Clock(), "", "", "", r.ID, r.Duration, r.Elapsed)
+	}
+	fmt.Fprintf(stdout, "total: %d steps, %d cycles\n", m.Steps(), m.Clock())
+	return nil
+}
+
+func runVerify(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("verify", stderr)
+	latName := latticeFlag(fs)
+	hwName := fs.String("hw", "partitioned", "hardware model to verify")
+	trials := fs.Int("trials", 20, "trials per property")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prog, res, lat, err := load(fs, *latName)
+	if err != nil {
+		return err
+	}
+	if _, err := PickEnv(*hwName, lat); err != nil {
+		return err
+	}
+	factory := func() hw.Env {
+		env, err := PickEnv(*hwName, lat)
+		if err != nil {
+			panic(err) // unreachable: validated above
+		}
+		return env
+	}
+	c := &props.Checker{
+		Prog:   prog,
+		Res:    res,
+		NewEnv: factory,
+		Rand:   rand.New(rand.NewSource(*seed)),
+	}
+	checks := []struct {
+		name string
+		run  func() error
+	}{
+		{"Property 1 (adequacy)", func() error { return c.CheckAdequacy(*trials) }},
+		{"Property 2 (determinism)", func() error { return c.CheckDeterminism(*trials) }},
+		{"Property 3 (sequential composition)", func() error { return c.CheckSequentialComposition(*trials) }},
+		{"Property 4 (sleep accuracy)", func() error {
+			return props.CheckSleepAccuracy(lat, factory, []int64{0, 1, 100, -5})
+		}},
+		{"Property 5 (write label)", func() error { return c.CheckWriteLabel(*trials) }},
+		{"Property 6 (read label)", func() error { return c.CheckReadLabel(*trials * 4) }},
+		{"Property 7 (single-step NI)", func() error { return c.CheckSingleStepNI(*trials * 4) }},
+		{"Theorem 1 (noninterference)", func() error { return c.CheckNoninterference(*trials) }},
+		{"Lemma 1 (low determinism)", func() error { return c.CheckLowDeterminism(*trials, lat.Bot()) }},
+	}
+	failed := 0
+	for _, ch := range checks {
+		if err := ch.run(); err != nil {
+			fmt.Fprintf(stdout, "FAIL %-38s %v\n", ch.name, err)
+			failed++
+		} else {
+			fmt.Fprintf(stdout, "ok   %-38s\n", ch.name)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d contract checks failed for %s hardware", failed, *hwName)
+	}
+	fmt.Fprintf(stdout, "all contract checks passed for %s hardware\n", *hwName)
+	return nil
+}
+
+// rangeFlags collects repeated -secret name=lo:hi:step flags.
+type rangeFlags []secretRange
+
+type secretRange struct {
+	name         string
+	lo, hi, step int64
+}
+
+func (r *rangeFlags) String() string { return fmt.Sprintf("%v", []secretRange(*r)) }
+
+// Set implements flag.Value.
+func (r *rangeFlags) Set(v string) error {
+	name, spec, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want -secret name=lo:hi:step, got %q", v)
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("want -secret name=lo:hi:step, got %q", v)
+	}
+	var vals [3]int64
+	for i, p := range parts {
+		n, err := strconv.ParseInt(p, 0, 64)
+		if err != nil {
+			return err
+		}
+		vals[i] = n
+	}
+	if vals[2] <= 0 || vals[1] < vals[0] {
+		return fmt.Errorf("range %q must have hi ≥ lo and step > 0", v)
+	}
+	*r = append(*r, secretRange{name, vals[0], vals[1], vals[2]})
+	return nil
+}
+
+// values expands the range into its sample points.
+func (s secretRange) values() []int64 {
+	var out []int64
+	for v := s.lo; v <= s.hi; v += s.step {
+		out = append(out, v)
+	}
+	return out
+}
+
+func runLeak(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("leak", stderr)
+	latName := latticeFlag(fs)
+	hwName := fs.String("hw", "partitioned", "hardware model")
+	mitigate := fs.Bool("mitigate", true, "enable predictive mitigation")
+	maxCombos := fs.Int("max-combos", 512, "cap on secret combinations")
+	var secrets rangeFlags
+	fs.Var(&secrets, "secret", "secret range, e.g. -secret h=0:100:5 (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(secrets) == 0 {
+		return fmt.Errorf("at least one -secret range is required")
+	}
+	prog, res, lat, err := load(fs, *latName)
+	if err != nil {
+		return err
+	}
+	for _, s := range secrets {
+		lv, ok := res.VarLabel(s.name)
+		if !ok {
+			return fmt.Errorf("-secret %s: no such variable", s.name)
+		}
+		if lat.Leq(lv, lat.Bot()) {
+			fmt.Fprintf(stderr, "warning: %s is public; its variation is not a secret\n", s.name)
+		}
+	}
+	// Cartesian product of the ranges, capped.
+	combos := [][]int64{nil}
+	for _, s := range secrets {
+		var next [][]int64
+		for _, c := range combos {
+			for _, v := range s.values() {
+				next = append(next, append(append([]int64(nil), c...), v))
+				if len(next) > *maxCombos {
+					return fmt.Errorf("secret space exceeds -max-combos=%d", *maxCombos)
+				}
+			}
+		}
+		combos = next
+	}
+	var lsecrets []leakage.Secret
+	for _, combo := range combos {
+		combo := combo
+		lsecrets = append(lsecrets, func(m *mem.Memory) {
+			for i, s := range secrets {
+				m.Set(s.name, combo[i])
+			}
+		})
+	}
+	cfg := leakage.Config{
+		Prog:      prog,
+		Res:       res,
+		Adversary: lat.Bot(),
+		NewEnv: func() hw.Env {
+			env, err := PickEnv(*hwName, lat)
+			if err != nil {
+				panic(err) // validated below before first use
+			}
+			return env
+		},
+		Opts: full.Options{DisableMitigation: !*mitigate},
+	}
+	if _, err := PickEnv(*hwName, lat); err != nil {
+		return err
+	}
+	m, err := leakage.Measure(cfg, lsecrets)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "secrets tried:              %d\n", m.Trials)
+	fmt.Fprintf(stdout, "distinct observations:      %d (%.2f bits)\n", m.DistinctObservations, m.QBits)
+	fmt.Fprintf(stdout, "mitigate timing variations: %d (%.2f bits, Theorem 2 cap)\n",
+		m.DistinctMitVariations, m.VBits)
+	fmt.Fprintf(stdout, "analytic §7 bound:          %.2f bits (K=%d, T=%d)\n",
+		leakage.BoundForMeasurement(m, lat.Size()-1), m.RelevantMitigates, m.MaxClock)
+	if err := leakage.CheckTheorem2(m); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "Theorem 2 holds: observations ≤ mitigate timing variations")
+	return nil
+}

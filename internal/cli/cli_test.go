@@ -1,0 +1,419 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testdataPath resolves a file in the repository's testdata directory.
+func testdataPath(t *testing.T, name string) string {
+	t.Helper()
+	p := filepath.Join("..", "..", "testdata", name)
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("missing testdata file: %v", err)
+	}
+	return p
+}
+
+// run invokes the CLI and returns (exit code, stdout, stderr).
+func run(args ...string) (int, string, string) {
+	var out, errb bytes.Buffer
+	code := Run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestNoArgs(t *testing.T) {
+	code, _, errOut := run()
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "usage:") {
+		t.Error("usage expected on stderr")
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	code, _, errOut := run("frobnicate")
+	if code != 2 || !strings.Contains(errOut, "unknown command") {
+		t.Errorf("exit=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestHelp(t *testing.T) {
+	code, out, _ := run("help")
+	if code != 0 || !strings.Contains(out, "verify") {
+		t.Errorf("help: exit=%d out=%q", code, out)
+	}
+}
+
+func TestCheckMitigated(t *testing.T) {
+	code, out, errOut := run("check", testdataPath(t, "mitigated.tc"))
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "OK (end timing label L)") {
+		t.Errorf("missing OK line:\n%s", out)
+	}
+	if !strings.Contains(out, "mitigate@0") || !strings.Contains(out, "pc=L, level=H") {
+		t.Errorf("missing mitigate summary:\n%s", out)
+	}
+	if !strings.Contains(out, "[H,H]") {
+		t.Errorf("resolved labels not printed:\n%s", out)
+	}
+}
+
+func TestCheckInsecure(t *testing.T) {
+	code, _, errOut := run("check", testdataPath(t, "insecure.tc"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "leaks") {
+		t.Errorf("stderr = %q", errOut)
+	}
+	// Diagnostics come with a source excerpt and caret.
+	if !strings.Contains(errOut, "done := 1;") || !strings.Contains(errOut, "^") {
+		t.Errorf("source excerpt missing:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, "insecure.tc:7:1:") {
+		t.Errorf("file:line:col header missing:\n%s", errOut)
+	}
+}
+
+func TestCheckThreeLevel(t *testing.T) {
+	code, out, errOut := run("check", "-lattice", "three", testdataPath(t, "threelevel.tc"))
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "level=M") {
+		t.Errorf("expected M-level mitigate:\n%s", out)
+	}
+	// The same program under the two-point lattice fails (unknown M).
+	code, _, errOut = run("check", testdataPath(t, "threelevel.tc"))
+	if code != 1 || !strings.Contains(errOut, "unknown security label") {
+		t.Errorf("two-point check: exit=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestCheckInference(t *testing.T) {
+	code, out, errOut := run("check", testdataPath(t, "inferme.tc"))
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut)
+	}
+	// The if under mitigate has a high guard: branches inferred [H,H].
+	if !strings.Contains(out, "acc := acc + h [H,H];") {
+		t.Errorf("inference output missing:\n%s", out)
+	}
+}
+
+func TestFmtPlainAndResolved(t *testing.T) {
+	code, plain, _ := run("fmt", testdataPath(t, "inferme.tc"))
+	if code != 0 {
+		t.Fatal("fmt failed")
+	}
+	if strings.Contains(plain, "[H,H]") {
+		t.Errorf("plain fmt should not invent labels:\n%s", plain)
+	}
+	code, resolved, _ := run("fmt", "-resolved", testdataPath(t, "inferme.tc"))
+	if code != 0 {
+		t.Fatal("fmt -resolved failed")
+	}
+	if !strings.Contains(resolved, "[H,H]") {
+		t.Errorf("resolved fmt should print inferred labels:\n%s", resolved)
+	}
+}
+
+func TestRunMitigated(t *testing.T) {
+	code, out, errOut := run("run", "-set", "h=25", testdataPath(t, "mitigated.tc"))
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut)
+	}
+	for _, want := range []string{"terminated", "partitioned hardware", "(done, 1,", "mitigate@0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossSecrets(t *testing.T) {
+	// The adversary-visible parts — events and padded mitigation
+	// durations — must be secret-independent. (The printed raw body
+	// time is runtime-internal diagnostics and legitimately varies.)
+	observable := func(out string) string {
+		var keep []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "terminated") || strings.Contains(line, "(done,") {
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	_, out1, _ := run("run", "-set", "h=3", testdataPath(t, "mitigated.tc"))
+	_, out2, _ := run("run", "-set", "h=61", testdataPath(t, "mitigated.tc"))
+	if observable(out1) != observable(out2) {
+		t.Errorf("mitigated observables should be secret-independent:\n%s\nvs\n%s", out1, out2)
+	}
+}
+
+func TestRunUnmitigatedDiffers(t *testing.T) {
+	_, out1, _ := run("run", "-mitigate=false", "-set", "h=3", testdataPath(t, "mitigated.tc"))
+	_, out2, _ := run("run", "-mitigate=false", "-set", "h=61", testdataPath(t, "mitigated.tc"))
+	if out1 == out2 {
+		t.Error("unmitigated runs should differ with the secret")
+	}
+}
+
+func TestRunBadVariable(t *testing.T) {
+	code, _, errOut := run("run", "-set", "nope=1", testdataPath(t, "mitigated.tc"))
+	if code != 1 || !strings.Contains(errOut, "no such scalar") {
+		t.Errorf("exit=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestRunBadSetSyntax(t *testing.T) {
+	code, _, _ := run("run", "-set", "h", testdataPath(t, "mitigated.tc"))
+	if code == 0 {
+		t.Error("expected failure for malformed -set")
+	}
+	code, _, _ = run("run", "-set", "h=xyz", testdataPath(t, "mitigated.tc"))
+	if code == 0 {
+		t.Error("expected failure for non-numeric -set")
+	}
+}
+
+func TestRunFlatHardware(t *testing.T) {
+	code, out, _ := run("run", "-hw", "flat", testdataPath(t, "mitigated.tc"))
+	if code != 0 || !strings.Contains(out, "flat hardware") {
+		t.Errorf("exit=%d out=%q", code, out)
+	}
+}
+
+func TestBadHardwareAndLattice(t *testing.T) {
+	code, _, errOut := run("run", "-hw", "quantum", testdataPath(t, "mitigated.tc"))
+	if code != 1 || !strings.Contains(errOut, "unknown hardware") {
+		t.Errorf("exit=%d stderr=%q", code, errOut)
+	}
+	code, _, errOut = run("check", "-lattice", "moebius", testdataPath(t, "mitigated.tc"))
+	if code != 1 || !strings.Contains(errOut, "unknown lattice") {
+		t.Errorf("exit=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	code, _, errOut := run("check", "/no/such/file.tc")
+	if code != 1 || errOut == "" {
+		t.Errorf("exit=%d stderr=%q", code, errOut)
+	}
+	code, _, _ = run("check")
+	if code != 1 {
+		t.Errorf("exit=%d for missing operand", code)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	code, out, errOut := run("trace", "-set", "h=20", testdataPath(t, "mitigated.tc"))
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut)
+	}
+	for _, want := range []string{"mitigate@0", "sleep", "assign done",
+		"mitigate@0 completed", "total: 3 steps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	// Step budget exhaustion is an error.
+	code, _, errOut = run("trace", "-max-steps", "1", testdataPath(t, "mitigated.tc"))
+	if code != 1 || !strings.Contains(errOut, "step budget") {
+		t.Errorf("exit=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	code, out, errOut := run("explain", "-lattice", "three", testdataPath(t, "threelevel.tc"))
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut)
+	}
+	for _, want := range []string{"timing start → end", "L → M", "L → H", "mitigate@0", "mitigate@1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+	// Mitigates cut the timing label: their own rows end at L.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "mitigate@") && !strings.Contains(line, "L → L") {
+			t.Errorf("mitigate row should end low: %s", line)
+		}
+	}
+	code, _, _ = run("explain", testdataPath(t, "insecure.tc"))
+	if code != 1 {
+		t.Error("explain should fail on ill-typed programs")
+	}
+}
+
+func TestTraceFlushHardware(t *testing.T) {
+	code, out, _ := run("trace", "-hw", "flush", testdataPath(t, "mitigated.tc"))
+	if code != 0 || !strings.Contains(out, "total:") {
+		t.Errorf("flush trace: exit=%d\n%s", code, out)
+	}
+}
+
+func TestRunWithOptimizer(t *testing.T) {
+	src := "var x : L;\nif (3 > 2) { x := 4 * 4; } else { x := 0; }\n"
+	tmp := filepath.Join(t.TempDir(), "opt.tc")
+	if err := os.WriteFile(tmp, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := run("run", "-opt", tmp)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "optimizer: 2 expressions folded, 1 branches eliminated") {
+		t.Errorf("optimizer summary missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(x, 16,") {
+		t.Errorf("result missing:\n%s", out)
+	}
+	if !strings.Contains(out, "terminated in 1 steps") {
+		t.Errorf("dead branch should be gone:\n%s", out)
+	}
+}
+
+func TestCompileDisassembles(t *testing.T) {
+	code, out, errOut := run("compile", testdataPath(t, "mitigated.tc"))
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut)
+	}
+	for _, want := range []string{"SETLBL", "MITENTER", "MITEXIT", "HALT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompileExec(t *testing.T) {
+	code, out, errOut := run("compile", "-exec", "-set", "h=9", testdataPath(t, "mitigated.tc"))
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "VM:") || !strings.Contains(out, "(done, 1,") {
+		t.Errorf("VM output missing:\n%s", out)
+	}
+	// VM mitigated timing is also secret-independent.
+	_, out2, _ := run("compile", "-exec", "-set", "h=55", testdataPath(t, "mitigated.tc"))
+	if out != out2 {
+		t.Error("mitigated VM output should be secret-independent")
+	}
+	// Bad inputs.
+	if code, _, _ := run("compile", "-exec", "-set", "nope=1", testdataPath(t, "mitigated.tc")); code != 1 {
+		t.Error("bad -set should fail")
+	}
+}
+
+func TestLeakSubcommand(t *testing.T) {
+	code, out, errOut := run("leak", "-secret", "h=0:100:10", testdataPath(t, "mitigated.tc"))
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut)
+	}
+	for _, want := range []string{"secrets tried:", "distinct observations:", "Theorem 2 holds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("leak output missing %q:\n%s", want, out)
+		}
+	}
+	// Unmitigated measurement leaks more.
+	_, outU, _ := run("leak", "-mitigate=false", "-secret", "h=0:100:10", testdataPath(t, "mitigated.tc"))
+	if outU == out {
+		t.Error("mitigated and unmitigated measurements should differ")
+	}
+	// Error paths.
+	if code, _, _ := run("leak", testdataPath(t, "mitigated.tc")); code != 1 {
+		t.Error("missing -secret should fail")
+	}
+	if code, _, _ := run("leak", "-secret", "zzz=0:1:1", testdataPath(t, "mitigated.tc")); code != 1 {
+		t.Error("unknown secret variable should fail")
+	}
+	if code, _, _ := run("leak", "-secret", "h=0:1", testdataPath(t, "mitigated.tc")); code == 0 {
+		t.Error("malformed range should fail flag parsing")
+	}
+	if code, _, _ := run("leak", "-secret", "h=5:1:1", testdataPath(t, "mitigated.tc")); code == 0 {
+		t.Error("inverted range should fail")
+	}
+	if code, _, _ := run("leak", "-max-combos", "3", "-secret", "h=0:100:10",
+		testdataPath(t, "mitigated.tc")); code != 1 {
+		t.Error("combo cap should fail")
+	}
+	// Public variable warning.
+	_, _, warnErr := run("leak", "-secret", "done=0:2:1", testdataPath(t, "mitigated.tc"))
+	if !strings.Contains(warnErr, "warning") {
+		t.Errorf("public-secret warning missing: %q", warnErr)
+	}
+}
+
+func TestCompileToFileAndExec(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "prog.tcbc")
+	code, stdout, errOut := run("compile", "-o", out, testdataPath(t, "mitigated.tc"))
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(stdout, "wrote "+out) {
+		t.Errorf("write summary missing:\n%s", stdout)
+	}
+	code, stdout, errOut = run("exec", "-set", "h=9", out)
+	if code != 0 {
+		t.Fatalf("exec exit=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(stdout, "VM:") || !strings.Contains(stdout, "(done, 1,") {
+		t.Errorf("exec output:\n%s", stdout)
+	}
+	// Wrong lattice is rejected.
+	code, _, errOut = run("exec", "-lattice", "three", out)
+	if code != 1 || !strings.Contains(errOut, "lattice") {
+		t.Errorf("lattice mismatch: exit=%d stderr=%q", code, errOut)
+	}
+	// Missing / garbage files error out cleanly.
+	if code, _, _ := run("exec", "/no/such.tcbc"); code != 1 {
+		t.Error("missing file should fail")
+	}
+	garbage := filepath.Join(t.TempDir(), "junk.tcbc")
+	os.WriteFile(garbage, []byte("not bytecode"), 0o644)
+	if code, _, _ := run("exec", garbage); code != 1 {
+		t.Error("garbage file should fail")
+	}
+}
+
+func TestVerifyPartitioned(t *testing.T) {
+	code, out, errOut := run("verify", "-trials", "4", testdataPath(t, "mitigated.tc"))
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q out=%s", code, errOut, out)
+	}
+	if !strings.Contains(out, "all contract checks passed") {
+		t.Errorf("verify output:\n%s", out)
+	}
+	if strings.Count(out, "ok   ") != 9 {
+		t.Errorf("expected 9 passing checks:\n%s", out)
+	}
+}
+
+func TestVerifyNoparFails(t *testing.T) {
+	code, out, errOut := run("verify", "-trials", "4", "-hw", "nopar", testdataPath(t, "mitigated.tc"))
+	if code != 1 {
+		t.Fatalf("nopar should fail the contract; exit=%d", code)
+	}
+	if !strings.Contains(out, "FAIL") || !strings.Contains(errOut, "contract checks failed") {
+		t.Errorf("out=%s stderr=%q", out, errOut)
+	}
+}
+
+func TestFmtRoundTripsThroughCheck(t *testing.T) {
+	// fmt -resolved output must itself type-check.
+	_, resolved, _ := run("fmt", "-resolved", testdataPath(t, "inferme.tc"))
+	tmp := filepath.Join(t.TempDir(), "resolved.tc")
+	if err := os.WriteFile(tmp, []byte(resolved), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := run("check", tmp)
+	if code != 0 {
+		t.Errorf("resolved output does not re-check: %s", errOut)
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Export formats for experiment data; Render gives human-readable text,
+// these give machine-readable forms for external plotting.
+
+// WriteJSON marshals any experiment data structure as indented JSON.
+func WriteJSON(w io.Writer, data any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(data)
+}
+
+// CSV emits one experiment as a flat table with a header row.
+type CSV interface {
+	// CSVHeader returns the column names.
+	CSVHeader() []string
+	// CSVRows returns the data rows.
+	CSVRows() [][]string
+}
+
+// WriteCSV renders any CSV-capable experiment.
+func WriteCSV(w io.Writer, data CSV) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(data.CSVHeader()); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(data.CSVRows()); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func u(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// CSVHeader implements CSV for Figure 7.
+func (d *Figure7Data) CSVHeader() []string {
+	h := []string{"attempt"}
+	for _, s := range d.Unmitigated {
+		h = append(h, fmt.Sprintf("unmitigated_valid%d", s.Valid))
+	}
+	for _, s := range d.Mitigated {
+		h = append(h, fmt.Sprintf("mitigated_valid%d", s.Valid))
+	}
+	return h
+}
+
+// CSVRows implements CSV for Figure 7.
+func (d *Figure7Data) CSVRows() [][]string {
+	rows := make([][]string, d.Attempts)
+	for a := 0; a < d.Attempts; a++ {
+		row := []string{strconv.Itoa(a)}
+		for _, s := range d.Unmitigated {
+			row = append(row, u(s.Times[a]))
+		}
+		for _, s := range d.Mitigated {
+			row = append(row, u(s.Times[a]))
+		}
+		rows[a] = row
+	}
+	return rows
+}
+
+// CSVHeader implements CSV for Table 2.
+func (d *Table2Data) CSVHeader() []string {
+	return []string{"option", "avg_valid_cycles", "avg_invalid_cycles", "overhead_valid"}
+}
+
+// CSVRows implements CSV for Table 2.
+func (d *Table2Data) CSVRows() [][]string {
+	var rows [][]string
+	for _, opt := range []HWOption{Nopar, Moff, Mon} {
+		rows = append(rows, []string{
+			opt.String(),
+			u(d.AvgValid[opt]),
+			u(d.AvgInvalid[opt]),
+			strconv.FormatFloat(d.OverheadValid(opt), 'f', 4, 64),
+		})
+	}
+	return rows
+}
+
+// CSVHeader implements CSV for Figure 8.
+func (d *Figure8Data) CSVHeader() []string {
+	return []string{"message",
+		"unmitigated_key1", "unmitigated_key2",
+		"mitigated_key1", "mitigated_key2"}
+}
+
+// CSVRows implements CSV for Figure 8.
+func (d *Figure8Data) CSVRows() [][]string {
+	rows := make([][]string, d.Messages)
+	for i := 0; i < d.Messages; i++ {
+		rows[i] = []string{
+			strconv.Itoa(i), u(d.Unmit1[i]), u(d.Unmit2[i]), u(d.Mit1[i]), u(d.Mit2[i]),
+		}
+	}
+	return rows
+}
+
+// CSVHeader implements CSV for Figure 9.
+func (d *Figure9Data) CSVHeader() []string {
+	return []string{"blocks", "unmitigated", "language_level", "system_level"}
+}
+
+// CSVRows implements CSV for Figure 9.
+func (d *Figure9Data) CSVRows() [][]string {
+	rows := make([][]string, len(d.Blocks))
+	for i, n := range d.Blocks {
+		rows[i] = []string{
+			strconv.Itoa(n), u(d.Unmitigated[i]), u(d.LanguageLevel[i]), u(d.SystemLevel[i]),
+		}
+	}
+	return rows
+}
+
+// CSVHeader implements CSV for the leakage experiment.
+func (d *LeakageData) CSVHeader() []string {
+	return []string{"keys", "unmitigated_bits", "mitigated_bits", "variation_bits", "bound_bits", "max_clock", "relevant_mitigations"}
+}
+
+// CSVRows implements CSV for the leakage experiment.
+func (d *LeakageData) CSVRows() [][]string {
+	return [][]string{{
+		strconv.Itoa(d.Keys),
+		strconv.FormatFloat(d.UnmitigatedQBits, 'f', 4, 64),
+		strconv.FormatFloat(d.MitigatedQBits, 'f', 4, 64),
+		strconv.FormatFloat(d.MitigatedVBits, 'f', 4, 64),
+		strconv.FormatFloat(d.BoundBits, 'f', 4, 64),
+		u(d.MaxClock),
+		strconv.Itoa(d.RelevantMitigations),
+	}}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/apps/login"
+	"repro/internal/apps/rsa"
+)
+
+func fig7Small(t *testing.T) *Figure7Data {
+	t.Helper()
+	d, err := Figure7(Figure7Config{
+		App:         login.Config{TableSize: 8, WorkFactor: 24},
+		Attempts:    5,
+		ValidCounts: []int{2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	d := fig7Small(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	var back Figure7Data
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Attempts != d.Attempts || len(back.Unmitigated) != len(d.Unmitigated) {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	if back.Unmitigated[0].Times[0] != d.Unmitigated[0].Times[0] {
+		t.Error("times lost")
+	}
+}
+
+func TestFigure7CSV(t *testing.T) {
+	d := fig7Small(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1+d.Attempts {
+		t.Fatalf("rows = %d, want %d", len(recs), 1+d.Attempts)
+	}
+	if recs[0][0] != "attempt" || !strings.HasPrefix(recs[0][1], "unmitigated_valid") {
+		t.Errorf("header = %v", recs[0])
+	}
+	// Every data cell parses as an integer.
+	for _, row := range recs[1:] {
+		if len(row) != len(recs[0]) {
+			t.Fatalf("ragged row %v", row)
+		}
+		for _, cell := range row {
+			if _, err := strconv.ParseUint(cell, 10, 64); err != nil {
+				t.Errorf("cell %q not numeric", cell)
+			}
+		}
+	}
+}
+
+func TestTable2CSV(t *testing.T) {
+	d, err := Table2(Table2Config{
+		App:      login.Config{TableSize: 8, WorkFactor: 24},
+		NumValid: 4,
+		Attempts: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := csv.NewReader(&buf).ReadAll()
+	if len(recs) != 4 { // header + 3 options
+		t.Fatalf("rows = %d", len(recs))
+	}
+	if recs[1][0] != "nopar" || recs[2][0] != "moff" || recs[3][0] != "mon" {
+		t.Errorf("options = %v %v %v", recs[1][0], recs[2][0], recs[3][0])
+	}
+	if recs[1][3] != "1.0000" {
+		t.Errorf("nopar overhead = %q", recs[1][3])
+	}
+}
+
+func TestFigure8And9CSV(t *testing.T) {
+	d8, err := Figure8(Figure8Config{
+		App: rsa.Config{MaxBlocks: 2, Modulus: 1000003}, Messages: 3, Blocks: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d8); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 4 {
+		t.Errorf("figure8 lines = %d", got)
+	}
+
+	d9, err := Figure9(Figure9Config{
+		App: rsa.Config{MaxBlocks: 3, Modulus: 1000003}, MaxBlocks: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteCSV(&buf, d9); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if len(recs) != 4 || recs[0][0] != "blocks" {
+		t.Errorf("figure9 csv = %v", recs)
+	}
+}
+
+func TestLeakageCSV(t *testing.T) {
+	d := &LeakageData{Keys: 8, UnmitigatedQBits: 3, MitigatedQBits: 1, MitigatedVBits: 1,
+		BoundBits: 12, MaxClock: 999, RelevantMitigations: 2}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "3.0000") || !strings.Contains(buf.String(), "999") {
+		t.Errorf("csv = %q", buf.String())
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps/rsa"
+)
+
+func TestLeakageBounds(t *testing.T) {
+	d, err := LeakageBounds(LeakageConfig{
+		App:    rsa.Config{MaxBlocks: 4, Modulus: 1000003},
+		Blocks: 2,
+		Keys: []int64{
+			0x800000000001, 0x83000001000F, 0x8FFFFF00FF01, 0xFFFFFFFFFFF,
+			0x800F0F0F0F0F, 0xFFF00000001, 0x88888888881, 0x8000000FFFFF,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The attack works unmitigated: most keys distinguishable.
+	if d.UnmitigatedQBits < 2 {
+		t.Errorf("unmitigated leakage %.2f bits; expected ≥2 (keys distinguishable)", d.UnmitigatedQBits)
+	}
+	// Mitigation collapses leakage well below the unmitigated level and
+	// within the analytic bound.
+	if d.MitigatedQBits >= d.UnmitigatedQBits {
+		t.Errorf("mitigated leakage %.2f should be below unmitigated %.2f",
+			d.MitigatedQBits, d.UnmitigatedQBits)
+	}
+	if d.MitigatedQBits > d.MitigatedVBits {
+		t.Errorf("Theorem 2: Q (%.2f) must be ≤ log|V| (%.2f)", d.MitigatedQBits, d.MitigatedVBits)
+	}
+	if d.MitigatedQBits > d.BoundBits {
+		t.Errorf("measured %.2f bits exceeds analytic bound %.2f", d.MitigatedQBits, d.BoundBits)
+	}
+	out := d.Render()
+	for _, want := range []string{"unmitigated", "mitigated", "Theorem 2", "analytic"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestLeakageDefaults(t *testing.T) {
+	cfg := LeakageConfig{}.withDefaults()
+	if len(cfg.Keys) != 16 || cfg.Blocks != 3 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+	seen := map[int64]bool{}
+	for _, k := range cfg.Keys {
+		if k <= 0 {
+			t.Errorf("key %#x not positive", k)
+		}
+		if seen[k] {
+			t.Errorf("duplicate key %#x", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestLog2Helper(t *testing.T) {
+	if log2(1) != 0 || log2(2) != 1 || log2(8) != 3 || log2(9) != 4 {
+		t.Error("log2 ceiling helper")
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ASCII plotting for the figures: the paper presents Figures 7–9 as
+// line charts; these helpers render the same data as terminal plots so
+// `harness -plot` output is visually comparable to the paper's figures.
+
+// plotSeries is one named curve.
+type plotSeries struct {
+	Name   string
+	Marker byte
+	Points []uint64
+}
+
+// asciiPlot renders the series into a height×width grid with a y-axis
+// in cycles and a shared x-axis (index). Later series overdraw earlier
+// ones where they collide.
+func asciiPlot(title string, series []plotSeries, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	maxY := uint64(1)
+	n := 0
+	for _, s := range series {
+		for _, v := range s.Points {
+			if v > maxY {
+				maxY = v
+			}
+		}
+		if len(s.Points) > n {
+			n = len(s.Points)
+		}
+	}
+	if n == 0 {
+		return title + "\n(no data)\n"
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		for i, v := range s.Points {
+			col := 0
+			if n > 1 {
+				col = i * (width - 1) / (n - 1)
+			}
+			row := height - 1 - int(v*uint64(height-1)/maxY)
+			grid[row][col] = s.Marker
+		}
+	}
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	for r, line := range grid {
+		yVal := maxY * uint64(height-1-r) / uint64(height-1)
+		fmt.Fprintf(&b, "%10d |%s\n", yVal, string(line))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  0%*s\n", "", width-1, fmt.Sprintf("%d", n-1))
+	for _, s := range series {
+		fmt.Fprintf(&b, "    %c = %s\n", s.Marker, s.Name)
+	}
+	return b.String()
+}
+
+// Plot renders Figure 7 as two stacked charts (unmitigated above,
+// mitigated below), mirroring the paper's figure.
+func (d *Figure7Data) Plot() string {
+	mk := func(ss []Figure7Series, kind string) []plotSeries {
+		markers := []byte{'*', 'o', '#'}
+		out := make([]plotSeries, len(ss))
+		for i, s := range ss {
+			out[i] = plotSeries{
+				Name:   fmt.Sprintf("%s, %d valid usernames", kind, s.Valid),
+				Marker: markers[i%len(markers)],
+				Points: s.Times,
+			}
+		}
+		return out
+	}
+	return asciiPlot("Figure 7 (upper): unmitigated login time vs attempt",
+		mk(d.Unmitigated, "unmitigated"), 72, 14) +
+		"\n" +
+		asciiPlot("Figure 7 (lower): mitigated login time vs attempt",
+			mk(d.Mitigated, "mitigated"), 72, 14)
+}
+
+// Plot renders Figure 8 as two stacked charts.
+func (d *Figure8Data) Plot() string {
+	return asciiPlot("Figure 8 (upper): unmitigated RSA decryption time vs message",
+		[]plotSeries{
+			{Name: fmt.Sprintf("key1 %#x", d.Key1), Marker: '*', Points: d.Unmit1},
+			{Name: fmt.Sprintf("key2 %#x", d.Key2), Marker: 'o', Points: d.Unmit2},
+		}, 72, 12) +
+		"\n" +
+		asciiPlot("Figure 8 (lower): mitigated RSA decryption time vs message",
+			[]plotSeries{
+				{Name: "key1 mitigated", Marker: '*', Points: d.Mit1},
+				{Name: "key2 mitigated", Marker: 'o', Points: d.Mit2},
+			}, 72, 12)
+}
+
+// Plot renders Figure 9's three curves on one chart.
+func (d *Figure9Data) Plot() string {
+	return asciiPlot("Figure 9: decryption time vs message size",
+		[]plotSeries{
+			{Name: "unmitigated", Marker: '.', Points: d.Unmitigated},
+			{Name: "language-level mitigation", Marker: '*', Points: d.LanguageLevel},
+			{Name: "system-level mitigation", Marker: '#', Points: d.SystemLevel},
+		}, 60, 16)
+}

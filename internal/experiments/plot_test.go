@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps/login"
+	"repro/internal/apps/rsa"
+)
+
+func TestAsciiPlotBasics(t *testing.T) {
+	out := asciiPlot("t", []plotSeries{
+		{Name: "rising", Marker: '*', Points: []uint64{0, 50, 100}},
+	}, 30, 6)
+	lines := strings.Split(out, "\n")
+	if lines[0] != "t" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// The max value labels the top row; zero the bottom.
+	if !strings.Contains(lines[1], "100") {
+		t.Errorf("y-axis max missing: %q", lines[1])
+	}
+	if !strings.Contains(out, "* = rising") {
+		t.Error("legend missing")
+	}
+	// Rising series: the last column's marker is on the top row, the
+	// first column's on the bottom data row.
+	if !strings.Contains(lines[1], "*") {
+		t.Errorf("max point should be on top row: %q", lines[1])
+	}
+}
+
+func TestAsciiPlotDegenerate(t *testing.T) {
+	if out := asciiPlot("e", nil, 30, 6); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot: %q", out)
+	}
+	// Single point, tiny dimensions get clamped.
+	out := asciiPlot("s", []plotSeries{{Name: "p", Marker: 'x', Points: []uint64{5}}}, 1, 1)
+	if !strings.Contains(out, "x = p") {
+		t.Errorf("single point plot: %q", out)
+	}
+	// All-zero series must not divide by zero.
+	out = asciiPlot("z", []plotSeries{{Name: "z", Marker: 'z', Points: []uint64{0, 0}}}, 20, 5)
+	if !strings.Contains(out, "z = z") {
+		t.Error("zero series plot")
+	}
+}
+
+func TestFigurePlots(t *testing.T) {
+	f7, err := Figure7(Figure7Config{
+		App:         login.Config{TableSize: 8, WorkFactor: 24},
+		Attempts:    6,
+		ValidCounts: []int{2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f7.Plot()
+	if !strings.Contains(p, "Figure 7 (upper)") || !strings.Contains(p, "Figure 7 (lower)") {
+		t.Errorf("figure 7 plot:\n%s", p)
+	}
+
+	f8, err := Figure8(Figure8Config{
+		App: rsa.Config{MaxBlocks: 2, Modulus: 1000003}, Messages: 4, Blocks: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f8.Plot(), "key1") {
+		t.Error("figure 8 plot legend")
+	}
+
+	f9, err := Figure9(Figure9Config{
+		App: rsa.Config{MaxBlocks: 3, Modulus: 1000003}, MaxBlocks: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f9.Plot(), "system-level mitigation") {
+		t.Error("figure 9 plot legend")
+	}
+}

@@ -1,0 +1,365 @@
+// Package ast defines the abstract syntax tree of the timing-channel
+// language (paper Fig. 1, extended with arrays and declarations).
+//
+// Every command node carries a pair of timing labels: the read label er
+// (an upper bound on the machine-environment state that may affect the
+// command's execution time) and the write label ew (a lower bound on
+// the machine-environment state the command may modify). Labels can be
+// written in the source as [er,ew] annotations or left to be inferred;
+// the types package resolves them into the RL/WL fields.
+package ast
+
+import (
+	"repro/internal/lang/token"
+	"repro/internal/lattice"
+)
+
+// Node is implemented by all AST nodes.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is an expression node. Expressions are pure: they read variables
+// and array elements but have no side effects on memory. (Their
+// evaluation does affect the machine environment — reading a variable
+// touches the data cache — which is exactly the indirect timing
+// dependency the type system tracks.)
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	TokPos token.Pos
+	Value  int64
+}
+
+// Var is a scalar variable reference.
+type Var struct {
+	TokPos token.Pos
+	Name   string
+}
+
+// Index is an array element reference x[e].
+type Index struct {
+	TokPos token.Pos
+	Name   string
+	Idx    Expr
+}
+
+// Unary is a unary operation: -e or !e.
+type Unary struct {
+	TokPos token.Pos
+	Op     token.Kind // MINUS or NOT
+	X      Expr
+}
+
+// Binary is a binary operation e1 op e2.
+type Binary struct {
+	TokPos token.Pos
+	Op     token.Kind
+	X, Y   Expr
+}
+
+func (e *IntLit) Pos() token.Pos { return e.TokPos }
+func (e *Var) Pos() token.Pos    { return e.TokPos }
+func (e *Index) Pos() token.Pos  { return e.TokPos }
+func (e *Unary) Pos() token.Pos  { return e.TokPos }
+func (e *Binary) Pos() token.Pos { return e.TokPos }
+
+func (*IntLit) exprNode() {}
+func (*Var) exprNode()    {}
+func (*Index) exprNode()  {}
+func (*Unary) exprNode()  {}
+func (*Binary) exprNode() {}
+
+// ---------------------------------------------------------------------------
+// Commands
+
+// Labels holds a command's timing annotations: the read label er and
+// write label ew. Source annotations are recorded as names (empty if
+// omitted); the types package resolves or infers them into RL/WL.
+type Labels struct {
+	// ReadName and WriteName are the source-level annotation names;
+	// empty means "infer".
+	ReadName  string
+	WriteName string
+	// RL and WL are the resolved labels (zero Label until resolution).
+	RL lattice.Label
+	WL lattice.Label
+}
+
+// Resolved reports whether both labels have been resolved.
+func (l *Labels) Resolved() bool { return l.RL.Valid() && l.WL.Valid() }
+
+// Cmd is a command node. All commands except Seq are "labeled commands"
+// c[er,ew] in the paper's terminology and expose their Labels; Seq
+// carries no timing labels (paper §3).
+type Cmd interface {
+	Node
+	cmdNode()
+	// ID returns the command's unique node identifier, which doubles as
+	// its code address for instruction-cache simulation.
+	ID() int
+}
+
+// base carries the fields shared by labeled commands.
+type base struct {
+	TokPos token.Pos
+	NodeID int
+	Lab    Labels
+}
+
+func (b *base) Pos() token.Pos  { return b.TokPos }
+func (b *base) ID() int         { return b.NodeID }
+func (b *base) Labels() *Labels { return &b.Lab }
+
+// Labeled is implemented by every command that carries timing labels —
+// all commands except Seq.
+type Labeled interface {
+	Cmd
+	Labels() *Labels
+}
+
+// Skip is the no-op command. Unlike the purely syntactic stop marker of
+// the semantics, skip is a real command that consumes measurable time
+// (e.g. an instruction-cache access).
+type Skip struct {
+	base
+}
+
+// Assign is the scalar assignment x := e.
+type Assign struct {
+	base
+	Name string
+	X    Expr
+}
+
+// Store is the array assignment x[idx] := e.
+type Store struct {
+	base
+	Name string
+	Idx  Expr
+	X    Expr
+}
+
+// Seq is sequential composition c1; c2. It carries no timing labels.
+type Seq struct {
+	TokPos token.Pos
+	NodeID int
+	First  Cmd
+	Second Cmd
+}
+
+func (s *Seq) Pos() token.Pos { return s.TokPos }
+func (s *Seq) ID() int        { return s.NodeID }
+
+// If is the conditional command.
+type If struct {
+	base
+	Cond Expr
+	Then Cmd
+	Else Cmd
+}
+
+// While is the loop command. High (confidential) guards are permitted —
+// this is one of the expressiveness gains of the paper's approach over
+// code-transformation techniques.
+type While struct {
+	base
+	Cond Expr
+	Body Cmd
+}
+
+// Sleep suspends execution for the number of cycles its argument
+// evaluates to (negative values sleep zero cycles; Property 4).
+type Sleep struct {
+	base
+	X Expr
+}
+
+// Mitigate executes Body under predictive timing mitigation. Init is
+// the initial prediction of Body's execution time; LevelName is the
+// mitigation level ℓ' bounding what can be learned from Body's timing.
+// MitID is the unique mitigate identifier η (assigned in source order,
+// or given explicitly as mitigate@n).
+type Mitigate struct {
+	base
+	MitID     int
+	Init      Expr
+	LevelName string
+	Level     lattice.Label // resolved by the types package
+	Body      Cmd
+}
+
+func (*Skip) cmdNode()     {}
+func (*Assign) cmdNode()   {}
+func (*Store) cmdNode()    {}
+func (*Seq) cmdNode()      {}
+func (*If) cmdNode()       {}
+func (*While) cmdNode()    {}
+func (*Sleep) cmdNode()    {}
+func (*Mitigate) cmdNode() {}
+
+// ---------------------------------------------------------------------------
+// Declarations and programs
+
+// Decl declares a variable or array with its security label.
+type Decl struct {
+	TokPos    token.Pos
+	Name      string
+	LabelName string
+	Label     lattice.Label // resolved by the types package
+	// IsArray and Size describe array declarations; Size is the number
+	// of elements.
+	IsArray bool
+	Size    int64
+}
+
+func (d *Decl) Pos() token.Pos { return d.TokPos }
+
+// Program is a parsed program: declarations followed by a command.
+type Program struct {
+	Decls []*Decl
+	Body  Cmd
+	// NumNodes is one more than the largest command NodeID, i.e. the
+	// size of the program's code-address space.
+	NumNodes int
+	// NumMitigates is the number of mitigate commands.
+	NumMitigates int
+}
+
+// Decl returns the declaration of name, or nil.
+func (p *Program) Decl(name string) *Decl {
+	for _, d := range p.Decls {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Traversal helpers
+
+// WalkCmds calls f on cmd and every command nested within it, in
+// pre-order. If f returns false the node's children are skipped.
+func WalkCmds(cmd Cmd, f func(Cmd) bool) {
+	if cmd == nil || !f(cmd) {
+		return
+	}
+	switch c := cmd.(type) {
+	case *Seq:
+		WalkCmds(c.First, f)
+		WalkCmds(c.Second, f)
+	case *If:
+		WalkCmds(c.Then, f)
+		WalkCmds(c.Else, f)
+	case *While:
+		WalkCmds(c.Body, f)
+	case *Mitigate:
+		WalkCmds(c.Body, f)
+	}
+}
+
+// WalkExprs calls f on expr and every subexpression, in pre-order.
+func WalkExprs(expr Expr, f func(Expr)) {
+	if expr == nil {
+		return
+	}
+	f(expr)
+	switch e := expr.(type) {
+	case *Index:
+		WalkExprs(e.Idx, f)
+	case *Unary:
+		WalkExprs(e.X, f)
+	case *Binary:
+		WalkExprs(e.X, f)
+		WalkExprs(e.Y, f)
+	}
+}
+
+// ExprVars returns the names of all variables (scalar and array) read
+// by expr, in first-occurrence order without duplicates.
+func ExprVars(expr Expr) []string {
+	var names []string
+	seen := make(map[string]bool)
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	WalkExprs(expr, func(e Expr) {
+		switch v := e.(type) {
+		case *Var:
+			add(v.Name)
+		case *Index:
+			add(v.Name)
+		}
+	})
+	return names
+}
+
+// Vars1 returns the variables that may affect the timing of the single
+// next evaluation step of the command (the vars1 function of Property
+// 6). For compound commands only the guard/argument expression is
+// evaluated in the next step; subcommands are excluded.
+func Vars1(cmd Cmd) []string {
+	switch c := cmd.(type) {
+	case *Skip:
+		return nil
+	case *Assign:
+		return append(ExprVars(c.X), c.Name)
+	case *Store:
+		names := ExprVars(c.Idx)
+		for _, n := range ExprVars(c.X) {
+			if !containsStr(names, n) {
+				names = append(names, n)
+			}
+		}
+		if !containsStr(names, c.Name) {
+			names = append(names, c.Name)
+		}
+		return names
+	case *If:
+		return ExprVars(c.Cond)
+	case *While:
+		return ExprVars(c.Cond)
+	case *Sleep:
+		return ExprVars(c.X)
+	case *Mitigate:
+		return ExprVars(c.Init)
+	case *Seq:
+		return Vars1(c.First)
+	}
+	return nil
+}
+
+func containsStr(s []string, x string) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Mitigates returns all mitigate commands in the program body in
+// MitID order.
+func (p *Program) Mitigates() []*Mitigate {
+	out := make([]*Mitigate, p.NumMitigates)
+	WalkCmds(p.Body, func(c Cmd) bool {
+		if m, ok := c.(*Mitigate); ok {
+			if m.MitID >= 0 && m.MitID < len(out) {
+				out[m.MitID] = m
+			}
+		}
+		return true
+	})
+	return out
+}

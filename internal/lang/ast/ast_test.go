@@ -1,0 +1,105 @@
+package ast
+
+import (
+	"testing"
+
+	"repro/internal/lang/token"
+)
+
+// Direct structural tests for the traversal helpers, complementing the
+// parser-driven coverage.
+
+func lit(v int64) *IntLit       { return &IntLit{Value: v} }
+func vr(name string) *Var       { return &Var{Name: name} }
+func idx(a string, e Expr) Expr { return &Index{Name: a, Idx: e} }
+func bin(x, y Expr) Expr        { return &Binary{Op: token.PLUS, X: x, Y: y} }
+
+func TestExprVarsNested(t *testing.T) {
+	e := bin(idx("m", bin(vr("i"), vr("j"))), &Unary{Op: token.MINUS, X: vr("i")})
+	got := ExprVars(e)
+	want := []string{"m", "i", "j"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExprVarsNil(t *testing.T) {
+	if got := ExprVars(nil); got != nil {
+		t.Errorf("ExprVars(nil) = %v", got)
+	}
+	WalkExprs(nil, func(Expr) { t.Error("callback on nil expr") })
+}
+
+func TestWalkCmdsNil(t *testing.T) {
+	WalkCmds(nil, func(Cmd) bool { t.Error("callback on nil cmd"); return true })
+}
+
+func TestVars1Dedup(t *testing.T) {
+	// store m[i] := i: i appears in both index and value once.
+	st := &Store{Name: "m", Idx: vr("i"), X: vr("i")}
+	got := Vars1(st)
+	if len(got) != 2 || got[0] != "i" || got[1] != "m" {
+		t.Errorf("Vars1 = %v", got)
+	}
+}
+
+func TestVars1SeqDescends(t *testing.T) {
+	s := &Seq{
+		First:  &Seq{First: &Sleep{X: vr("a")}, Second: &Skip{}},
+		Second: &Assign{Name: "z", X: vr("b")},
+	}
+	got := Vars1(s)
+	if len(got) != 1 || got[0] != "a" {
+		t.Errorf("Vars1(seq) = %v, want [a]", got)
+	}
+}
+
+func TestLabelsResolved(t *testing.T) {
+	var lab Labels
+	if lab.Resolved() {
+		t.Error("zero labels should be unresolved")
+	}
+}
+
+func TestProgramDeclAndMitigates(t *testing.T) {
+	m1 := &Mitigate{MitID: 1, Body: &Skip{}}
+	m0 := &Mitigate{MitID: 0, Body: m1}
+	p := &Program{
+		Decls:        []*Decl{{Name: "x"}},
+		Body:         m0,
+		NumMitigates: 2,
+	}
+	if p.Decl("x") == nil || p.Decl("y") != nil {
+		t.Error("Decl lookup")
+	}
+	ms := p.Mitigates()
+	if len(ms) != 2 || ms[0] != m0 || ms[1] != m1 {
+		t.Errorf("Mitigates = %v", ms)
+	}
+	// Out-of-range mitigate IDs are ignored rather than panicking.
+	bad := &Program{Body: &Mitigate{MitID: 9, Body: &Skip{}}, NumMitigates: 1}
+	if got := bad.Mitigates(); len(got) != 1 || got[0] != nil {
+		t.Errorf("out-of-range id handling: %v", got)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	s := &Skip{}
+	s.TokPos = token.Pos{Line: 3, Column: 7}
+	if s.Pos().Line != 3 {
+		t.Error("base position")
+	}
+	sq := &Seq{TokPos: token.Pos{Line: 1, Column: 1}, First: s, Second: s}
+	if sq.Pos().Line != 1 {
+		t.Error("seq position")
+	}
+	d := &Decl{TokPos: token.Pos{Line: 2, Column: 2}}
+	if d.Pos().Line != 2 {
+		t.Error("decl position")
+	}
+}

@@ -1,0 +1,83 @@
+// Package diag renders compiler diagnostics with source excerpts: the
+// offending line with a caret under the reported column, in the style
+// of modern compiler drivers.
+package diag
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lang/parser"
+	"repro/internal/lang/token"
+	"repro/internal/types"
+)
+
+// posError is any error carrying a source position; both parser.Error
+// and types.Error satisfy it structurally via accessors below.
+type posError struct {
+	pos token.Pos
+	msg string
+}
+
+// extract pulls (position, message) pairs out of the error types the
+// front end produces; unknown errors yield a single position-less entry.
+func extract(err error) []posError {
+	switch e := err.(type) {
+	case *parser.Error:
+		return []posError{{e.Pos, e.Msg}}
+	case parser.ErrorList:
+		out := make([]posError, len(e))
+		for i, pe := range e {
+			out[i] = posError{pe.Pos, pe.Msg}
+		}
+		return out
+	case *types.Error:
+		return []posError{{e.Pos, e.Msg}}
+	case types.ErrorList:
+		out := make([]posError, len(e))
+		for i, te := range e {
+			out[i] = posError{te.Pos, te.Msg}
+		}
+		return out
+	}
+	return []posError{{token.Pos{}, err.Error()}}
+}
+
+// Format renders err against the source text, one block per diagnostic:
+//
+//	file:3:9: assignment to "l" leaks: H ⋢ L
+//	    l := h;
+//	         ^
+func Format(file, src string, err error) string {
+	if err == nil {
+		return ""
+	}
+	lines := strings.Split(src, "\n")
+	var b strings.Builder
+	for _, d := range extract(err) {
+		if !d.pos.IsValid() {
+			fmt.Fprintf(&b, "%s: %s\n", file, d.msg)
+			continue
+		}
+		fmt.Fprintf(&b, "%s:%d:%d: %s\n", file, d.pos.Line, d.pos.Column, d.msg)
+		if d.pos.Line-1 < len(lines) {
+			srcLine := lines[d.pos.Line-1]
+			fmt.Fprintf(&b, "    %s\n", srcLine)
+			col := d.pos.Column - 1
+			if col > len(srcLine) {
+				col = len(srcLine)
+			}
+			// Preserve tabs so the caret aligns under tabulated code.
+			pad := make([]byte, 0, col)
+			for i := 0; i < col && i < len(srcLine); i++ {
+				if srcLine[i] == '\t' {
+					pad = append(pad, '\t')
+				} else {
+					pad = append(pad, ' ')
+				}
+			}
+			fmt.Fprintf(&b, "    %s^\n", pad)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package diag
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/lang/parser"
+	"repro/internal/lattice"
+	"repro/internal/types"
+)
+
+func TestFormatTypeError(t *testing.T) {
+	src := "var h : H;\nvar l : L;\nl := h;\n"
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = types.Check(prog, lattice.TwoPoint())
+	if err == nil {
+		t.Fatal("expected type error")
+	}
+	out := Format("prog.tc", src, err)
+	if !strings.Contains(out, "prog.tc:3:1:") {
+		t.Errorf("position header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "    l := h;") {
+		t.Errorf("source excerpt missing:\n%s", out)
+	}
+	if !strings.Contains(out, "    ^") {
+		t.Errorf("caret missing:\n%s", out)
+	}
+}
+
+func TestFormatParseErrors(t *testing.T) {
+	src := "x := ;\ny := * 1;\n"
+	_, err := parser.Parse(src)
+	if err == nil {
+		t.Fatal("expected parse errors")
+	}
+	out := Format("bad.tc", src, err)
+	if strings.Count(out, "bad.tc:") < 2 {
+		t.Errorf("expected one block per error:\n%s", out)
+	}
+	if strings.Count(out, "^") < 2 {
+		t.Errorf("expected one caret per error:\n%s", out)
+	}
+}
+
+func TestFormatCaretColumn(t *testing.T) {
+	src := "var l : L;\nl := undeclared;\n"
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, terr := types.Check(prog, lattice.TwoPoint())
+	out := Format("f.tc", src, terr)
+	lines := strings.Split(out, "\n")
+	// Find the caret line and check its column lines up with the
+	// excerpt above it (the undeclared variable starts at column 6).
+	for i, ln := range lines {
+		if strings.HasSuffix(ln, "^") && i > 0 {
+			// Strip the 4-space prefix and the caret itself: what is
+			// left is the padding, whose length is the 0-based column.
+			caretCol := len(ln) - 4 - 1
+			if caretCol != 5 {
+				t.Errorf("caret at offset %d, want 5:\n%s", caretCol, out)
+			}
+			return
+		}
+	}
+	t.Fatalf("no caret found:\n%s", out)
+}
+
+func TestFormatTabAlignment(t *testing.T) {
+	src := "var h : H;\nvar l : L;\n\tl := h;\n"
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, terr := types.Check(prog, lattice.TwoPoint())
+	out := Format("f.tc", src, terr)
+	if !strings.Contains(out, "    \t^") {
+		t.Errorf("tab should be preserved before caret:\n%s", out)
+	}
+}
+
+func TestFormatPlainError(t *testing.T) {
+	out := Format("f.tc", "src", errors.New("boom"))
+	if out != "f.tc: boom\n" {
+		t.Errorf("plain error = %q", out)
+	}
+	if Format("f", "s", nil) != "" {
+		t.Error("nil error should render empty")
+	}
+}
+
+func TestFormatOutOfRangeLine(t *testing.T) {
+	// A stale position past the end of the source must not panic.
+	el := types.ErrorList{}
+	prog, _ := parser.Parse("var l : L;\nl := x;\n")
+	_, err := types.Check(prog, lattice.TwoPoint())
+	el = err.(types.ErrorList)
+	out := Format("f.tc", "one line only", el)
+	if !strings.Contains(out, "f.tc:2:") {
+		t.Errorf("header missing: %q", out)
+	}
+}

@@ -1,0 +1,241 @@
+// Package lexer converts timing-channel language source text into a
+// stream of tokens.
+package lexer
+
+import (
+	"fmt"
+
+	"repro/internal/lang/token"
+)
+
+// Error is a lexical error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans source text. Create one with New; call Next repeatedly
+// until it returns an EOF token.
+type Lexer struct {
+	src    string
+	off    int // byte offset of next unread character
+	line   int
+	col    int
+	errors []*Error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errors }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errors = append(l.errors, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// peek returns the next byte without consuming it, or 0 at EOF.
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+// peek2 returns the byte after next, or 0.
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+// advance consumes one byte.
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{Offset: l.off, Line: l.line, Column: l.col}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+func isLetter(c byte) bool {
+	return 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || c == '_'
+}
+func isHexDigit(c byte) bool {
+	return isDigit(c) || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F'
+}
+
+// skipWhitespaceAndComments consumes spaces, line comments (// …) and
+// block comments (/* … */).
+func (l *Lexer) skipWhitespaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case isSpace(c):
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token. After EOF is returned, subsequent calls
+// keep returning EOF.
+func (l *Lexer) Next() token.Token {
+	l.skipWhitespaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.advance()
+
+	switch {
+	case isLetter(c):
+		start := pos.Offset
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		lit := l.src[start:l.off]
+		if kw, ok := token.Keywords[lit]; ok {
+			return token.Token{Kind: kw, Lit: lit, Pos: pos}
+		}
+		return token.Token{Kind: token.IDENT, Lit: lit, Pos: pos}
+
+	case isDigit(c):
+		start := pos.Offset
+		if c == '0' && (l.peek() == 'x' || l.peek() == 'X') {
+			l.advance()
+			if !isHexDigit(l.peek()) {
+				l.errorf(pos, "malformed hex literal")
+			}
+			for l.off < len(l.src) && isHexDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		return token.Token{Kind: token.INT, Lit: l.src[start:l.off], Pos: pos}
+	}
+
+	two := func(second byte, ifTwo, ifOne token.Kind) token.Token {
+		if l.peek() == second {
+			l.advance()
+			return token.Token{Kind: ifTwo, Pos: pos}
+		}
+		return token.Token{Kind: ifOne, Pos: pos}
+	}
+
+	switch c {
+	case ':':
+		return two('=', token.ASSIGN, token.COLON)
+	case '+':
+		return token.Token{Kind: token.PLUS, Pos: pos}
+	case '-':
+		return token.Token{Kind: token.MINUS, Pos: pos}
+	case '*':
+		return token.Token{Kind: token.STAR, Pos: pos}
+	case '/':
+		return token.Token{Kind: token.SLASH, Pos: pos}
+	case '%':
+		return token.Token{Kind: token.PERCENT, Pos: pos}
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return token.Token{Kind: token.EQ, Pos: pos}
+		}
+		l.errorf(pos, "unexpected '=' (did you mean ':=' or '=='?)")
+		return token.Token{Kind: token.ILLEGAL, Lit: "=", Pos: pos}
+	case '!':
+		return two('=', token.NEQ, token.NOT)
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			return token.Token{Kind: token.LEQ, Pos: pos}
+		}
+		return two('<', token.SHL, token.LT)
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return token.Token{Kind: token.GEQ, Pos: pos}
+		}
+		return two('>', token.SHR, token.GT)
+	case '&':
+		return two('&', token.LAND, token.AND)
+	case '|':
+		return two('|', token.LOR, token.OR)
+	case '^':
+		return token.Token{Kind: token.XOR, Pos: pos}
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBRACKET, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBRACKET, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: pos}
+	case ';':
+		return token.Token{Kind: token.SEMICOLON, Pos: pos}
+	case '@':
+		return token.Token{Kind: token.AT, Pos: pos}
+	}
+	l.errorf(pos, "unexpected character %q", c)
+	return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}
+
+// All scans the entire input and returns all tokens including the final
+// EOF. Useful in tests.
+func All(src string) ([]token.Token, []*Error) {
+	l := New(src)
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, l.Errors()
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/lang/token"
+)
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks, errs := All("x := 42; skip [L,H];")
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.IDENT, token.ASSIGN, token.INT, token.SEMICOLON,
+		token.KwSkip, token.LBRACKET, token.IDENT, token.COMMA, token.IDENT,
+		token.RBRACKET, token.SEMICOLON, token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	src := "+ - * / % == != < <= > >= && || & | ^ << >> ! ( ) { } [ ] , ; : @ :="
+	want := []token.Kind{
+		token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT,
+		token.EQ, token.NEQ, token.LT, token.LEQ, token.GT, token.GEQ,
+		token.LAND, token.LOR, token.AND, token.OR, token.XOR,
+		token.SHL, token.SHR, token.NOT,
+		token.LPAREN, token.RPAREN, token.LBRACE, token.RBRACE,
+		token.LBRACKET, token.RBRACKET, token.COMMA, token.SEMICOLON,
+		token.COLON, token.AT, token.ASSIGN, token.EOF,
+	}
+	toks, errs := All(src)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	toks, errs := All("skip if else while sleep mitigate var array ident")
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.KwSkip, token.KwIf, token.KwElse, token.KwWhile,
+		token.KwSleep, token.KwMitigate, token.KwVar, token.KwArray,
+		token.IDENT, token.EOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHexLiterals(t *testing.T) {
+	toks, errs := All("0x1F 0XaB 007")
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if toks[0].Lit != "0x1F" || toks[1].Lit != "0XaB" || toks[2].Lit != "007" {
+		t.Errorf("literals: %v %v %v", toks[0].Lit, toks[1].Lit, toks[2].Lit)
+	}
+}
+
+func TestMalformedHex(t *testing.T) {
+	_, errs := All("0x")
+	if len(errs) == 0 {
+		t.Error("expected error for malformed hex literal")
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+// line comment
+x := 1; /* block
+comment */ y := 2;
+`
+	toks, errs := All(src)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	var idents []string
+	for _, tk := range toks {
+		if tk.Kind == token.IDENT {
+			idents = append(idents, tk.Lit)
+		}
+	}
+	if len(idents) != 2 || idents[0] != "x" || idents[1] != "y" {
+		t.Errorf("idents = %v", idents)
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	_, errs := All("x := 1; /* never closed")
+	if len(errs) == 0 {
+		t.Error("expected unterminated-comment error")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, _ := All("x :=\n  y;")
+	// x at 1:1, := at 1:3, y at 2:3, ; at 2:4
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Column != 1 {
+		t.Errorf("x pos = %v", toks[0].Pos)
+	}
+	if toks[2].Pos.Line != 2 || toks[2].Pos.Column != 3 {
+		t.Errorf("y pos = %v", toks[2].Pos)
+	}
+	if !toks[0].Pos.IsValid() {
+		t.Error("position should be valid")
+	}
+	var zero token.Pos
+	if zero.IsValid() {
+		t.Error("zero position should be invalid")
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	toks, errs := All("x := $;")
+	if len(errs) == 0 {
+		t.Fatal("expected error")
+	}
+	found := false
+	for _, tk := range toks {
+		if tk.Kind == token.ILLEGAL {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected ILLEGAL token")
+	}
+}
+
+func TestSingleEquals(t *testing.T) {
+	_, errs := All("x = 1;")
+	if len(errs) == 0 {
+		t.Error("expected error for bare '='")
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	l := New("")
+	for i := 0; i < 3; i++ {
+		if tk := l.Next(); tk.Kind != token.EOF {
+			t.Fatalf("call %d: got %v, want EOF", i, tk)
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, _ := All("abc 12")
+	if got := toks[0].String(); got != `IDENT("abc")` {
+		t.Errorf("String = %q", got)
+	}
+	if got := toks[1].String(); got != `INT("12")` {
+		t.Errorf("String = %q", got)
+	}
+	if got := (token.Token{Kind: token.PLUS}).String(); got != "+" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPrecedenceTable(t *testing.T) {
+	if token.STAR.Precedence() <= token.PLUS.Precedence() {
+		t.Error("* should bind tighter than +")
+	}
+	if token.PLUS.Precedence() <= token.EQ.Precedence() {
+		t.Error("+ should bind tighter than ==")
+	}
+	if token.EQ.Precedence() <= token.LAND.Precedence() {
+		t.Error("== should bind tighter than &&")
+	}
+	if token.LAND.Precedence() <= token.LOR.Precedence() {
+		t.Error("&& should bind tighter than ||")
+	}
+	if token.SEMICOLON.Precedence() != 0 {
+		t.Error("non-operators have precedence 0")
+	}
+	if token.SEMICOLON.IsBinaryOp() {
+		t.Error("; is not a binary operator")
+	}
+	if !token.SHR.IsBinaryOp() {
+		t.Error(">> is a binary operator")
+	}
+}

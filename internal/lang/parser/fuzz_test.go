@@ -1,0 +1,63 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/lang/printer"
+	"repro/internal/lattice"
+	"repro/internal/types"
+)
+
+// FuzzParse checks three invariants on arbitrary input: the parser
+// never panics; if the input parses, printing and re-parsing succeeds
+// and is a print fixed point; and if it additionally type-checks, the
+// resolved printout type-checks too. Run with `go test -fuzz=FuzzParse`
+// for continuous fuzzing; `go test` alone exercises the seed corpus.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"skip;",
+		"var h : H;\nsleep(h) [H,H];",
+		"var l : L; l := 1 + 2 * 3;",
+		"array a[4] : L; a[0] := a[1];",
+		"mitigate@2 (8, H) { skip; }",
+		"if (x) { y := 1; } else { while (z) { skip; } }",
+		"x := y [L,H];",
+		"var x : L; x := 0x1F << 2;",
+		"while (1) { }",
+		"mitigate (1, H) [L,L] { mitigate (2, H) [H,H] { skip [H,H]; } }",
+		"var x : Q; x := $;",
+		"((((((",
+		"]]]] ;;;; :=",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	lat := lattice.TwoPoint()
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		out := printer.Print(prog, printer.Options{})
+		prog2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("printed output unparsable: %v\ninput: %q\nprinted:\n%s", err, src, out)
+		}
+		out2 := printer.Print(prog2, printer.Options{})
+		if out != out2 {
+			t.Fatalf("print not a fixed point\nfirst:\n%s\nsecond:\n%s", out, out2)
+		}
+		if _, err := types.Check(prog, lat); err != nil {
+			return
+		}
+		resolved := printer.Print(prog, printer.Options{ShowResolved: true})
+		prog3, err := Parse(resolved)
+		if err != nil {
+			t.Fatalf("resolved output unparsable: %v\n%s", err, resolved)
+		}
+		if _, err := types.Check(prog3, lat); err != nil {
+			t.Fatalf("resolved output fails re-checking: %v\n%s", err, resolved)
+		}
+	})
+}

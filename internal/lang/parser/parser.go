@@ -1,0 +1,468 @@
+// Package parser builds abstract syntax trees for the timing-channel
+// language from source text.
+//
+// Grammar (annotations [er,ew] are optional everywhere; omitted labels
+// are inferred by the types package):
+//
+//	program  = { decl } cmdseq .
+//	decl     = "var" ident ":" ident ";"
+//	         | "array" ident "[" int "]" ":" ident ";" .
+//	cmdseq   = cmd { cmd } .                       // folded right into Seq
+//	cmd      = "skip" [annot] ";"
+//	         | ident ":=" expr [annot] ";"
+//	         | ident "[" expr "]" ":=" expr [annot] ";"
+//	         | "if" "(" expr ")" [annot] block [ "else" block ]
+//	         | "while" "(" expr ")" [annot] block
+//	         | "mitigate" [ "@" int ] "(" expr "," ident ")" [annot] block
+//	         | "sleep" "(" expr ")" [annot] ";" .
+//	block    = "{" [ cmdseq ] "}" .
+//	annot    = "[" ident "," ident "]" .
+//
+// The only grammatical subtlety is distinguishing an array index from a
+// trailing annotation in commands like "x := y [L,H];". The expression
+// parser resolves it with bounded lookahead: a "[" beginning the token
+// sequence "[ ident , ident ]" is always an annotation.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/lexer"
+	"repro/internal/lang/token"
+)
+
+// Error is a syntax error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList is a list of syntax errors; it implements error.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	default:
+		return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+	}
+}
+
+const lookahead = 5
+
+type parser struct {
+	lex    *lexer.Lexer
+	buf    [lookahead]token.Token
+	n      int // number of buffered tokens
+	errors ErrorList
+
+	nextNodeID int
+	nextMitID  int // scan cursor for implicit mitigate identifiers
+	maxMitID   int // one past the largest mitigate identifier used
+	usedMitIDs map[int]bool
+}
+
+// Parse parses a complete program.
+func Parse(src string) (*ast.Program, error) {
+	p := &parser{lex: lexer.New(src), usedMitIDs: make(map[int]bool)}
+	prog := p.parseProgram()
+	for _, le := range p.lex.Errors() {
+		p.errors = append(p.errors, &Error{Pos: le.Pos, Msg: le.Msg})
+	}
+	if len(p.errors) > 0 {
+		return nil, p.errors
+	}
+	return prog, nil
+}
+
+// ParseCmd parses a bare command sequence with no declarations; useful
+// in tests and for embedding fragments.
+func ParseCmd(src string) (ast.Cmd, error) {
+	p := &parser{lex: lexer.New(src), usedMitIDs: make(map[int]bool)}
+	cmd := p.parseCmdSeq(token.EOF)
+	p.expect(token.EOF)
+	for _, le := range p.lex.Errors() {
+		p.errors = append(p.errors, &Error{Pos: le.Pos, Msg: le.Msg})
+	}
+	if len(p.errors) > 0 {
+		return nil, p.errors
+	}
+	return cmd, nil
+}
+
+func (p *parser) errorf(pos token.Pos, format string, args ...any) {
+	// Cap the error list so a badly broken input can't accumulate
+	// unbounded diagnostics.
+	if len(p.errors) < 50 {
+		p.errors = append(p.errors, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+// peek returns the i-th upcoming token (0 = next) without consuming.
+func (p *parser) peek(i int) token.Token {
+	for p.n <= i {
+		p.buf[p.n] = p.lex.Next()
+		p.n++
+	}
+	return p.buf[i]
+}
+
+func (p *parser) next() token.Token {
+	t := p.peek(0)
+	copy(p.buf[:], p.buf[1:p.n])
+	p.n--
+	return t
+}
+
+func (p *parser) at(k token.Kind) bool { return p.peek(0).Kind == k }
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	t := p.peek(0)
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %s, found %s", k, t)
+		return t
+	}
+	return p.next()
+}
+
+func (p *parser) newID() int {
+	id := p.nextNodeID
+	p.nextNodeID++
+	return id
+}
+
+// ---------------------------------------------------------------------------
+// Programs and declarations
+
+func (p *parser) parseProgram() *ast.Program {
+	prog := &ast.Program{}
+	for p.at(token.KwVar) || p.at(token.KwArray) {
+		if d := p.parseDecl(); d != nil {
+			prog.Decls = append(prog.Decls, d)
+		}
+	}
+	prog.Body = p.parseCmdSeq(token.EOF)
+	p.expect(token.EOF)
+	prog.NumNodes = p.nextNodeID
+	prog.NumMitigates = p.maxMitID
+	return prog
+}
+
+func (p *parser) parseDecl() *ast.Decl {
+	d := &ast.Decl{TokPos: p.peek(0).Pos}
+	switch {
+	case p.accept(token.KwVar):
+	case p.accept(token.KwArray):
+		d.IsArray = true
+	default:
+		p.errorf(p.peek(0).Pos, "expected declaration")
+		p.next()
+		return nil
+	}
+	d.Name = p.expect(token.IDENT).Lit
+	if d.IsArray {
+		p.expect(token.LBRACKET)
+		sz := p.expect(token.INT)
+		n, err := strconv.ParseInt(sz.Lit, 0, 64)
+		if err != nil || n <= 0 {
+			p.errorf(sz.Pos, "invalid array size %q", sz.Lit)
+			n = 1
+		}
+		d.Size = n
+		p.expect(token.RBRACKET)
+	}
+	p.expect(token.COLON)
+	d.LabelName = p.expect(token.IDENT).Lit
+	p.expect(token.SEMICOLON)
+	return d
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+
+// cmdStart reports whether the next token can begin a command.
+func (p *parser) cmdStart() bool {
+	switch p.peek(0).Kind {
+	case token.KwSkip, token.KwIf, token.KwWhile, token.KwSleep, token.KwMitigate, token.IDENT:
+		return true
+	}
+	return false
+}
+
+// parseCmdSeq parses one or more commands until the stop token, folding
+// them right-associatively into Seq nodes (c1; (c2; c3)) to match the
+// paper's sequential-composition semantics.
+func (p *parser) parseCmdSeq(stop token.Kind) ast.Cmd {
+	var cmds []ast.Cmd
+	for p.cmdStart() {
+		start := len(p.errors)
+		cmds = append(cmds, p.parseCmd())
+		if len(p.errors) > start {
+			// Error recovery: skip to the next likely statement start.
+			p.sync(stop)
+		}
+	}
+	if len(cmds) == 0 {
+		p.errorf(p.peek(0).Pos, "expected command, found %s", p.peek(0))
+		// Synthesize an empty body as skip.
+		return p.synthSkip(p.peek(0).Pos)
+	}
+	out := cmds[len(cmds)-1]
+	for i := len(cmds) - 2; i >= 0; i-- {
+		out = &ast.Seq{TokPos: cmds[i].Pos(), NodeID: p.newID(), First: cmds[i], Second: out}
+	}
+	return out
+}
+
+// sync skips tokens until a semicolon boundary, a brace, the stop
+// token, or EOF — a simple panic-mode recovery.
+func (p *parser) sync(stop token.Kind) {
+	for {
+		k := p.peek(0).Kind
+		if k == token.EOF || k == stop || k == token.RBRACE {
+			return
+		}
+		if k == token.SEMICOLON {
+			p.next()
+			return
+		}
+		p.next()
+	}
+}
+
+func (p *parser) synthSkip(pos token.Pos) *ast.Skip {
+	s := &ast.Skip{}
+	s.TokPos = pos
+	s.NodeID = p.newID()
+	return s
+}
+
+// parseAnnot parses an optional [er,ew] annotation into lab.
+func (p *parser) parseAnnot(lab *ast.Labels) {
+	if !p.isAnnot() {
+		return
+	}
+	p.expect(token.LBRACKET)
+	lab.ReadName = p.expect(token.IDENT).Lit
+	p.expect(token.COMMA)
+	lab.WriteName = p.expect(token.IDENT).Lit
+	p.expect(token.RBRACKET)
+}
+
+// isAnnot reports whether the upcoming tokens form "[ ident , ident ]".
+func (p *parser) isAnnot() bool {
+	return p.peek(0).Kind == token.LBRACKET &&
+		p.peek(1).Kind == token.IDENT &&
+		p.peek(2).Kind == token.COMMA &&
+		p.peek(3).Kind == token.IDENT &&
+		p.peek(4).Kind == token.RBRACKET
+}
+
+func (p *parser) parseBlock() ast.Cmd {
+	p.expect(token.LBRACE)
+	if p.accept(token.RBRACE) {
+		// Empty block: synthesize skip so `else {}` behaves like the
+		// paper's two-armed if.
+		return p.synthSkip(p.peek(0).Pos)
+	}
+	c := p.parseCmdSeq(token.RBRACE)
+	p.expect(token.RBRACE)
+	return c
+}
+
+func (p *parser) parseCmd() ast.Cmd {
+	t := p.peek(0)
+	switch t.Kind {
+	case token.KwSkip:
+		p.next()
+		c := &ast.Skip{}
+		c.TokPos = t.Pos
+		c.NodeID = p.newID()
+		p.parseAnnot(&c.Lab)
+		p.expect(token.SEMICOLON)
+		return c
+
+	case token.KwSleep:
+		p.next()
+		c := &ast.Sleep{}
+		c.TokPos = t.Pos
+		c.NodeID = p.newID()
+		p.expect(token.LPAREN)
+		c.X = p.parseExpr()
+		p.expect(token.RPAREN)
+		p.parseAnnot(&c.Lab)
+		p.expect(token.SEMICOLON)
+		return c
+
+	case token.KwIf:
+		p.next()
+		c := &ast.If{}
+		c.TokPos = t.Pos
+		c.NodeID = p.newID()
+		p.expect(token.LPAREN)
+		c.Cond = p.parseExpr()
+		p.expect(token.RPAREN)
+		p.parseAnnot(&c.Lab)
+		c.Then = p.parseBlock()
+		if p.accept(token.KwElse) {
+			c.Else = p.parseBlock()
+		} else {
+			c.Else = p.synthSkip(t.Pos)
+		}
+		return c
+
+	case token.KwWhile:
+		p.next()
+		c := &ast.While{}
+		c.TokPos = t.Pos
+		c.NodeID = p.newID()
+		p.expect(token.LPAREN)
+		c.Cond = p.parseExpr()
+		p.expect(token.RPAREN)
+		p.parseAnnot(&c.Lab)
+		c.Body = p.parseBlock()
+		return c
+
+	case token.KwMitigate:
+		p.next()
+		c := &ast.Mitigate{}
+		c.TokPos = t.Pos
+		c.NodeID = p.newID()
+		c.MitID = -1
+		if p.accept(token.AT) {
+			idTok := p.expect(token.INT)
+			id, err := strconv.Atoi(idTok.Lit)
+			if err != nil || id < 0 {
+				p.errorf(idTok.Pos, "invalid mitigate identifier %q", idTok.Lit)
+			} else if p.usedMitIDs[id] {
+				p.errorf(idTok.Pos, "duplicate mitigate identifier @%d", id)
+			} else {
+				c.MitID = id
+			}
+		}
+		if c.MitID < 0 {
+			// Assign the next unused sequential identifier.
+			for p.usedMitIDs[p.nextMitID] {
+				p.nextMitID++
+			}
+			c.MitID = p.nextMitID
+		}
+		p.usedMitIDs[c.MitID] = true
+		if c.MitID >= p.maxMitID {
+			p.maxMitID = c.MitID + 1
+		}
+		p.expect(token.LPAREN)
+		c.Init = p.parseExpr()
+		p.expect(token.COMMA)
+		c.LevelName = p.expect(token.IDENT).Lit
+		p.expect(token.RPAREN)
+		p.parseAnnot(&c.Lab)
+		c.Body = p.parseBlock()
+		return c
+
+	case token.IDENT:
+		name := p.next().Lit
+		if p.at(token.LBRACKET) && !p.isAnnot() {
+			// Array store: x[e1] := e2.
+			c := &ast.Store{}
+			c.TokPos = t.Pos
+			c.NodeID = p.newID()
+			c.Name = name
+			p.expect(token.LBRACKET)
+			c.Idx = p.parseExpr()
+			p.expect(token.RBRACKET)
+			p.expect(token.ASSIGN)
+			c.X = p.parseExpr()
+			p.parseAnnot(&c.Lab)
+			p.expect(token.SEMICOLON)
+			return c
+		}
+		c := &ast.Assign{}
+		c.TokPos = t.Pos
+		c.NodeID = p.newID()
+		c.Name = name
+		p.expect(token.ASSIGN)
+		c.X = p.parseExpr()
+		p.parseAnnot(&c.Lab)
+		p.expect(token.SEMICOLON)
+		return c
+	}
+	p.errorf(t.Pos, "expected command, found %s", t)
+	p.next()
+	return p.synthSkip(t.Pos)
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+
+func (p *parser) parseExpr() ast.Expr { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) ast.Expr {
+	lhs := p.parseUnary()
+	for {
+		op := p.peek(0).Kind
+		prec := op.Precedence()
+		if !op.IsBinaryOp() || prec < minPrec {
+			return lhs
+		}
+		opTok := p.next()
+		rhs := p.parseBinary(prec + 1)
+		lhs = &ast.Binary{TokPos: opTok.Pos, Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	t := p.peek(0)
+	switch t.Kind {
+	case token.MINUS, token.NOT:
+		p.next()
+		return &ast.Unary{TokPos: t.Pos, Op: t.Kind, X: p.parseUnary()}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	t := p.peek(0)
+	switch t.Kind {
+	case token.INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Lit, 0, 64)
+		if err != nil {
+			p.errorf(t.Pos, "invalid integer literal %q", t.Lit)
+		}
+		return &ast.IntLit{TokPos: t.Pos, Value: v}
+	case token.IDENT:
+		p.next()
+		// Index, unless the bracket starts a trailing annotation.
+		if p.at(token.LBRACKET) && !p.isAnnot() {
+			p.next()
+			idx := p.parseExpr()
+			p.expect(token.RBRACKET)
+			return &ast.Index{TokPos: t.Pos, Name: t.Lit, Idx: idx}
+		}
+		return &ast.Var{TokPos: t.Pos, Name: t.Lit}
+	case token.LPAREN:
+		p.next()
+		e := p.parseExpr()
+		p.expect(token.RPAREN)
+		return e
+	}
+	p.errorf(t.Pos, "expected expression, found %s", t)
+	p.next()
+	return &ast.IntLit{TokPos: t.Pos, Value: 0}
+}

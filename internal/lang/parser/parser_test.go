@@ -1,0 +1,395 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/token"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return p
+}
+
+func TestParseDeclarations(t *testing.T) {
+	p := mustParse(t, `
+var h : H;
+var l : L;
+array m[64] : H;
+skip;
+`)
+	if len(p.Decls) != 3 {
+		t.Fatalf("got %d decls, want 3", len(p.Decls))
+	}
+	if p.Decls[0].Name != "h" || p.Decls[0].LabelName != "H" || p.Decls[0].IsArray {
+		t.Errorf("decl 0: %+v", p.Decls[0])
+	}
+	d := p.Decl("m")
+	if d == nil || !d.IsArray || d.Size != 64 {
+		t.Errorf("array decl: %+v", d)
+	}
+	if p.Decl("nope") != nil {
+		t.Error("Decl(nope) should be nil")
+	}
+}
+
+func TestParseSkipWithAnnotation(t *testing.T) {
+	p := mustParse(t, "skip [L,H];")
+	s, ok := p.Body.(*ast.Skip)
+	if !ok {
+		t.Fatalf("body is %T", p.Body)
+	}
+	if s.Lab.ReadName != "L" || s.Lab.WriteName != "H" {
+		t.Errorf("labels = %+v", s.Lab)
+	}
+}
+
+func TestParseAssignVsStoreVsAnnotation(t *testing.T) {
+	// The classic ambiguity: y [L,H] must be an annotation, y[i] an index.
+	p := mustParse(t, "x := y [L,H];")
+	a, ok := p.Body.(*ast.Assign)
+	if !ok {
+		t.Fatalf("body is %T", p.Body)
+	}
+	if _, ok := a.X.(*ast.Var); !ok {
+		t.Errorf("rhs is %T, want Var", a.X)
+	}
+	if a.Lab.ReadName != "L" || a.Lab.WriteName != "H" {
+		t.Errorf("labels = %+v", a.Lab)
+	}
+
+	p = mustParse(t, "x := y[i];")
+	a = p.Body.(*ast.Assign)
+	if _, ok := a.X.(*ast.Index); !ok {
+		t.Errorf("rhs is %T, want Index", a.X)
+	}
+
+	p = mustParse(t, "m[i] := 3 [L,L];")
+	st, ok := p.Body.(*ast.Store)
+	if !ok {
+		t.Fatalf("body is %T", p.Body)
+	}
+	if st.Name != "m" || st.Lab.ReadName != "L" {
+		t.Errorf("store = %+v", st)
+	}
+}
+
+func TestParseIfElse(t *testing.T) {
+	p := mustParse(t, `
+if (h) [H,H] {
+    x := 1;
+} else {
+    x := 2;
+}
+`)
+	c, ok := p.Body.(*ast.If)
+	if !ok {
+		t.Fatalf("body is %T", p.Body)
+	}
+	if c.Lab.ReadName != "H" || c.Lab.WriteName != "H" {
+		t.Errorf("labels = %+v", c.Lab)
+	}
+	if _, ok := c.Then.(*ast.Assign); !ok {
+		t.Errorf("then is %T", c.Then)
+	}
+}
+
+func TestParseIfWithoutElse(t *testing.T) {
+	p := mustParse(t, "if (x) { y := 1; }")
+	c := p.Body.(*ast.If)
+	if _, ok := c.Else.(*ast.Skip); !ok {
+		t.Errorf("synthesized else is %T, want Skip", c.Else)
+	}
+}
+
+func TestParseEmptyBlock(t *testing.T) {
+	p := mustParse(t, "while (x) { }")
+	w := p.Body.(*ast.While)
+	if _, ok := w.Body.(*ast.Skip); !ok {
+		t.Errorf("empty body is %T, want Skip", w.Body)
+	}
+}
+
+func TestParseSequenceRightFold(t *testing.T) {
+	p := mustParse(t, "a := 1; b := 2; c := 3;")
+	s1, ok := p.Body.(*ast.Seq)
+	if !ok {
+		t.Fatalf("body is %T", p.Body)
+	}
+	if _, ok := s1.First.(*ast.Assign); !ok {
+		t.Errorf("first is %T", s1.First)
+	}
+	s2, ok := s1.Second.(*ast.Seq)
+	if !ok {
+		t.Fatalf("second is %T, want Seq (right fold)", s1.Second)
+	}
+	if _, ok := s2.Second.(*ast.Assign); !ok {
+		t.Errorf("inner second is %T", s2.Second)
+	}
+}
+
+func TestParseMitigate(t *testing.T) {
+	p := mustParse(t, `
+mitigate (1, H) [L,L] {
+    sleep(h) [H,H];
+}
+`)
+	m, ok := p.Body.(*ast.Mitigate)
+	if !ok {
+		t.Fatalf("body is %T", p.Body)
+	}
+	if m.MitID != 0 {
+		t.Errorf("MitID = %d, want 0", m.MitID)
+	}
+	if m.LevelName != "H" {
+		t.Errorf("level = %q", m.LevelName)
+	}
+	if p.NumMitigates != 1 {
+		t.Errorf("NumMitigates = %d", p.NumMitigates)
+	}
+}
+
+func TestParseMitigateExplicitIDs(t *testing.T) {
+	p := mustParse(t, `
+mitigate@5 (1, H) { skip; }
+mitigate (2, H) { skip; }
+`)
+	var ids []int
+	ast.WalkCmds(p.Body, func(c ast.Cmd) bool {
+		if m, ok := c.(*ast.Mitigate); ok {
+			ids = append(ids, m.MitID)
+		}
+		return true
+	})
+	if len(ids) != 2 || ids[0] != 5 || ids[1] != 0 {
+		t.Errorf("ids = %v, want [5 0]", ids)
+	}
+}
+
+func TestParseDuplicateMitigateID(t *testing.T) {
+	_, err := Parse("mitigate@1 (1,H) { skip; } mitigate@1 (1,H) { skip; }")
+	if err == nil {
+		t.Error("expected duplicate-id error")
+	}
+}
+
+func TestParseNestedMitigate(t *testing.T) {
+	p := mustParse(t, `
+mitigate (1, H) {
+    if (h) [H,H] {
+        mitigate (1, H) { x := x + 1 [H,H]; }
+    } else {
+        skip;
+    }
+}
+`)
+	ms := p.Mitigates()
+	if len(ms) != 2 {
+		t.Fatalf("got %d mitigates, want 2", len(ms))
+	}
+	if ms[0] == nil || ms[1] == nil {
+		t.Fatal("nil mitigate in table")
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	p := mustParse(t, "x := 1 + 2 * 3;")
+	a := p.Body.(*ast.Assign)
+	b, ok := a.X.(*ast.Binary)
+	if !ok || b.Op != token.PLUS {
+		t.Fatalf("top op = %v", a.X)
+	}
+	if r, ok := b.Y.(*ast.Binary); !ok || r.Op != token.STAR {
+		t.Errorf("rhs = %v", b.Y)
+	}
+}
+
+func TestParseLeftAssociativity(t *testing.T) {
+	p := mustParse(t, "x := 10 - 3 - 2;")
+	a := p.Body.(*ast.Assign)
+	b := a.X.(*ast.Binary)
+	if b.Op != token.MINUS {
+		t.Fatalf("top op = %v", b.Op)
+	}
+	if l, ok := b.X.(*ast.Binary); !ok || l.Op != token.MINUS {
+		t.Errorf("should parse as (10-3)-2, got lhs %T", b.X)
+	}
+}
+
+func TestParseUnaryAndParens(t *testing.T) {
+	p := mustParse(t, "x := -(a + b) * !c;")
+	a := p.Body.(*ast.Assign)
+	b := a.X.(*ast.Binary)
+	if b.Op != token.STAR {
+		t.Fatalf("top op = %v", b.Op)
+	}
+	if _, ok := b.X.(*ast.Unary); !ok {
+		t.Errorf("lhs = %T", b.X)
+	}
+	if _, ok := b.Y.(*ast.Unary); !ok {
+		t.Errorf("rhs = %T", b.Y)
+	}
+}
+
+func TestParseComparisonChain(t *testing.T) {
+	p := mustParse(t, "x := a < b && c >= d || e == f;")
+	a := p.Body.(*ast.Assign)
+	b := a.X.(*ast.Binary)
+	if b.Op != token.LOR {
+		t.Errorf("top = %v, want ||", b.Op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"x := ;",
+		"if x { skip; }",
+		"while (x { skip; }",
+		"x + 1;",
+		"mitigate (1) { skip; }",
+		"var x H; skip;",
+		"array a[0] : L; skip;",
+		"array a[x] : L; skip;",
+		"mitigate@-1 (1,H) { skip; }",
+		"",
+		"x := 99999999999999999999999999;",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseErrorListFormatting(t *testing.T) {
+	_, err := Parse("x := ; y := ;")
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	el, ok := err.(ErrorList)
+	if !ok {
+		t.Fatalf("error is %T", err)
+	}
+	if len(el) < 2 {
+		t.Fatalf("want ≥2 errors, got %d: %v", len(el), el)
+	}
+	if !strings.Contains(el.Error(), "more error") {
+		t.Errorf("multi-error message = %q", el.Error())
+	}
+	if ErrorList(nil).Error() != "no errors" {
+		t.Error("empty list message")
+	}
+	if one := ErrorList(el[:1]); strings.Contains(one.Error(), "more") {
+		t.Errorf("single-error message = %q", one.Error())
+	}
+}
+
+func TestParseCmdFragment(t *testing.T) {
+	c, err := ParseCmd("x := 1; y := 2;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.(*ast.Seq); !ok {
+		t.Errorf("fragment is %T", c)
+	}
+}
+
+func TestNodeIDsUnique(t *testing.T) {
+	p := mustParse(t, `
+var h : H;
+if (h) [H,H] { x := 1 [H,H]; sleep(2) [H,H]; } else { skip [H,H]; }
+while (x < 3) { x := x + 1; }
+`)
+	seen := make(map[int]bool)
+	ast.WalkCmds(p.Body, func(c ast.Cmd) bool {
+		if seen[c.ID()] {
+			t.Errorf("duplicate node ID %d", c.ID())
+		}
+		seen[c.ID()] = true
+		if c.ID() >= p.NumNodes {
+			t.Errorf("node ID %d out of range (NumNodes=%d)", c.ID(), p.NumNodes)
+		}
+		return true
+	})
+	if len(seen) < 7 {
+		t.Errorf("only %d nodes walked", len(seen))
+	}
+}
+
+func TestVars1(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []string
+	}{
+		{"skip;", nil},
+		{"x := a + b;", []string{"a", "b", "x"}},
+		{"m[i] := v;", []string{"i", "v", "m"}},
+		{"sleep(e);", []string{"e"}},
+		{"if (g) { x := a; } else { skip; }", []string{"g"}},
+		{"while (g + h) { x := a; }", []string{"g", "h"}},
+		{"mitigate (n, H) { x := a; }", []string{"n"}},
+		{"x := a; y := b;", []string{"a", "x"}}, // seq: vars1 of first
+	}
+	for _, c := range cases {
+		cmd, err := ParseCmd(c.src)
+		if err != nil {
+			t.Fatalf("ParseCmd(%q): %v", c.src, err)
+		}
+		got := ast.Vars1(cmd)
+		if len(got) != len(c.want) {
+			t.Errorf("Vars1(%q) = %v, want %v", c.src, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Vars1(%q) = %v, want %v", c.src, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestExprVarsDedup(t *testing.T) {
+	cmd, err := ParseCmd("x := a + a * m[a+b];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cmd.(*ast.Assign)
+	got := ast.ExprVars(a.X)
+	want := []string{"a", "m", "b"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWalkCmdsPruning(t *testing.T) {
+	p := mustParse(t, "if (x) { a := 1; } else { b := 2; }")
+	count := 0
+	ast.WalkCmds(p.Body, func(c ast.Cmd) bool {
+		count++
+		return false // prune: only the root should be visited
+	})
+	if count != 1 {
+		t.Errorf("visited %d nodes, want 1", count)
+	}
+}
+
+func TestHexLiteralValue(t *testing.T) {
+	p := mustParse(t, "x := 0x10;")
+	a := p.Body.(*ast.Assign)
+	lit := a.X.(*ast.IntLit)
+	if lit.Value != 16 {
+		t.Errorf("value = %d, want 16", lit.Value)
+	}
+}

@@ -1,0 +1,107 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics throws random byte soup and random token soup
+// at the parser: it must return errors, not panic, and must terminate.
+func TestParserNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	alphabet := []byte("abcxyzHL0123456789 \t\n(){}[];:=<>!&|^%*/+-,@\"$#")
+	for trial := 0; trial < 500; trial++ {
+		n := r.Intn(200)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("parser panicked on %q: %v", buf, p)
+				}
+			}()
+			Parse(string(buf))
+			ParseCmd(string(buf))
+		}()
+	}
+}
+
+// TestParserTokenSoup builds inputs from valid token fragments in
+// random order — closer to real parse-error territory than raw bytes.
+func TestParserTokenSoup(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	frags := []string{
+		"skip", "if", "else", "while", "sleep", "mitigate", "var", "array",
+		"x", "h", "L", "H", "42", ":=", ";", "(", ")", "{", "}", "[", "]",
+		",", ":", "@", "+", "==", "&&", "<<",
+	}
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + r.Intn(40)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(frags[r.Intn(len(frags))])
+			sb.WriteByte(' ')
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("parser panicked on %q: %v", sb.String(), p)
+				}
+			}()
+			Parse(sb.String())
+		}()
+	}
+}
+
+// TestDeepNestingTerminates guards against stack or loop pathologies on
+// adversarially nested input.
+func TestDeepNestingTerminates(t *testing.T) {
+	var sb strings.Builder
+	depth := 300
+	for i := 0; i < depth; i++ {
+		sb.WriteString("if (1) { ")
+	}
+	sb.WriteString("skip;")
+	for i := 0; i < depth; i++ {
+		sb.WriteString(" } else { skip; }")
+	}
+	if _, err := Parse(sb.String()); err != nil {
+		t.Fatalf("deeply nested valid program rejected: %v", err)
+	}
+	// Unbalanced deep nesting must error out, not hang.
+	open := strings.Repeat("while (1) { ", 500)
+	if _, err := Parse(open + "skip;"); err == nil {
+		t.Error("unbalanced nesting should fail")
+	}
+	// Deeply nested expressions.
+	expr := strings.Repeat("(", 500) + "1" + strings.Repeat(")", 500)
+	if _, err := Parse("x := " + expr + ";"); err != nil {
+		t.Errorf("deep parens: %v", err)
+	}
+}
+
+// TestErrorRecoveryProducesMultipleDiagnostics exercises the sync-based
+// recovery: several independent errors should each be reported.
+func TestErrorRecoveryProducesMultipleDiagnostics(t *testing.T) {
+	src := `
+x := ;
+y := 1;
+z := * 2;
+w := 3;
+q := ) 4;
+`
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	el := err.(ErrorList)
+	if len(el) < 2 {
+		t.Errorf("recovery found only %d errors: %v", len(el), el)
+	}
+	if len(el) > 50 {
+		t.Errorf("error cap exceeded: %d", len(el))
+	}
+}

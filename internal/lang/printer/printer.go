@@ -1,0 +1,177 @@
+// Package printer renders timing-channel language ASTs back to source
+// text. The output re-parses to an equal tree (round-trip property,
+// checked by tests), and resolved labels are printed in place of
+// omitted annotations when available, which makes the printer useful
+// for showing inference results.
+package printer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lang/ast"
+)
+
+// Options control printing.
+type Options struct {
+	// ShowResolved prints resolved labels even for annotations omitted
+	// in the source (useful after label inference). When false only
+	// source-level annotations are printed.
+	ShowResolved bool
+	// Indent is the indentation unit; default four spaces.
+	Indent string
+}
+
+// Print renders a whole program.
+func Print(p *ast.Program, opts Options) string {
+	var b strings.Builder
+	pr := &printer{opts: opts, b: &b}
+	if pr.opts.Indent == "" {
+		pr.opts.Indent = "    "
+	}
+	for _, d := range p.Decls {
+		pr.decl(d)
+	}
+	if len(p.Decls) > 0 {
+		b.WriteString("\n")
+	}
+	pr.cmd(p.Body, 0)
+	return b.String()
+}
+
+// PrintCmd renders a single command.
+func PrintCmd(c ast.Cmd, opts Options) string {
+	var b strings.Builder
+	pr := &printer{opts: opts, b: &b}
+	if pr.opts.Indent == "" {
+		pr.opts.Indent = "    "
+	}
+	pr.cmd(c, 0)
+	return b.String()
+}
+
+// PrintExpr renders an expression with minimal parentheses.
+func PrintExpr(e ast.Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e, 0)
+	return b.String()
+}
+
+type printer struct {
+	opts Options
+	b    *strings.Builder
+}
+
+func (p *printer) indent(depth int) {
+	for i := 0; i < depth; i++ {
+		p.b.WriteString(p.opts.Indent)
+	}
+}
+
+func (p *printer) decl(d *ast.Decl) {
+	if d.IsArray {
+		fmt.Fprintf(p.b, "array %s[%d] : %s;\n", d.Name, d.Size, p.declLabel(d))
+	} else {
+		fmt.Fprintf(p.b, "var %s : %s;\n", d.Name, p.declLabel(d))
+	}
+}
+
+func (p *printer) declLabel(d *ast.Decl) string {
+	if p.opts.ShowResolved && d.Label.Valid() {
+		return d.Label.String()
+	}
+	return d.LabelName
+}
+
+// annot returns the " [er,ew]" suffix for a labeled command, or "".
+func (p *printer) annot(lab *ast.Labels) string {
+	if p.opts.ShowResolved && lab.Resolved() {
+		return fmt.Sprintf(" [%s,%s]", lab.RL, lab.WL)
+	}
+	if lab.ReadName != "" && lab.WriteName != "" {
+		return fmt.Sprintf(" [%s,%s]", lab.ReadName, lab.WriteName)
+	}
+	return ""
+}
+
+func (p *printer) cmd(c ast.Cmd, depth int) {
+	switch c := c.(type) {
+	case *ast.Skip:
+		p.indent(depth)
+		fmt.Fprintf(p.b, "skip%s;\n", p.annot(&c.Lab))
+	case *ast.Assign:
+		p.indent(depth)
+		fmt.Fprintf(p.b, "%s := %s%s;\n", c.Name, PrintExpr(c.X), p.annot(&c.Lab))
+	case *ast.Store:
+		p.indent(depth)
+		fmt.Fprintf(p.b, "%s[%s] := %s%s;\n", c.Name, PrintExpr(c.Idx), PrintExpr(c.X), p.annot(&c.Lab))
+	case *ast.Sleep:
+		p.indent(depth)
+		fmt.Fprintf(p.b, "sleep(%s)%s;\n", PrintExpr(c.X), p.annot(&c.Lab))
+	case *ast.Seq:
+		p.cmd(c.First, depth)
+		p.cmd(c.Second, depth)
+	case *ast.If:
+		p.indent(depth)
+		fmt.Fprintf(p.b, "if (%s)%s {\n", PrintExpr(c.Cond), p.annot(&c.Lab))
+		p.cmd(c.Then, depth+1)
+		p.indent(depth)
+		p.b.WriteString("} else {\n")
+		p.cmd(c.Else, depth+1)
+		p.indent(depth)
+		p.b.WriteString("}\n")
+	case *ast.While:
+		p.indent(depth)
+		fmt.Fprintf(p.b, "while (%s)%s {\n", PrintExpr(c.Cond), p.annot(&c.Lab))
+		p.cmd(c.Body, depth+1)
+		p.indent(depth)
+		p.b.WriteString("}\n")
+	case *ast.Mitigate:
+		p.indent(depth)
+		lvl := c.LevelName
+		if p.opts.ShowResolved && c.Level.Valid() {
+			lvl = c.Level.String()
+		}
+		fmt.Fprintf(p.b, "mitigate@%d (%s, %s)%s {\n", c.MitID, PrintExpr(c.Init), lvl, p.annot(&c.Lab))
+		p.cmd(c.Body, depth+1)
+		p.indent(depth)
+		p.b.WriteString("}\n")
+	default:
+		fmt.Fprintf(p.b, "/* unknown command %T */\n", c)
+	}
+}
+
+// writeExpr renders e, parenthesizing subexpressions whose operators
+// bind less tightly than the context requires.
+func writeExpr(b *strings.Builder, e ast.Expr, minPrec int) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		fmt.Fprintf(b, "%d", e.Value)
+	case *ast.Var:
+		b.WriteString(e.Name)
+	case *ast.Index:
+		b.WriteString(e.Name)
+		b.WriteString("[")
+		writeExpr(b, e.Idx, 0)
+		b.WriteString("]")
+	case *ast.Unary:
+		b.WriteString(e.Op.String())
+		// Unary binds tighter than all binary operators.
+		writeExpr(b, e.X, 6)
+	case *ast.Binary:
+		prec := e.Op.Precedence()
+		if prec < minPrec {
+			b.WriteString("(")
+		}
+		writeExpr(b, e.X, prec)
+		fmt.Fprintf(b, " %s ", e.Op)
+		// Left-associative: the right operand needs strictly higher
+		// precedence to avoid re-association on re-parse.
+		writeExpr(b, e.Y, prec+1)
+		if prec < minPrec {
+			b.WriteString(")")
+		}
+	default:
+		fmt.Fprintf(b, "/* unknown expr %T */", e)
+	}
+}

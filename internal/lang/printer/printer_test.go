@@ -1,0 +1,154 @@
+package printer
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/parser"
+)
+
+// stripIDs zeroes node IDs, mitigate IDs and positions so structural
+// comparison ignores layout-dependent fields.
+func normalize(p *ast.Program) string {
+	return Print(p, Options{})
+}
+
+func TestRoundTrip(t *testing.T) {
+	sources := []string{
+		"skip;",
+		"skip [L,H];",
+		"x := 1 + 2 * 3;",
+		"x := (1 + 2) * 3;",
+		"x := 10 - 3 - 2;",
+		"x := 10 - (3 - 2);",
+		"x := a && b || !c;",
+		"x := -y;",
+		"x := m[i + 1] [L,L];",
+		"m[i] := v [L,H];",
+		"sleep(h) [H,H];",
+		"if (h) [H,H] { x := 1; } else { x := 2; }",
+		"while (i < n) [L,L] { i := i + 1; }",
+		"mitigate@0 (1, H) [L,L] { sleep(h) [H,H]; }",
+		"var h : H;\nvar l : L;\narray m[16] : H;\nl := m[h];",
+		"a := 1; b := 2; c := 3;",
+		"x := a << 2 | b >> 1 & c ^ d;",
+		"x := a % b / c;",
+		"if (a == b) { skip; } else { if (a != b) { skip; } else { skip; } }",
+	}
+	for _, src := range sources {
+		p1, err := parser.Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		out1 := normalize(p1)
+		p2, err := parser.Parse(out1)
+		if err != nil {
+			t.Errorf("re-Parse of %q output failed: %v\noutput:\n%s", src, err, out1)
+			continue
+		}
+		out2 := normalize(p2)
+		if out1 != out2 {
+			t.Errorf("not a fixed point for %q:\nfirst:\n%s\nsecond:\n%s", src, out1, out2)
+		}
+	}
+}
+
+// TestRoundTripSemantics checks that printing and re-parsing preserves
+// expression structure exactly (not just print-fixpoint) by comparing
+// the printed forms of each subexpression tree.
+func TestExprParenthesization(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"x := 1 + 2 * 3;", "1 + 2 * 3"},
+		{"x := (1 + 2) * 3;", "(1 + 2) * 3"},
+		{"x := 10 - (3 - 2);", "10 - (3 - 2)"},
+		{"x := 10 - 3 - 2;", "10 - 3 - 2"},
+		{"x := -(a + b);", "-(a + b)"},
+		{"x := !a && b;", "!a && b"},
+		{"x := !(a && b);", "!(a && b)"},
+		{"x := a * (b + c);", "a * (b + c)"},
+	}
+	for _, c := range cases {
+		p, err := parser.Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		a := p.Body.(*ast.Assign)
+		if got := PrintExpr(a.X); got != c.want {
+			t.Errorf("PrintExpr(%q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPrintIndentation(t *testing.T) {
+	p, err := parser.Parse("if (x) { if (y) { a := 1; } else { skip; } } else { skip; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(p, Options{Indent: "  "})
+	if !strings.Contains(out, "\n    a := 1;") {
+		t.Errorf("nested indentation missing:\n%s", out)
+	}
+}
+
+func TestPrintDeclarations(t *testing.T) {
+	p, err := parser.Parse("var h : H;\narray m[8] : L;\nskip;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(p, Options{})
+	if !strings.Contains(out, "var h : H;") || !strings.Contains(out, "array m[8] : L;") {
+		t.Errorf("declarations missing:\n%s", out)
+	}
+}
+
+func TestPrintOmitsUnresolvedLabels(t *testing.T) {
+	p, err := parser.Parse("x := 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(p, Options{ShowResolved: true})
+	if strings.Contains(out, "[") {
+		t.Errorf("unresolved labels should not print:\n%s", out)
+	}
+}
+
+func TestPrintCmdEqualsProgramBody(t *testing.T) {
+	p, err := parser.Parse("a := 1; b := 2;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := PrintCmd(p.Body, Options{}), Print(p, Options{}); got != want {
+		t.Errorf("PrintCmd != Print body:\n%q\n%q", got, want)
+	}
+}
+
+func TestMitigateIDPreserved(t *testing.T) {
+	p, err := parser.Parse("mitigate@7 (3, H) { skip; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(p, Options{})
+	if !strings.Contains(out, "mitigate@7 (3, H)") {
+		t.Errorf("mitigate id lost:\n%s", out)
+	}
+	p2, err := parser.Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p2.Body.(*ast.Mitigate)
+	if m.MitID != 7 {
+		t.Errorf("MitID after round trip = %d", m.MitID)
+	}
+}
+
+func TestNormalizeIsDeterministic(t *testing.T) {
+	src := "var h : H;\nif (h) [H,H] { sleep(h) [H,H]; } else { skip [H,H]; }"
+	p1, _ := parser.Parse(src)
+	p2, _ := parser.Parse(src)
+	if !reflect.DeepEqual(normalize(p1), normalize(p2)) {
+		t.Error("printing the same source twice differs")
+	}
+}

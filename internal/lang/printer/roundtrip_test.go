@@ -1,0 +1,73 @@
+package printer
+
+import (
+	"testing"
+
+	"repro/internal/lang/parser"
+	"repro/internal/lattice"
+	"repro/internal/progen"
+	"repro/internal/types"
+)
+
+// TestGeneratedProgramsRoundTrip checks print→parse→print is a fixed
+// point over randomly generated programs, and that printing with
+// resolved labels yields a program that still parses and type-checks
+// to the same resolved labels (inference is idempotent through the
+// printer).
+func TestGeneratedProgramsRoundTrip(t *testing.T) {
+	lat := lattice.TwoPoint()
+	for seed := int64(0); seed < 25; seed++ {
+		prog, _, src, err := progen.GenerateTyped(progen.Config{
+			Lat: lat, Seed: 400 + seed, AllowMitigate: true, AllowSleep: true, MaxDepth: 4,
+		}, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Plain round trip.
+		out1 := Print(prog, Options{})
+		prog2, err := parser.Parse(out1)
+		if err != nil {
+			t.Fatalf("seed %d: printed output unparsable: %v\nsource:\n%s\nprinted:\n%s",
+				seed, err, src, out1)
+		}
+		out2 := Print(prog2, Options{})
+		if out1 != out2 {
+			t.Fatalf("seed %d: print not a fixed point", seed)
+		}
+		// Resolved round trip: annotate everything, re-check, compare.
+		resolved := Print(prog, Options{ShowResolved: true})
+		prog3, err := parser.Parse(resolved)
+		if err != nil {
+			t.Fatalf("seed %d: resolved output unparsable: %v\n%s", seed, err, resolved)
+		}
+		if _, err := types.Check(prog3, lat); err != nil {
+			t.Fatalf("seed %d: resolved output fails type checking: %v\n%s", seed, err, resolved)
+		}
+		resolved2 := Print(prog3, Options{ShowResolved: true})
+		if resolved != resolved2 {
+			t.Fatalf("seed %d: resolved print not stable:\n%s\nvs\n%s", seed, resolved, resolved2)
+		}
+	}
+}
+
+// TestThreeLevelRoundTrip repeats the resolved round trip on the
+// three-point lattice, where inference produces M labels too.
+func TestThreeLevelRoundTrip(t *testing.T) {
+	lat := lattice.ThreePoint()
+	for seed := int64(0); seed < 10; seed++ {
+		prog, _, _, err := progen.GenerateTyped(progen.Config{
+			Lat: lat, Seed: 700 + seed, AllowMitigate: true,
+		}, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resolved := Print(prog, Options{ShowResolved: true})
+		prog2, err := parser.Parse(resolved)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := types.Check(prog2, lat); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, resolved)
+		}
+	}
+}

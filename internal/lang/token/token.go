@@ -1,0 +1,158 @@
+// Package token defines the lexical tokens of the timing-channel
+// language and source positions used in diagnostics.
+package token
+
+import "fmt"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds. Operator kinds are grouped so precedence tables in the
+// parser can be expressed over contiguous ranges.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT // x, response, L, H
+	INT   // 123, 0x1f
+
+	// Operators and delimiters.
+	ASSIGN    // :=
+	PLUS      // +
+	MINUS     // -
+	STAR      // *
+	SLASH     // /
+	PERCENT   // %
+	EQ        // ==
+	NEQ       // !=
+	LT        // <
+	LEQ       // <=
+	GT        // >
+	GEQ       // >=
+	LAND      // &&
+	LOR       // ||
+	AND       // &
+	OR        // |
+	XOR       // ^
+	SHL       // <<
+	SHR       // >>
+	NOT       // !
+	LPAREN    // (
+	RPAREN    // )
+	LBRACE    // {
+	RBRACE    // }
+	LBRACKET  // [
+	RBRACKET  // ]
+	COMMA     // ,
+	SEMICOLON // ;
+	COLON     // :
+	AT        // @
+
+	// Keywords.
+	KwSkip     // skip
+	KwIf       // if
+	KwElse     // else
+	KwWhile    // while
+	KwSleep    // sleep
+	KwMitigate // mitigate
+	KwVar      // var
+	KwArray    // array
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF",
+	IDENT: "IDENT", INT: "INT",
+	ASSIGN: ":=", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	EQ: "==", NEQ: "!=", LT: "<", LEQ: "<=", GT: ">", GEQ: ">=",
+	LAND: "&&", LOR: "||", AND: "&", OR: "|", XOR: "^", SHL: "<<", SHR: ">>",
+	NOT: "!", LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACKET: "[", RBRACKET: "]", COMMA: ",", SEMICOLON: ";", COLON: ":", AT: "@",
+	KwSkip: "skip", KwIf: "if", KwElse: "else", KwWhile: "while",
+	KwSleep: "sleep", KwMitigate: "mitigate", KwVar: "var", KwArray: "array",
+}
+
+// String returns the canonical spelling of the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their kinds.
+var Keywords = map[string]Kind{
+	"skip":     KwSkip,
+	"if":       KwIf,
+	"else":     KwElse,
+	"while":    KwWhile,
+	"sleep":    KwSleep,
+	"mitigate": KwMitigate,
+	"var":      KwVar,
+	"array":    KwArray,
+}
+
+// Pos is a source position: 1-based line and column, 0-based byte offset.
+type Pos struct {
+	Offset int
+	Line   int
+	Column int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Column) }
+
+// IsValid reports whether the position has been set (Line > 0).
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a lexical token with its source position and literal text.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT, INT, ILLEGAL
+	Pos  Pos
+}
+
+// String formats the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, ILLEGAL:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// IsBinaryOp reports whether the kind is a binary operator.
+func (k Kind) IsBinaryOp() bool {
+	switch k {
+	case PLUS, MINUS, STAR, SLASH, PERCENT,
+		EQ, NEQ, LT, LEQ, GT, GEQ,
+		LAND, LOR, AND, OR, XOR, SHL, SHR:
+		return true
+	}
+	return false
+}
+
+// Precedence returns the binding power of a binary operator kind, higher
+// binding tighter; 0 for non-operators. The precedence levels follow Go:
+//
+//	5: * / % << >> &
+//	4: + - | ^
+//	3: == != < <= > >=
+//	2: &&
+//	1: ||
+func (k Kind) Precedence() int {
+	switch k {
+	case STAR, SLASH, PERCENT, SHL, SHR, AND:
+		return 5
+	case PLUS, MINUS, OR, XOR:
+		return 4
+	case EQ, NEQ, LT, LEQ, GT, GEQ:
+		return 3
+	case LAND:
+		return 2
+	case LOR:
+		return 1
+	}
+	return 0
+}

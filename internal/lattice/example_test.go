@@ -1,0 +1,41 @@
+package lattice_test
+
+import (
+	"fmt"
+
+	"repro/internal/lattice"
+)
+
+// The two-point lattice L ⊑ H is the paper's default setting.
+func ExampleTwoPoint() {
+	lat := lattice.TwoPoint()
+	L, H := lat.Bot(), lat.Top()
+	fmt.Println(lat.Leq(L, H), lat.Leq(H, L))
+	fmt.Println(lat.Join(L, H), lat.Meet(L, H))
+	// Output:
+	// true false
+	// H L
+}
+
+// Upward closures drive the multilevel leakage bound (§6.3): leakage
+// from a set of levels must account for everything above them.
+func ExampleUpwardClosure() {
+	lat := lattice.ThreePoint()
+	M, _ := lat.Lookup("M")
+	for _, l := range lattice.UpwardClosure(lat, []lattice.Label{M}) {
+		fmt.Println(l)
+	}
+	// Output:
+	// M
+	// H
+}
+
+// Product lattices model orthogonal concerns componentwise.
+func ExampleProduct() {
+	p := lattice.Product(lattice.TwoPoint(), lattice.TwoPoint())
+	lh, _ := p.Lookup("L*H")
+	hl, _ := p.Lookup("H*L")
+	fmt.Println(p.Leq(lh, hl), p.Join(lh, hl))
+	// Output:
+	// false H*H
+}

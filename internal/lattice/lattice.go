@@ -1,0 +1,488 @@
+// Package lattice provides security lattices: partially ordered sets of
+// confidentiality labels with joins and meets.
+//
+// The paper (Zhang, Askarov, Myers, PLDI 2012) assumes an arbitrary
+// security lattice with at least two distinct labels L ⊑ H such that
+// H ⋢ L. All analyses in this repository — the type system, the leakage
+// theory, and the labeled hardware models — are parameterized over the
+// Lattice interface so that two-point, linear multilevel, powerset, and
+// product lattices can all be used.
+package lattice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Label is an element of a security lattice. Labels are immutable and
+// comparable only through the lattice that produced them: a Label from
+// one lattice must not be passed to another lattice's operations.
+type Label struct {
+	// id indexes the lattice's internal element table.
+	id int
+	// lat identifies the owning lattice.
+	lat *table
+}
+
+// ID returns the label's dense index within its lattice, in the range
+// [0, Lattice.Size()). IDs are stable for the lifetime of the lattice
+// and are suitable as slice indices for per-level bookkeeping (e.g. the
+// Miss array of the predictive mitigation runtime).
+func (l Label) ID() int { return l.id }
+
+// String returns the label's name as registered with its lattice.
+func (l Label) String() string {
+	if l.lat == nil {
+		return "<invalid label>"
+	}
+	return l.lat.names[l.id]
+}
+
+// Valid reports whether the label belongs to some lattice. The zero
+// Label is invalid; using it with lattice operations panics.
+func (l Label) Valid() bool { return l.lat != nil }
+
+// Lattice is a finite security lattice. Implementations must be
+// bounded (have Bot and Top), and Join/Meet must be total.
+type Lattice interface {
+	// Bot returns the least restrictive label (public; ⊥).
+	Bot() Label
+	// Top returns the most restrictive label (⊤).
+	Top() Label
+	// Leq reports whether a ⊑ b, i.e. information may flow from a to b.
+	Leq(a, b Label) bool
+	// Join returns the least upper bound a ⊔ b.
+	Join(a, b Label) Label
+	// Meet returns the greatest lower bound a ⊓ b.
+	Meet(a, b Label) Label
+	// Levels returns all labels in the lattice in a deterministic order
+	// (topologically sorted: if a ⊑ b and a ≠ b then a precedes b).
+	Levels() []Label
+	// Lookup resolves a label by name; ok is false if no such label.
+	Lookup(name string) (Label, bool)
+	// Size returns the number of labels in the lattice.
+	Size() int
+	// Name returns a human-readable description of the lattice.
+	Name() string
+}
+
+// table is the shared concrete representation behind every lattice in
+// this package: a dense element table with a precomputed order relation.
+type table struct {
+	name  string
+	names []string
+	// leq[i][j] reports whether element i ⊑ element j.
+	leq [][]bool
+	// join[i][j] and meet[i][j] hold precomputed bounds.
+	join   [][]int
+	meet   [][]int
+	bot    int
+	top    int
+	byName map[string]int
+	order  []int // topological order of element ids
+}
+
+func (t *table) label(id int) Label { return Label{id: id, lat: t} }
+
+func (t *table) Bot() Label { return t.label(t.bot) }
+func (t *table) Top() Label { return t.label(t.top) }
+
+func (t *table) check(l Label) int {
+	if l.lat != t {
+		panic(fmt.Sprintf("lattice %q: label %q belongs to a different lattice", t.name, l))
+	}
+	return l.id
+}
+
+func (t *table) Leq(a, b Label) bool {
+	return t.leq[t.check(a)][t.check(b)]
+}
+
+func (t *table) Join(a, b Label) Label {
+	return t.label(t.join[t.check(a)][t.check(b)])
+}
+
+func (t *table) Meet(a, b Label) Label {
+	return t.label(t.meet[t.check(a)][t.check(b)])
+}
+
+func (t *table) Levels() []Label {
+	out := make([]Label, len(t.order))
+	for i, id := range t.order {
+		out[i] = t.label(id)
+	}
+	return out
+}
+
+func (t *table) Lookup(name string) (Label, bool) {
+	id, ok := t.byName[name]
+	if !ok {
+		return Label{}, false
+	}
+	return t.label(id), true
+}
+
+func (t *table) Size() int    { return len(t.names) }
+func (t *table) Name() string { return t.name }
+
+// build constructs a lattice table from element names and a covering
+// relation given as explicit ⊑ pairs (the relation is closed reflexively
+// and transitively). It validates that the result is a bounded lattice:
+// unique bot and top, and total join/meet.
+func build(name string, names []string, below func(i, j int) bool) (*table, error) {
+	n := len(names)
+	if n == 0 {
+		return nil, fmt.Errorf("lattice %q: no elements", name)
+	}
+	t := &table{name: name, names: names, byName: make(map[string]int, n)}
+	for i, nm := range names {
+		if nm == "" {
+			return nil, fmt.Errorf("lattice %q: empty label name at index %d", name, i)
+		}
+		if _, dup := t.byName[nm]; dup {
+			return nil, fmt.Errorf("lattice %q: duplicate label name %q", name, nm)
+		}
+		t.byName[nm] = i
+	}
+	// Close the relation reflexively and transitively (Floyd–Warshall).
+	leq := make([][]bool, n)
+	for i := range leq {
+		leq[i] = make([]bool, n)
+		leq[i][i] = true
+		for j := 0; j < n; j++ {
+			if below(i, j) {
+				leq[i][j] = true
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !leq[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if leq[k][j] {
+					leq[i][j] = true
+				}
+			}
+		}
+	}
+	// Antisymmetry.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && leq[i][j] && leq[j][i] {
+				return nil, fmt.Errorf("lattice %q: %q and %q are mutually ordered (not a partial order)",
+					name, names[i], names[j])
+			}
+		}
+	}
+	t.leq = leq
+	// Compute joins and meets; verify existence and uniqueness.
+	t.join = make([][]int, n)
+	t.meet = make([][]int, n)
+	for i := 0; i < n; i++ {
+		t.join[i] = make([]int, n)
+		t.meet[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			jn, err := bound(leq, i, j, true)
+			if err != nil {
+				return nil, fmt.Errorf("lattice %q: %v", name, err)
+			}
+			mt, err := bound(leq, i, j, false)
+			if err != nil {
+				return nil, fmt.Errorf("lattice %q: %v", name, err)
+			}
+			t.join[i][j] = jn
+			t.meet[i][j] = mt
+		}
+	}
+	// Bot and top.
+	t.bot, t.top = -1, -1
+	for i := 0; i < n; i++ {
+		isBot, isTop := true, true
+		for j := 0; j < n; j++ {
+			if !leq[i][j] {
+				isBot = false
+			}
+			if !leq[j][i] {
+				isTop = false
+			}
+		}
+		if isBot {
+			t.bot = i
+		}
+		if isTop {
+			t.top = i
+		}
+	}
+	if t.bot < 0 || t.top < 0 {
+		return nil, fmt.Errorf("lattice %q: not bounded (missing bot or top)", name)
+	}
+	// Topological order: stable sort by number of elements below.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	countBelow := func(i int) int {
+		c := 0
+		for j := 0; j < n; j++ {
+			if leq[j][i] {
+				c++
+			}
+		}
+		return c
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := countBelow(order[a]), countBelow(order[b])
+		if ca != cb {
+			return ca < cb
+		}
+		return names[order[a]] < names[order[b]]
+	})
+	t.order = order
+	return t, nil
+}
+
+// bound computes the least upper bound (if upper) or greatest lower
+// bound (if !upper) of elements i and j under leq, reporting an error if
+// none exists or it is not unique.
+func bound(leq [][]bool, i, j int, upper bool) (int, error) {
+	n := len(leq)
+	le := func(a, b int) bool {
+		if upper {
+			return leq[a][b]
+		}
+		return leq[b][a]
+	}
+	var cands []int
+	for k := 0; k < n; k++ {
+		if le(i, k) && le(j, k) {
+			cands = append(cands, k)
+		}
+	}
+	if len(cands) == 0 {
+		return 0, fmt.Errorf("elements %d and %d have no common bound", i, j)
+	}
+	// The bound is the candidate below (above) all other candidates.
+	for _, c := range cands {
+		ok := true
+		for _, d := range cands {
+			if !le2(leq, c, d, upper) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("elements %d and %d have no unique bound (not a lattice)", i, j)
+}
+
+func le2(leq [][]bool, a, b int, upper bool) bool {
+	if upper {
+		return leq[a][b]
+	}
+	return leq[b][a]
+}
+
+// New constructs a lattice from explicit elements and covering pairs.
+// Each pair {lo, hi} asserts lo ⊑ hi; the relation is closed under
+// reflexivity and transitivity. New reports an error if the result is
+// not a bounded lattice.
+func New(name string, elements []string, covers [][2]string) (Lattice, error) {
+	idx := make(map[string]int, len(elements))
+	for i, e := range elements {
+		idx[e] = i
+	}
+	rel := make(map[[2]int]bool, len(covers))
+	for _, c := range covers {
+		lo, ok1 := idx[c[0]]
+		hi, ok2 := idx[c[1]]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("lattice %q: cover %q ⊑ %q references unknown element", name, c[0], c[1])
+		}
+		rel[[2]int{lo, hi}] = true
+	}
+	return build(name, elements, func(i, j int) bool { return rel[[2]int{i, j}] })
+}
+
+// The stock lattices are shared singletons: labels are only comparable
+// through the lattice instance that produced them, so handing every
+// caller the same instance removes a whole class of mixed-instance
+// bugs. (Lattices are immutable after construction, so sharing is
+// safe.) Custom lattices from New/Linear/Powerset/Product are fresh
+// instances each call.
+var (
+	twoPointLat   = mustBuild("two-point", []string{"L", "H"}, func(i, j int) bool { return i == 0 && j == 1 })
+	threePointLat = mustLinear("L", "M", "H")
+	diamondLat    = mustDiamond()
+)
+
+func mustBuild(name string, names []string, below func(i, j int) bool) Lattice {
+	t, err := build(name, names, below)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func mustLinear(names ...string) Lattice {
+	t, err := build("linear:"+strings.Join(names, "⊑"), append([]string(nil), names...),
+		func(i, j int) bool { return i < j })
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func mustDiamond() Lattice {
+	t, err := New("diamond",
+		[]string{"L", "A", "B", "H"},
+		[][2]string{{"L", "A"}, {"L", "B"}, {"A", "H"}, {"B", "H"}})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TwoPoint returns the standard two-point lattice L ⊑ H used throughout
+// the paper's examples; L is bot and H is top. All calls return the
+// same shared instance.
+func TwoPoint() Lattice { return twoPointLat }
+
+// Linear returns a totally ordered lattice over the given names, ordered
+// from least to most restrictive. Linear panics if names is empty or
+// contains duplicates (programmer error).
+func Linear(names ...string) Lattice {
+	t, err := build("linear:"+strings.Join(names, "⊑"), append([]string(nil), names...),
+		func(i, j int) bool { return i < j })
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ThreePoint returns the linear lattice L ⊑ M ⊑ H used by the paper's
+// multilevel examples (§4, §6). All calls return the same shared
+// instance.
+func ThreePoint() Lattice { return threePointLat }
+
+// Powerset returns the powerset lattice over the given principals,
+// ordered by subset inclusion; ∅ is bot (public) and the full set is
+// top. Element names are comma-joined sorted principal subsets, with
+// "{}" for the empty set. Powerset panics if len(principals) > 10 to
+// keep the element table small, or if principals repeat.
+func Powerset(principals ...string) Lattice {
+	if len(principals) > 10 {
+		panic("lattice.Powerset: too many principals (max 10)")
+	}
+	ps := append([]string(nil), principals...)
+	sort.Strings(ps)
+	n := 1 << len(ps)
+	names := make([]string, n)
+	for s := 0; s < n; s++ {
+		var parts []string
+		for i, p := range ps {
+			if s&(1<<i) != 0 {
+				parts = append(parts, p)
+			}
+		}
+		if len(parts) == 0 {
+			names[s] = "{}"
+		} else {
+			names[s] = "{" + strings.Join(parts, ",") + "}"
+		}
+	}
+	t, err := build("powerset", names, func(i, j int) bool { return i&j == i })
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Product returns the product lattice of a and b: elements are pairs
+// "x*y" ordered componentwise. Products model orthogonal concerns —
+// e.g. confidentiality per principal crossed with a clearance ladder.
+// Product panics if the result would exceed 64 elements.
+func Product(a, b Lattice) Lattice {
+	la, lb := a.Levels(), b.Levels()
+	if len(la)*len(lb) > 64 {
+		panic("lattice.Product: result too large (max 64 elements)")
+	}
+	names := make([]string, 0, len(la)*len(lb))
+	type pair struct{ i, j int }
+	idx := make(map[string]pair)
+	for i, x := range la {
+		for j, y := range lb {
+			n := x.String() + "*" + y.String()
+			idx[n] = pair{i, j}
+			names = append(names, n)
+		}
+	}
+	t, err := build("product("+a.Name()+","+b.Name()+")", names, func(m, n int) bool {
+		pm, pn := idx[names[m]], idx[names[n]]
+		return a.Leq(la[pm.i], la[pn.i]) && b.Leq(lb[pm.j], lb[pn.j])
+	})
+	if err != nil {
+		panic(err) // products of lattices are lattices
+	}
+	return t
+}
+
+// Diamond returns the four-point diamond lattice L ⊑ {A, B} ⊑ H with A
+// and B incomparable — the smallest lattice exercising incomparable
+// levels, useful for testing the multilevel leakage theory. All calls
+// return the same shared instance.
+func Diamond() Lattice { return diamondLat }
+
+// UpwardClosure returns the upward closure S↑ = {ℓ' | ∃ℓ ∈ S. ℓ ⊑ ℓ'} of
+// the given set of labels, in the lattice's deterministic level order.
+// Used by the leakage theory (§6.3): leakage from levels S must account
+// for all levels at least as restrictive as some member of S.
+func UpwardClosure(lat Lattice, set []Label) []Label {
+	var out []Label
+	for _, lv := range lat.Levels() {
+		for _, s := range set {
+			if lat.Leq(s, lv) {
+				out = append(out, lv)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ExcludeObservable returns L_ℓA: the subset of set whose members do NOT
+// flow to the adversary level adv (§6.2). Levels the adversary observes
+// directly provide no new information through timing.
+func ExcludeObservable(lat Lattice, set []Label, adv Label) []Label {
+	var out []Label
+	for _, l := range set {
+		if !lat.Leq(l, adv) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Contains reports whether set contains l.
+func Contains(set []Label, l Label) bool {
+	for _, s := range set {
+		if s == l {
+			return true
+		}
+	}
+	return false
+}
+
+// JoinAll returns the join of all labels in set, or the lattice bottom
+// if set is empty.
+func JoinAll(lat Lattice, set []Label) Label {
+	out := lat.Bot()
+	for _, l := range set {
+		out = lat.Join(out, l)
+	}
+	return out
+}

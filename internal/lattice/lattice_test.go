@@ -1,0 +1,415 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoPointBasics(t *testing.T) {
+	lat := TwoPoint()
+	L, ok := lat.Lookup("L")
+	if !ok {
+		t.Fatal("missing L")
+	}
+	H, ok := lat.Lookup("H")
+	if !ok {
+		t.Fatal("missing H")
+	}
+	if !lat.Leq(L, H) {
+		t.Error("want L ⊑ H")
+	}
+	if lat.Leq(H, L) {
+		t.Error("want H ⋢ L")
+	}
+	if lat.Bot() != L {
+		t.Errorf("Bot = %v, want L", lat.Bot())
+	}
+	if lat.Top() != H {
+		t.Errorf("Top = %v, want H", lat.Top())
+	}
+	if got := lat.Join(L, H); got != H {
+		t.Errorf("L ⊔ H = %v, want H", got)
+	}
+	if got := lat.Meet(L, H); got != L {
+		t.Errorf("L ⊓ H = %v, want L", got)
+	}
+	if lat.Size() != 2 {
+		t.Errorf("Size = %d, want 2", lat.Size())
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	lat := TwoPoint()
+	if _, ok := lat.Lookup("Q"); ok {
+		t.Error("Lookup(Q) should fail")
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	lat := ThreePoint()
+	M, _ := lat.Lookup("M")
+	if M.String() != "M" {
+		t.Errorf("String = %q, want M", M.String())
+	}
+	var zero Label
+	if zero.String() != "<invalid label>" {
+		t.Errorf("zero label String = %q", zero.String())
+	}
+	if zero.Valid() {
+		t.Error("zero label should be invalid")
+	}
+	if !M.Valid() {
+		t.Error("M should be valid")
+	}
+}
+
+func TestThreePointOrder(t *testing.T) {
+	lat := ThreePoint()
+	L, _ := lat.Lookup("L")
+	M, _ := lat.Lookup("M")
+	H, _ := lat.Lookup("H")
+	cases := []struct {
+		a, b Label
+		want bool
+	}{
+		{L, M, true}, {M, H, true}, {L, H, true},
+		{M, L, false}, {H, M, false}, {H, L, false},
+		{L, L, true}, {M, M, true}, {H, H, true},
+	}
+	for _, c := range cases {
+		if got := lat.Leq(c.a, c.b); got != c.want {
+			t.Errorf("Leq(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDiamondIncomparable(t *testing.T) {
+	lat := Diamond()
+	A, _ := lat.Lookup("A")
+	B, _ := lat.Lookup("B")
+	L, _ := lat.Lookup("L")
+	H, _ := lat.Lookup("H")
+	if lat.Leq(A, B) || lat.Leq(B, A) {
+		t.Error("A and B must be incomparable")
+	}
+	if got := lat.Join(A, B); got != H {
+		t.Errorf("A ⊔ B = %v, want H", got)
+	}
+	if got := lat.Meet(A, B); got != L {
+		t.Errorf("A ⊓ B = %v, want L", got)
+	}
+}
+
+func TestPowersetStructure(t *testing.T) {
+	lat := Powerset("alice", "bob")
+	if lat.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", lat.Size())
+	}
+	empty, ok := lat.Lookup("{}")
+	if !ok {
+		t.Fatal("missing {}")
+	}
+	if lat.Bot() != empty {
+		t.Error("bot should be empty set")
+	}
+	ab, ok := lat.Lookup("{alice,bob}")
+	if !ok {
+		t.Fatal("missing {alice,bob}")
+	}
+	if lat.Top() != ab {
+		t.Error("top should be full set")
+	}
+	a, _ := lat.Lookup("{alice}")
+	b, _ := lat.Lookup("{bob}")
+	if got := lat.Join(a, b); got != ab {
+		t.Errorf("join = %v, want {alice,bob}", got)
+	}
+	if got := lat.Meet(a, b); got != empty {
+		t.Errorf("meet = %v, want {}", got)
+	}
+}
+
+func TestPowersetTooManyPrincipals(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for >10 principals")
+		}
+	}()
+	Powerset("a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k")
+}
+
+func TestNewRejectsCycles(t *testing.T) {
+	_, err := New("cyc", []string{"A", "B"}, [][2]string{{"A", "B"}, {"B", "A"}})
+	if err == nil {
+		t.Error("expected error for cyclic order")
+	}
+}
+
+func TestNewRejectsUnbounded(t *testing.T) {
+	// Two incomparable elements with no bounds: not a lattice.
+	_, err := New("unb", []string{"A", "B"}, nil)
+	if err == nil {
+		t.Error("expected error for unbounded poset")
+	}
+}
+
+func TestNewRejectsNonLattice(t *testing.T) {
+	// "M" shape: A,B below C,D, plus bot/top would fix it — without a
+	// unique join of A,B this is not a lattice.
+	_, err := New("m",
+		[]string{"bot", "A", "B", "C", "D", "top"},
+		[][2]string{
+			{"bot", "A"}, {"bot", "B"},
+			{"A", "C"}, {"B", "C"}, {"A", "D"}, {"B", "D"},
+			{"C", "top"}, {"D", "top"},
+		})
+	if err == nil {
+		t.Error("expected error: A ⊔ B is not unique")
+	}
+}
+
+func TestNewRejectsUnknownCoverElement(t *testing.T) {
+	_, err := New("bad", []string{"A"}, [][2]string{{"A", "Z"}})
+	if err == nil {
+		t.Error("expected error for unknown element in cover")
+	}
+}
+
+func TestNewRejectsDuplicateNames(t *testing.T) {
+	_, err := New("dup", []string{"A", "A"}, nil)
+	if err == nil {
+		t.Error("expected error for duplicate names")
+	}
+}
+
+func TestNewRejectsEmpty(t *testing.T) {
+	_, err := New("empty", nil, nil)
+	if err == nil {
+		t.Error("expected error for empty element list")
+	}
+}
+
+func TestLevelsTopologicalOrder(t *testing.T) {
+	for _, lat := range []Lattice{TwoPoint(), ThreePoint(), Diamond(), Powerset("a", "b", "c")} {
+		levels := lat.Levels()
+		if len(levels) != lat.Size() {
+			t.Fatalf("%s: Levels returned %d, want %d", lat.Name(), len(levels), lat.Size())
+		}
+		pos := make(map[Label]int)
+		for i, l := range levels {
+			pos[l] = i
+		}
+		for _, a := range levels {
+			for _, b := range levels {
+				if a != b && lat.Leq(a, b) && pos[a] > pos[b] {
+					t.Errorf("%s: %v ⊑ %v but order is reversed", lat.Name(), a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestCrossLatticePanics(t *testing.T) {
+	a := Linear("L", "H")
+	b := Linear("L", "H")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic mixing labels across lattices")
+		}
+	}()
+	a.Leq(a.Bot(), b.Bot())
+}
+
+func TestStockLatticesAreSingletons(t *testing.T) {
+	// Labels from separate TwoPoint() calls interoperate: the stock
+	// lattices are shared instances.
+	a := TwoPoint()
+	b := TwoPoint()
+	if !a.Leq(a.Bot(), b.Top()) {
+		t.Error("singleton labels should interoperate")
+	}
+	if ThreePoint() != ThreePoint() || Diamond() != Diamond() {
+		t.Error("stock lattices should be shared")
+	}
+}
+
+func TestUpwardClosure(t *testing.T) {
+	lat := ThreePoint()
+	L, _ := lat.Lookup("L")
+	M, _ := lat.Lookup("M")
+	H, _ := lat.Lookup("H")
+	got := UpwardClosure(lat, []Label{M})
+	if len(got) != 2 || !Contains(got, M) || !Contains(got, H) {
+		t.Errorf("closure({M}) = %v, want {M,H}", got)
+	}
+	got = UpwardClosure(lat, []Label{L})
+	if len(got) != 3 {
+		t.Errorf("closure({L}) = %v, want all", got)
+	}
+	if got := UpwardClosure(lat, nil); got != nil {
+		t.Errorf("closure(∅) = %v, want ∅", got)
+	}
+	_ = H
+}
+
+func TestUpwardClosureDiamond(t *testing.T) {
+	lat := Diamond()
+	A, _ := lat.Lookup("A")
+	H, _ := lat.Lookup("H")
+	got := UpwardClosure(lat, []Label{A})
+	if len(got) != 2 || !Contains(got, A) || !Contains(got, H) {
+		t.Errorf("closure({A}) = %v, want {A,H}", got)
+	}
+}
+
+func TestExcludeObservable(t *testing.T) {
+	lat := ThreePoint()
+	L, _ := lat.Lookup("L")
+	M, _ := lat.Lookup("M")
+	H, _ := lat.Lookup("H")
+	// Adversary at M observes L and M; only H gives new information.
+	got := ExcludeObservable(lat, []Label{L, M, H}, M)
+	if len(got) != 1 || got[0] != H {
+		t.Errorf("ExcludeObservable = %v, want {H}", got)
+	}
+}
+
+func TestJoinAll(t *testing.T) {
+	lat := Diamond()
+	A, _ := lat.Lookup("A")
+	B, _ := lat.Lookup("B")
+	if got := JoinAll(lat, []Label{A, B}); got != lat.Top() {
+		t.Errorf("JoinAll = %v, want H", got)
+	}
+	if got := JoinAll(lat, nil); got != lat.Bot() {
+		t.Errorf("JoinAll(∅) = %v, want bot", got)
+	}
+}
+
+// Property-based lattice laws, checked over random label pairs in all
+// the stock lattices.
+func TestLatticeLawsQuick(t *testing.T) {
+	lats := []Lattice{TwoPoint(), ThreePoint(), Diamond(), Powerset("a", "b", "c"), Linear("p0", "p1", "p2", "p3", "p4")}
+	for _, lat := range lats {
+		lat := lat
+		levels := lat.Levels()
+		pick := func(r *rand.Rand) Label { return levels[r.Intn(len(levels))] }
+		cfg := &quick.Config{MaxCount: 200, Values: nil}
+
+		// Commutativity and idempotence of join/meet; absorption;
+		// consistency of Leq with join.
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			a, b, c := pick(r), pick(r), pick(r)
+			if lat.Join(a, b) != lat.Join(b, a) {
+				return false
+			}
+			if lat.Meet(a, b) != lat.Meet(b, a) {
+				return false
+			}
+			if lat.Join(a, a) != a || lat.Meet(a, a) != a {
+				return false
+			}
+			// Absorption laws.
+			if lat.Join(a, lat.Meet(a, b)) != a {
+				return false
+			}
+			if lat.Meet(a, lat.Join(a, b)) != a {
+				return false
+			}
+			// Associativity.
+			if lat.Join(lat.Join(a, b), c) != lat.Join(a, lat.Join(b, c)) {
+				return false
+			}
+			if lat.Meet(lat.Meet(a, b), c) != lat.Meet(a, lat.Meet(b, c)) {
+				return false
+			}
+			// Leq ⇔ join/meet characterization.
+			if lat.Leq(a, b) != (lat.Join(a, b) == b) {
+				return false
+			}
+			if lat.Leq(a, b) != (lat.Meet(a, b) == a) {
+				return false
+			}
+			// Bounds.
+			if !lat.Leq(lat.Bot(), a) || !lat.Leq(a, lat.Top()) {
+				return false
+			}
+			// Join is an upper bound.
+			j := lat.Join(a, b)
+			if !lat.Leq(a, j) || !lat.Leq(b, j) {
+				return false
+			}
+			m := lat.Meet(a, b)
+			if !lat.Leq(m, a) || !lat.Leq(m, b) {
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("%s: lattice law violated: %v", lat.Name(), err)
+		}
+	}
+}
+
+func TestLeqTransitivityQuick(t *testing.T) {
+	lat := Powerset("a", "b", "c", "d")
+	levels := lat.Levels()
+	f := func(i, j, k uint8) bool {
+		a := levels[int(i)%len(levels)]
+		b := levels[int(j)%len(levels)]
+		c := levels[int(k)%len(levels)]
+		if lat.Leq(a, b) && lat.Leq(b, c) && !lat.Leq(a, c) {
+			return false
+		}
+		// Antisymmetry.
+		if a != b && lat.Leq(a, b) && lat.Leq(b, a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProductLattice(t *testing.T) {
+	p := Product(TwoPoint(), TwoPoint())
+	if p.Size() != 4 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	ll, ok := p.Lookup("L*L")
+	if !ok {
+		t.Fatal("missing L*L")
+	}
+	if p.Bot() != ll {
+		t.Error("bot should be L*L")
+	}
+	hh, _ := p.Lookup("H*H")
+	if p.Top() != hh {
+		t.Error("top should be H*H")
+	}
+	lh, _ := p.Lookup("L*H")
+	hl, _ := p.Lookup("H*L")
+	if p.Leq(lh, hl) || p.Leq(hl, lh) {
+		t.Error("L*H and H*L must be incomparable")
+	}
+	if p.Join(lh, hl) != hh || p.Meet(lh, hl) != ll {
+		t.Error("componentwise bounds")
+	}
+	// Product with a 3-chain: 6 elements, still a lattice.
+	p2 := Product(TwoPoint(), ThreePoint())
+	if p2.Size() != 6 {
+		t.Errorf("2×3 product size = %d", p2.Size())
+	}
+}
+
+func TestProductTooLargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Product(Powerset("a", "b", "c"), Powerset("x", "y", "z", "w"))
+}

@@ -1,0 +1,117 @@
+package leakage
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/machine/hw"
+	"repro/internal/progen"
+	"repro/internal/props"
+	"repro/internal/sem/mem"
+)
+
+// Diamond lattice: L ⊑ {A, B} ⊑ H with A, B incomparable. The
+// multilevel measure must keep flows from incomparable levels separate:
+// an adversary at A learns (boundedly) about B-timed secrets only via
+// mitigated timing, and nothing about them through state.
+func TestDiamondIncomparableLeakage(t *testing.T) {
+	lat := lattice.Diamond()
+	A, _ := lat.Lookup("A")
+	B, _ := lat.Lookup("B")
+
+	p, r := compile(t, `
+var b : B;
+var a : A;
+var l : L;
+mitigate (8, B) [L,L] {
+    sleep(b % 300) [B,B];
+}
+l := 2;
+a := a + 1;
+`, lat)
+
+	cfg := Config{
+		Prog:      p,
+		Res:       r,
+		NewEnv:    func() hw.Env { return hw.NewFlat(lat, 2) },
+		Adversary: A,
+	}
+
+	// Vary b over several mitigation buckets: bounded leakage from {B}
+	// to the A-adversary, capped by Theorem 2.
+	bSecrets := []Secret{}
+	for _, v := range []int64{0, 40, 90, 170, 299} {
+		v := v
+		bSecrets = append(bSecrets, func(m *mem.Memory) { m.Set("b", v) })
+	}
+	cfg.From = []lattice.Label{B}
+	mb, err := Measure(cfg, bSecrets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckTheorem2(mb); err != nil {
+		t.Error(err)
+	}
+	if mb.DistinctObservations < 2 {
+		t.Error("expected some (bounded) flow from B through mitigated timing")
+	}
+	// The closure of {B} w.r.t. adversary A is {B, H}: size 2.
+	if err := CheckBound(mb, 2); err != nil {
+		t.Error(err)
+	}
+
+	// Vary a only (the adversary's own level): excluded from L_ℓA, so
+	// no "leakage" is counted — the adversary sees a directly.
+	cfg.From = []lattice.Label{A}
+	aSecrets := []Secret{
+		func(m *mem.Memory) { m.Set("a", 1) },
+		func(m *mem.Memory) { m.Set("a", 2) },
+	}
+	ma, err := Measure(cfg, aSecrets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observations DO differ (the adversary reads a), but L_ℓA is empty
+	// so the relevant mitigate projection is empty and Theorem 2 is
+	// trivially inapplicable; the measure records the storage view.
+	if ma.DistinctObservations != 2 {
+		t.Errorf("adversary should see its own level directly: %d", ma.DistinctObservations)
+	}
+}
+
+// TestDiamondContract runs the hardware contract over generated diamond
+// programs on the 4-partition hardware.
+func TestDiamondContract(t *testing.T) {
+	lat := lattice.Diamond()
+	for seed := int64(0); seed < 3; seed++ {
+		prog, res, src, err := progen.GenerateTyped(progen.Config{
+			Lat: lat, Seed: 900 + seed, AllowMitigate: true,
+		}, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := &props.Checker{
+			Prog:   prog,
+			Res:    res,
+			NewEnv: func() hw.Env { return hw.NewPartitioned(lat, hw.TinyConfig()) },
+			Rand:   rand.New(rand.NewSource(seed)),
+		}
+		if err := c.CheckDeterminism(3); err != nil {
+			t.Errorf("seed %d: %v\n%s", seed, err, src)
+		}
+		if err := c.CheckWriteLabel(3); err != nil {
+			t.Errorf("seed %d: %v\n%s", seed, err, src)
+		}
+		if err := c.CheckSingleStepNI(15); err != nil {
+			t.Errorf("seed %d: %v\n%s", seed, err, src)
+		}
+		if err := c.CheckNoninterference(4); err != nil {
+			t.Errorf("seed %d: %v\n%s", seed, err, src)
+		}
+		A, _ := lat.Lookup("A")
+		if err := c.CheckLowDeterminism(3, A); err != nil {
+			t.Errorf("seed %d: %v\n%s", seed, err, src)
+		}
+	}
+}

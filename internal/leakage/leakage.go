@@ -1,0 +1,193 @@
+// Package leakage implements the quantitative leakage theory of §6–§7:
+// the information-theoretic measure Q of leakage from a set of security
+// levels to an adversary, the timing-variation sets V of mitigate
+// commands, the empirical verification of Theorem 2 (Q ≤ log |V|), and
+// the analytic leakage bound |L↑|·log(K+1)·(1+log T) of §7.
+//
+// The measure follows Definition 1: leakage is the log₂ of the number
+// of distinguishable adversary observations — the possible (x, v, t)
+// event sequences — over executions whose memories and machine
+// environments vary only in the designated secret levels. Since the
+// secret space is unbounded, the package measures over a caller-
+// supplied finite family of secrets, which lower-bounds the true Q;
+// Theorem 2's inequality must still hold for any family, which is what
+// the checker exploits.
+package leakage
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lattice"
+	"repro/internal/machine/hw"
+	"repro/internal/sem/events"
+	"repro/internal/sem/full"
+	"repro/internal/sem/mem"
+	"repro/internal/types"
+)
+
+// Secret assigns values to the confidential variables of one trial.
+type Secret func(*mem.Memory)
+
+// Measurement is the outcome of measuring a program's leakage over a
+// family of secrets.
+type Measurement struct {
+	// Trials is the number of secrets executed.
+	Trials int
+	// DistinctObservations is the number of distinguishable adversary
+	// event traces (variables, values, and times).
+	DistinctObservations int
+	// DistinctMitVariations is |V|: the number of distinct duration
+	// vectors of the relevant mitigate projection (Definition 2).
+	DistinctMitVariations int
+	// QBits is the measured leakage log₂(DistinctObservations).
+	QBits float64
+	// VBits is log₂(DistinctMitVariations) — Theorem 2's bound. When
+	// the projection is empty and observations never vary, both are 0.
+	VBits float64
+	// MaxClock is the largest elapsed time across trials (T in §7).
+	MaxClock uint64
+	// RelevantMitigates is K: the number of executed mitigate records
+	// in the relevant projection, maximized over trials.
+	RelevantMitigates int
+}
+
+// Config describes one leakage measurement.
+type Config struct {
+	Prog *ast.Program
+	Res  *types.Result
+	// NewEnv creates the initial machine environment for each trial;
+	// every trial starts from the same (empty) environment state, as
+	// Definition 1 quantifies over executions from E-equivalent
+	// configurations.
+	NewEnv func() hw.Env
+	// Opts configures the interpreter.
+	Opts full.Options
+	// Adversary is ℓA.
+	Adversary lattice.Label
+	// From is the set L of levels whose information is measured; when
+	// empty it defaults to all levels.
+	From []lattice.Label
+	// Setup configures the public part of memory before each trial
+	// (same for every secret).
+	Setup func(*mem.Memory)
+	// MaxSteps bounds each run; default 2_000_000.
+	MaxSteps int
+}
+
+// Measure runs the program once per secret and counts distinguishable
+// observations per Definition 1 and timing variations per Definition 2.
+func Measure(cfg Config, secrets []Secret) (*Measurement, error) {
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 2_000_000
+	}
+	lat := cfg.Res.Lat
+	from := cfg.From
+	if len(from) == 0 {
+		from = lat.Levels()
+	}
+	// L_ℓA: drop levels the adversary sees directly; close upward.
+	lA := lattice.ExcludeObservable(lat, from, cfg.Adversary)
+	closure := lattice.UpwardClosure(lat, lA)
+
+	obs := make(map[string]bool)
+	mitVars := make(map[string]bool)
+	m := &Measurement{}
+	for _, secret := range secrets {
+		machine, err := full.New(cfg.Prog, cfg.Res, cfg.NewEnv(), cfg.Opts)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Setup != nil {
+			cfg.Setup(machine.Memory())
+		}
+		secret(machine.Memory())
+		if err := machine.Run(cfg.MaxSteps); err != nil {
+			return nil, fmt.Errorf("leakage: %w", err)
+		}
+		m.Trials++
+		if machine.Clock() > m.MaxClock {
+			m.MaxClock = machine.Clock()
+		}
+		view := machine.Trace().ObservableAt(lat, cfg.Res.Vars, cfg.Adversary)
+		obs[view.Key()] = true
+
+		proj := RelevantProjection(machine.Mitigations(), cfg.Res, closure)
+		mitVars[proj.DurationsKey()] = true
+		if len(proj) > m.RelevantMitigates {
+			m.RelevantMitigates = len(proj)
+		}
+	}
+	m.DistinctObservations = len(obs)
+	m.DistinctMitVariations = len(mitVars)
+	m.QBits = math.Log2(float64(m.DistinctObservations))
+	m.VBits = math.Log2(float64(m.DistinctMitVariations))
+	return m, nil
+}
+
+// RelevantProjection returns the mitigate records in the projection of
+// Definition 2: executed mitigates whose pc-label is outside the
+// closure (low-context) — those are low-deterministic by Lemma 1 — and
+// whose mitigation level is inside it (they can carry the secret).
+func RelevantProjection(tr events.MitTrace, res *types.Result, closure []lattice.Label) events.MitTrace {
+	return tr.Filter(func(r events.MitRecord) bool {
+		if r.ID < 0 || r.ID >= len(res.Mitigates) {
+			return false
+		}
+		info := res.Mitigates[r.ID]
+		return !lattice.Contains(closure, info.PC) && lattice.Contains(closure, info.Level)
+	})
+}
+
+// CheckTheorem2 reports an error if the measurement violates Theorem 2:
+// measured leakage must not exceed log |V|. Measured over a finite
+// secret family both sides are lower bounds of their true values, but
+// the theorem's per-family form — every distinguishable observation
+// must be explained by a distinct mitigate-timing variation — still
+// holds and is what is checked.
+func CheckTheorem2(m *Measurement) error {
+	if m.DistinctObservations > max(m.DistinctMitVariations, 1) {
+		return fmt.Errorf("leakage: Theorem 2 violated: %d distinguishable observations > %d timing variations",
+			m.DistinctObservations, m.DistinctMitVariations)
+	}
+	return nil
+}
+
+// Bound computes the analytic leakage bound of §7 for an execution of
+// elapsed time T with K relevant mitigate commands over the upward
+// closure of size closureSize:
+//
+//	|L↑| · log₂(K+1) · (1 + log₂ T)
+//
+// in bits. When K is unknown it may be conservatively bounded by T,
+// giving the O(log² T) form.
+func Bound(closureSize int, k int, t uint64) float64 {
+	if t == 0 {
+		return 0
+	}
+	return float64(closureSize) * math.Log2(float64(k+1)) * (1 + math.Log2(float64(t)))
+}
+
+// BoundForMeasurement applies Bound to a measurement, using the
+// measured K and T and the closure size derived from the config.
+func BoundForMeasurement(m *Measurement, closureSize int) float64 {
+	return Bound(closureSize, m.RelevantMitigates, m.MaxClock)
+}
+
+// CheckBound reports an error if the measured leakage exceeds the
+// analytic §7 bound.
+func CheckBound(m *Measurement, closureSize int) error {
+	bound := BoundForMeasurement(m, closureSize)
+	if m.QBits > bound {
+		return fmt.Errorf("leakage: measured %.2f bits exceeds analytic bound %.2f bits", m.QBits, bound)
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,313 @@
+package leakage
+
+import (
+	"testing"
+
+	"math/rand"
+	"repro/internal/lang/ast"
+	"repro/internal/lang/parser"
+	"repro/internal/lattice"
+	"repro/internal/machine/hw"
+	"repro/internal/progen"
+	"repro/internal/sem/full"
+	"repro/internal/sem/mem"
+	"repro/internal/types"
+)
+
+func compile(t *testing.T, src string, lat lattice.Lattice) (*ast.Program, *types.Result) {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := types.Check(p, lat)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return p, r
+}
+
+func hSecrets(vals ...int64) []Secret {
+	out := make([]Secret, len(vals))
+	for i, v := range vals {
+		v := v
+		out[i] = func(m *mem.Memory) { m.Set("h", v) }
+	}
+	return out
+}
+
+func cfgFor(p *ast.Program, r *types.Result) Config {
+	return Config{
+		Prog:      p,
+		Res:       r,
+		NewEnv:    func() hw.Env { return hw.NewFlat(r.Lat, 2) },
+		Adversary: r.Lat.Bot(),
+	}
+}
+
+func TestZeroLeakageWithoutMitigate(t *testing.T) {
+	// A well-typed program with no mitigate leaks nothing (corollary of
+	// Theorem 2).
+	// The low assignment comes first: after the high-timed assignment
+	// the timing label is H, so a trailing low assignment would not
+	// typecheck (that ordering needs mitigation).
+	p, r := compile(t, `
+var h : H;
+var h2 : H;
+var l : L;
+l := 7;
+h2 := h * 3 [H,H];
+`, lattice.TwoPoint())
+	m, err := Measure(cfgFor(p, r), hSecrets(1, 2, 3, 4, 50, 60, 70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DistinctObservations != 1 {
+		t.Errorf("observations = %d, want 1", m.DistinctObservations)
+	}
+	if m.QBits != 0 {
+		t.Errorf("Q = %f, want 0", m.QBits)
+	}
+	if err := CheckTheorem2(m); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmitigatedSleepLeaks(t *testing.T) {
+	// Without mitigation (disabled), sleep(h) before a low assignment
+	// leaks h through the assignment's time.
+	p, r := compile(t, `
+var h : H;
+var l : L;
+mitigate (1, H) [L,L] { sleep(h) [H,H]; }
+l := 1;
+`, lattice.TwoPoint())
+	cfg := cfgFor(p, r)
+	cfg.Opts = full.Options{DisableMitigation: true}
+	m, err := Measure(cfg, hSecrets(1, 2, 3, 4, 5, 6, 7, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DistinctObservations != 8 {
+		t.Errorf("unmitigated observations = %d, want 8 (full leak)", m.DistinctObservations)
+	}
+	if m.QBits != 3 {
+		t.Errorf("Q = %f, want 3 bits", m.QBits)
+	}
+}
+
+func TestMitigationCollapsesObservations(t *testing.T) {
+	p, r := compile(t, `
+var h : H;
+var l : L;
+mitigate (64, H) [L,L] { sleep(h) [H,H]; }
+l := 1;
+`, lattice.TwoPoint())
+	// Secrets all below the initial prediction: one observation.
+	m, err := Measure(cfgFor(p, r), hSecrets(1, 5, 10, 20, 40, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DistinctObservations != 1 {
+		t.Errorf("mitigated observations = %d, want 1", m.DistinctObservations)
+	}
+	if err := CheckTheorem2(m); err != nil {
+		t.Error(err)
+	}
+	// Wider secrets: collapse into a few schedule buckets (64, 128,
+	// 256), never the full range.
+	m, err = Measure(cfgFor(p, r), hSecrets(10, 20, 30, 40, 80, 100, 150, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DistinctObservations > 3 {
+		t.Errorf("mitigation should collapse 8 secrets into ≤3 buckets: %d", m.DistinctObservations)
+	}
+	if err := CheckTheorem2(m); err != nil {
+		t.Error(err)
+	}
+	if err := CheckBound(m, 1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTheorem2OnGeneratedPrograms(t *testing.T) {
+	lat := lattice.TwoPoint()
+	H := lat.Top()
+	for seed := int64(0); seed < 10; seed++ {
+		prog, res, src, err := progen.GenerateTyped(progen.Config{
+			Lat: lat, Seed: 300 + seed, AllowMitigate: true, AllowSleep: true,
+		}, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(seed))
+		var secrets []Secret
+		for i := 0; i < 12; i++ {
+			vals := map[string]int64{}
+			for _, d := range prog.Decls {
+				if d.Label == H && !d.IsArray {
+					vals[d.Name] = int64(r.Intn(1000))
+				}
+			}
+			vals2 := vals
+			secrets = append(secrets, func(m *mem.Memory) {
+				for k, v := range vals2 {
+					m.Set(k, v)
+				}
+			})
+		}
+		cfg := Config{
+			Prog:      prog,
+			Res:       res,
+			NewEnv:    func() hw.Env { return hw.NewPartitioned(lat, hw.TinyConfig()) },
+			Adversary: lat.Bot(),
+		}
+		m, err := Measure(cfg, secrets)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		if err := CheckTheorem2(m); err != nil {
+			t.Errorf("seed %d: %v\n%s", seed, err, src)
+		}
+		if err := CheckBound(m, 1); err != nil {
+			t.Errorf("seed %d: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+func TestMultilevelLeakageSeparation(t *testing.T) {
+	// §6.2's example: in L ⊑ M ⊑ H, sleep(h) leaks nothing *from {M}*
+	// to L even though it leaks from {H}.
+	lat := lattice.ThreePoint()
+	p, r := compile(t, `
+var h : H;
+var m : M;
+var l : L;
+mitigate (8, H) [L,L] { sleep(h) [H,H]; }
+l := 1;
+`, lat)
+	cfg := cfgFor(p, r)
+	cfg.NewEnv = func() hw.Env { return hw.NewFlat(lat, 2) }
+	M, _ := lat.Lookup("M")
+	H, _ := lat.Lookup("H")
+
+	// Leakage from {H}: vary h.
+	cfg.From = []lattice.Label{H}
+	mh, err := Measure(cfg, hSecrets(1, 50, 400, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mh.DistinctObservations < 2 {
+		t.Error("varying h should be observable (bounded leak)")
+	}
+	if err := CheckTheorem2(mh); err != nil {
+		t.Error(err)
+	}
+
+	// Leakage from {M}: vary m only; h fixed.
+	cfg.From = []lattice.Label{M}
+	secrets := []Secret{
+		func(mm *mem.Memory) { mm.Set("m", 1) },
+		func(mm *mem.Memory) { mm.Set("m", 2) },
+		func(mm *mem.Memory) { mm.Set("m", 3) },
+	}
+	mm, err := Measure(cfg, secrets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.DistinctObservations != 1 {
+		t.Errorf("varying m should be unobservable: %d observations", mm.DistinctObservations)
+	}
+	if mm.QBits != 0 {
+		t.Errorf("Q from {M} = %f, want 0", mm.QBits)
+	}
+}
+
+func TestRelevantProjectionFilters(t *testing.T) {
+	lat := lattice.TwoPoint()
+	p, r := compile(t, `
+var high : H;
+var h : H;
+mitigate@1 (64, H) [L,L] {
+    if (high) [H,H] {
+        mitigate@2 (8, H) [H,H] { h := h + 1 [H,H]; }
+    } else {
+        skip [H,H];
+    }
+}
+`, lat)
+	env := hw.NewFlat(lat, 2)
+	machine, err := full.New(p, r, env, full.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine.Memory().Set("high", 1)
+	if err := machine.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	closure := lattice.UpwardClosure(lat, []lattice.Label{lat.Top()})
+	proj := RelevantProjection(machine.Mitigations(), r, closure)
+	// Only M1 (pc=L, lev=H) is in the projection; M2 has pc=H.
+	if len(proj) != 1 || proj[0].ID != 1 {
+		t.Errorf("projection = %v, want only M1", proj)
+	}
+}
+
+func TestBoundFormula(t *testing.T) {
+	if Bound(1, 0, 0) != 0 {
+		t.Error("T=0 bound should be 0")
+	}
+	// K=0: log2(1)=0 ⇒ bound 0 (no mitigates ⇒ no leakage).
+	if Bound(1, 0, 1<<20) != 0 {
+		t.Error("K=0 bound should be 0")
+	}
+	// |L↑| scales the bound linearly.
+	b1 := Bound(1, 3, 1024)
+	b2 := Bound(2, 3, 1024)
+	if b2 != 2*b1 {
+		t.Errorf("closure scaling: %f vs %f", b1, b2)
+	}
+	// 1 mitigate, T=1024: 1·log2(2)·(1+10) = 11 bits.
+	if got := Bound(1, 1, 1024); got != 11 {
+		t.Errorf("Bound(1,1,1024) = %f, want 11", got)
+	}
+}
+
+func TestMeasurementFieldsPopulated(t *testing.T) {
+	p, r := compile(t, `
+var h : H;
+var l : L;
+mitigate (4, H) [L,L] { sleep(h) [H,H]; }
+l := 1;
+`, lattice.TwoPoint())
+	m, err := Measure(cfgFor(p, r), hSecrets(1, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Trials != 2 || m.MaxClock == 0 || m.RelevantMitigates != 1 {
+		t.Errorf("measurement = %+v", m)
+	}
+	if m.VBits < m.QBits {
+		t.Errorf("Theorem 2: V (%f) should bound Q (%f)", m.VBits, m.QBits)
+	}
+}
+
+func TestSetupAppliesBeforeSecret(t *testing.T) {
+	p, r := compile(t, `
+var h : H;
+var pub : L;
+var l : L;
+mitigate (64, H) [L,L] { sleep(h) [H,H]; }
+l := pub;
+`, lattice.TwoPoint())
+	cfg := cfgFor(p, r)
+	cfg.Setup = func(m *mem.Memory) { m.Set("pub", 42) }
+	m, err := Measure(cfg, hSecrets(3, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DistinctObservations != 1 {
+		t.Errorf("observations = %d", m.DistinctObservations)
+	}
+}

@@ -1,0 +1,265 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	return New(Config{Name: "t", Sets: 4, Assoc: 2, BlockSize: 16, HitLatency: 1})
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Name: "a", Sets: 3, Assoc: 1, BlockSize: 16},
+		{Name: "b", Sets: 4, Assoc: 0, BlockSize: 16},
+		{Name: "c", Sets: 4, Assoc: 1, BlockSize: 24},
+		{Name: "d", Sets: 0, Assoc: 1, BlockSize: 16},
+		{Name: "e", Sets: 4, Assoc: 1, BlockSize: 0},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", cfg)
+		}
+	}
+	good := Config{Name: "g", Sets: 128, Assoc: 4, BlockSize: 32, HitLatency: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("config %+v should be valid: %v", good, err)
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{Sets: 3, Assoc: 1, BlockSize: 16})
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := small()
+	if c.Access(0x100) {
+		t.Error("cold access should miss")
+	}
+	c.Fill(0x100)
+	if !c.Access(0x100) {
+		t.Error("filled block should hit")
+	}
+	// Same block, different offset.
+	if !c.Access(0x10F) {
+		t.Error("same block should hit")
+	}
+	// Next block misses.
+	if c.Access(0x110) {
+		t.Error("adjacent block should miss")
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 2 {
+		t.Errorf("stats = %d/%d, want 2/2", hits, misses)
+	}
+}
+
+func TestContainsIsPure(t *testing.T) {
+	c := small()
+	c.Fill(0x0)   // set 0
+	c.Fill(0x100) // set 0 (4 sets * 16B = 64B stride); 0x100/16=16, 16%4=0
+	// Set 0 now full (assoc 2). LRU is 0x0.
+	if !c.Contains(0x0) || !c.Contains(0x100) {
+		t.Fatal("both blocks should be present")
+	}
+	// Probing must not refresh LRU: after probing 0x0, filling a new
+	// block must still evict 0x0.
+	c.Contains(0x0)
+	ev, did := c.Fill(0x200) // also set 0
+	if !did || ev != 0x0 {
+		t.Errorf("evicted %#x,%v; want 0x0,true", ev, did)
+	}
+}
+
+func TestAccessRefreshesLRU(t *testing.T) {
+	c := small()
+	c.Fill(0x0)
+	c.Fill(0x100)
+	c.Access(0x0) // refresh 0x0; now 0x100 is LRU
+	ev, did := c.Fill(0x200)
+	if !did || ev != 0x100 {
+		t.Errorf("evicted %#x,%v; want 0x100,true", ev, did)
+	}
+}
+
+func TestFillIdempotent(t *testing.T) {
+	c := small()
+	c.Fill(0x40)
+	ev, did := c.Fill(0x40)
+	if did || ev != 0 {
+		t.Error("re-filling present block must not evict")
+	}
+	if c.Occupancy() != 1 {
+		t.Errorf("occupancy = %d, want 1", c.Occupancy())
+	}
+}
+
+func TestInvalidateAndFlush(t *testing.T) {
+	c := small()
+	c.Fill(0x40)
+	c.Fill(0x80)
+	if !c.Invalidate(0x40) {
+		t.Error("invalidate should find block")
+	}
+	if c.Invalidate(0x40) {
+		t.Error("second invalidate should miss")
+	}
+	if c.Contains(0x40) {
+		t.Error("block still present after invalidate")
+	}
+	c.Flush()
+	if c.Occupancy() != 0 {
+		t.Error("flush should empty cache")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := small()
+	c.Fill(0x40)
+	d := c.Clone()
+	if !c.StateEqual(d) {
+		t.Fatal("clone should equal original")
+	}
+	d.Fill(0x80)
+	if c.Contains(0x80) {
+		t.Error("mutating clone affected original")
+	}
+	if c.StateEqual(d) {
+		t.Error("states should now differ")
+	}
+}
+
+func TestStateEqualIgnoresAbsoluteClock(t *testing.T) {
+	// Two caches with the same blocks in the same relative LRU order
+	// are equal even if built by different access sequences.
+	a := small()
+	b := small()
+	a.Fill(0x0)
+	a.Fill(0x100)
+	a.Access(0x0)
+
+	b.Fill(0x100)
+	b.Access(0x100) // extra touches shift absolute clocks
+	b.Fill(0x0)
+	// a: order (LRU→MRU) = 0x100, 0x0. b: 0x100, 0x0. Equal.
+	if !a.StateEqual(b) {
+		t.Error("same relative LRU order should be equal")
+	}
+	b.Access(0x100) // now b order = 0x0, 0x100
+	if a.StateEqual(b) {
+		t.Error("different LRU order should differ")
+	}
+}
+
+func TestStateEqualDifferentGeometry(t *testing.T) {
+	a := small()
+	b := New(Config{Name: "t", Sets: 8, Assoc: 2, BlockSize: 16})
+	if a.StateEqual(b) {
+		t.Error("different geometries should not be equal")
+	}
+}
+
+func TestBlocksDeterministic(t *testing.T) {
+	c := small()
+	// Distinct sets (0,1,2,3) plus a second way in set 0: all five fit.
+	addrs := []uint64{0x0, 0x10, 0x20, 0x30, 0x40}
+	for _, a := range addrs {
+		c.Fill(a)
+	}
+	b1 := c.Blocks()
+	b2 := c.Blocks()
+	if len(b1) != len(addrs) {
+		t.Fatalf("blocks = %v", b1)
+	}
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatal("Blocks not deterministic")
+		}
+	}
+}
+
+func TestDirectMapped(t *testing.T) {
+	c := New(Config{Name: "dm", Sets: 4, Assoc: 1, BlockSize: 16})
+	c.Fill(0x0)
+	ev, did := c.Fill(0x40) // maps to set 0 too
+	if !did || ev != 0x0 {
+		t.Errorf("direct-mapped conflict: evicted %#x,%v", ev, did)
+	}
+}
+
+// Property: a cache never holds more than Assoc blocks per set, and
+// Contains agrees with Access-hit behaviour.
+func TestCacheInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := New(Config{Name: "q", Sets: 8, Assoc: 2, BlockSize: 32})
+		mirror := make(map[uint64]bool) // block base -> present per our model
+		_ = mirror
+		for i := 0; i < 200; i++ {
+			addr := uint64(r.Intn(4096))
+			switch r.Intn(3) {
+			case 0:
+				pre := c.Contains(addr)
+				hit := c.Access(addr)
+				if pre != hit {
+					return false
+				}
+			case 1:
+				c.Fill(addr)
+				if !c.Contains(addr) {
+					return false
+				}
+			case 2:
+				c.Invalidate(addr)
+				if c.Contains(addr) {
+					return false
+				}
+			}
+		}
+		// Per-set occupancy bound.
+		return c.Occupancy() <= 8*2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clone + identical access sequences ⇒ identical states
+// (determinism of the cache model, needed for Property 2 of the paper).
+func TestCacheDeterminismQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c1 := New(Config{Name: "q", Sets: 4, Assoc: 4, BlockSize: 16})
+		// Random warmup.
+		for i := 0; i < 50; i++ {
+			c1.Fill(uint64(r.Intn(1024)))
+		}
+		c2 := c1.Clone()
+		seq := make([]uint64, 100)
+		for i := range seq {
+			seq[i] = uint64(r.Intn(1024))
+		}
+		for _, a := range seq {
+			h1 := c1.Access(a)
+			h2 := c2.Access(a)
+			if h1 != h2 {
+				return false
+			}
+			if !h1 {
+				c1.Fill(a)
+				c2.Fill(a)
+			}
+		}
+		return c1.StateEqual(c2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

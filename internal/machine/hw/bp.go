@@ -1,0 +1,108 @@
+package hw
+
+// Branch prediction support. The paper lists branch predictors and
+// branch target buffers among the machine-environment components whose
+// state creates indirect timing dependencies (§2.1, citing Acıiçmez et
+// al.'s simple branch prediction analysis). This file adds a bimodal
+// predictor (2-bit saturating counters, as in SimpleScalar) to every
+// hardware model:
+//
+//   - Unpartitioned: one shared table, always consulted and updated —
+//     vulnerable to branch-prediction analysis by a coresident
+//     adversary, like its caches.
+//   - NoFill: commands with a public write label use the table
+//     normally; all others charge a fixed mispredict penalty and leave
+//     the table untouched (the predictor analogue of no-fill mode).
+//   - Partitioned: one table per level. A branch uses the partition of
+//     its WRITE label (prediction must be read from state the command
+//     may also update), and only when ew ⊑ er so that the timing
+//     dependence is licensed by the read label; otherwise it charges
+//     the fixed penalty and touches nothing.
+//   - FlushOnHigh: public branches use the single table; confidential
+//     ones flush it along with everything else.
+//
+// Because the predictor stores branch OUTCOMES, its security needs a
+// rule the cache did not: the guard's level must flow to the write
+// label (ℓe ⊑ ew for if/while), which the type system enforces — see
+// types: the branch-outcome rule.
+
+// predictor is a bimodal branch predictor: 2-bit saturating counters
+// indexed by (branch address / 4) mod size.
+type predictor struct {
+	counters []uint8
+}
+
+func newPredictor(size int) *predictor {
+	if size <= 0 {
+		return &predictor{}
+	}
+	return &predictor{counters: make([]uint8, size)}
+}
+
+func (p *predictor) enabled() bool { return len(p.counters) > 0 }
+
+func (p *predictor) slot(addr uint64) *uint8 {
+	return &p.counters[(addr/4)%uint64(len(p.counters))]
+}
+
+// predict returns the predicted direction without updating state.
+func (p *predictor) predict(addr uint64) bool {
+	return *p.slot(addr) >= 2
+}
+
+// update trains the counter toward the actual outcome.
+func (p *predictor) update(addr uint64, taken bool) {
+	s := p.slot(addr)
+	if taken {
+		if *s < 3 {
+			*s++
+		}
+	} else if *s > 0 {
+		*s--
+	}
+}
+
+func (p *predictor) clone() *predictor {
+	return &predictor{counters: append([]uint8(nil), p.counters...)}
+}
+
+func (p *predictor) flush() {
+	for i := range p.counters {
+		p.counters[i] = 0
+	}
+}
+
+func (p *predictor) stateEqual(o *predictor) bool {
+	if len(p.counters) != len(o.counters) {
+		return false
+	}
+	for i := range p.counters {
+		if p.counters[i] != o.counters[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BPConfig describes the branch predictor.
+type BPConfig struct {
+	// Size is the number of 2-bit counters; 0 disables prediction
+	// (branches then cost nothing extra).
+	Size int
+	// MissPenalty is the extra cost of a mispredicted branch.
+	MissPenalty uint64
+}
+
+// branchCost computes the penalty of one branch against a table, with
+// training.
+func branchCost(p *predictor, cfg BPConfig, addr uint64, taken bool) uint64 {
+	if !p.enabled() {
+		return 0
+	}
+	predicted := p.predict(addr)
+	p.update(addr, taken)
+	if predicted != taken {
+		return cfg.MissPenalty
+	}
+	return 0
+}

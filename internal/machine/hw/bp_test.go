@@ -1,0 +1,174 @@
+package hw
+
+import (
+	"testing"
+
+	"repro/internal/lattice"
+)
+
+func TestPredictorTraining(t *testing.T) {
+	p := newPredictor(8)
+	addr := uint64(0x100)
+	if p.predict(addr) {
+		t.Error("counters start not-taken")
+	}
+	p.update(addr, true)
+	p.update(addr, true)
+	if !p.predict(addr) {
+		t.Error("two taken updates should flip the prediction")
+	}
+	// Saturation: many takens, then one not-taken keeps predicting taken.
+	for i := 0; i < 10; i++ {
+		p.update(addr, true)
+	}
+	p.update(addr, false)
+	if !p.predict(addr) {
+		t.Error("2-bit counter should survive one contrary outcome")
+	}
+	p.update(addr, false)
+	p.update(addr, false)
+	if p.predict(addr) {
+		t.Error("three not-takens should retrain")
+	}
+}
+
+func TestPredictorDisabled(t *testing.T) {
+	p := newPredictor(0)
+	if p.enabled() {
+		t.Error("size 0 disables")
+	}
+	if c := branchCost(p, BPConfig{Size: 0, MissPenalty: 9}, 0x4, true); c != 0 {
+		t.Errorf("disabled predictor cost = %d", c)
+	}
+}
+
+func TestBranchCostPenalty(t *testing.T) {
+	p := newPredictor(4)
+	cfg := BPConfig{Size: 4, MissPenalty: 7}
+	// First taken branch mispredicts (counters start at 0 = not taken).
+	if c := branchCost(p, cfg, 0x8, true); c != 7 {
+		t.Errorf("cold mispredict cost = %d, want 7", c)
+	}
+	branchCost(p, cfg, 0x8, true) // train
+	if c := branchCost(p, cfg, 0x8, true); c != 0 {
+		t.Errorf("trained branch cost = %d, want 0", c)
+	}
+}
+
+func TestUnpartitionedBranchSharedState(t *testing.T) {
+	lat, L, H := two()
+	env := NewUnpartitioned(lat, TinyConfig())
+	addr := uint64(0x400010)
+	// Train with H-labeled branches (insecure: one shared table).
+	for i := 0; i < 3; i++ {
+		env.Branch(addr, true, H, H)
+	}
+	// An L-labeled branch at the same address now predicts taken: the
+	// confidential history influenced public timing.
+	if c := env.Branch(addr, true, L, L); c != 0 {
+		t.Errorf("shared predictor should be trained: cost %d", c)
+	}
+	st := env.Stats()
+	if st.BPHits == 0 || st.BPMisses == 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestPartitionedBranchIsolation(t *testing.T) {
+	lat, L, H := two()
+	env := NewPartitioned(lat, TinyConfig())
+	addr := uint64(0x400010)
+	// Train the H partition heavily.
+	for i := 0; i < 4; i++ {
+		env.Branch(addr, true, H, H)
+	}
+	// The L partition is untouched: an L branch still mispredicts a
+	// taken outcome exactly like on a fresh machine.
+	fresh := NewPartitioned(lat, TinyConfig())
+	if got, want := env.Branch(addr, true, L, L), fresh.Branch(addr, true, L, L); got != want {
+		t.Errorf("H training leaked into L partition: %d vs %d", got, want)
+	}
+	if !env.ProjEqual(fresh, L) {
+		// After one identical L branch each, L projections agree.
+		t.Error("L projections should agree")
+	}
+}
+
+func TestPartitionedBranchUncoupledLabels(t *testing.T) {
+	// ew ⋢ er: the prediction may not be consulted; fixed penalty.
+	lat := lattice.ThreePoint()
+	M, _ := lat.Lookup("M")
+	L, _ := lat.Lookup("L")
+	env := NewPartitioned(lat, TinyConfig())
+	c1 := env.Branch(0x400, true, L, M) // ew=M ⋢ er=L
+	c2 := env.Branch(0x400, true, L, M)
+	if c1 != c2 || c1 != TinyConfig().BP.MissPenalty {
+		t.Errorf("uncoupled branch should cost the fixed penalty: %d, %d", c1, c2)
+	}
+}
+
+func TestNoFillBranchHighFixedCost(t *testing.T) {
+	lat, L, H := two()
+	env := NewNoFill(lat, TinyConfig())
+	env.Branch(0x40, true, L, L) // trains public table
+	snapshot := env.Clone()
+	c1 := env.Branch(0x40, true, H, H)
+	c2 := env.Branch(0x40, false, H, H)
+	if c1 != c2 {
+		t.Errorf("no-fill high branches should cost a constant: %d vs %d", c1, c2)
+	}
+	if !env.LowEqual(snapshot, lat.Top()) {
+		t.Error("no-fill high branch must not modify predictor state")
+	}
+}
+
+func TestFlushBranchWipesPredictor(t *testing.T) {
+	lat, L, H := two()
+	env := NewFlushOnHigh(lat, TinyConfig())
+	// Train public.
+	env.Branch(0x40, true, L, L)
+	env.Branch(0x40, true, L, L)
+	env.Branch(0x40, true, L, L)
+	if c := env.Branch(0x40, true, L, L); c != 0 {
+		t.Fatal("should be trained")
+	}
+	env.Branch(0x80, true, H, H) // flush
+	if c := env.Branch(0x40, true, L, L); c == 0 {
+		t.Error("flush should forget the training")
+	}
+}
+
+func TestFlatBranchFree(t *testing.T) {
+	lat, L, _ := two()
+	env := NewFlat(lat, 3)
+	if env.Branch(0x40, true, L, L) != 0 {
+		t.Error("flat branches are free")
+	}
+}
+
+func TestBranchDisabledConfig(t *testing.T) {
+	lat, L, _ := two()
+	cfg := TinyConfig()
+	cfg.BP.Size = 0
+	for _, env := range []Env{
+		NewUnpartitioned(lat, cfg), NewNoFill(lat, cfg),
+		NewPartitioned(lat, cfg), NewFlushOnHigh(lat, cfg),
+	} {
+		if c := env.Branch(0x40, true, L, L); c != 0 {
+			t.Errorf("%s: disabled predictor cost %d", env.Name(), c)
+		}
+	}
+}
+
+func TestBranchStateInProjEqual(t *testing.T) {
+	lat, L, _ := two()
+	a := NewPartitioned(lat, TinyConfig())
+	b := NewPartitioned(lat, TinyConfig())
+	if !a.ProjEqual(b, L) {
+		t.Fatal("fresh envs equal")
+	}
+	a.Branch(0x40, true, L, L)
+	if a.ProjEqual(b, L) {
+		t.Error("predictor training must show in projected equivalence")
+	}
+}

@@ -1,0 +1,523 @@
+package hw
+
+import (
+	"repro/internal/lattice"
+	"repro/internal/machine/cache"
+)
+
+// ---------------------------------------------------------------------------
+// Unpartitioned (commodity, insecure) hardware — the "nopar" baseline.
+
+// Unpartitioned models a commodity hierarchy that ignores timing
+// labels: every access searches and fills the single shared hierarchy.
+// It is the insecure baseline of the paper's evaluation (§8.3).
+type Unpartitioned struct {
+	lat   lattice.Lattice
+	cfg   Config
+	data  *hier
+	instr *hier
+	bp    *predictor
+	stats Stats
+}
+
+var _ Env = (*Unpartitioned)(nil)
+
+// NewUnpartitioned constructs the baseline environment.
+func NewUnpartitioned(lat lattice.Lattice, cfg Config) *Unpartitioned {
+	mustValidate(cfg)
+	return &Unpartitioned{
+		lat:   lat,
+		cfg:   cfg,
+		data:  newHier(cfg.Data, "DTLB"),
+		instr: newHier(cfg.Instr, "ITLB"),
+		bp:    newPredictor(cfg.BP.Size),
+	}
+}
+
+func mustValidate(cfg Config) {
+	if err := cfg.Data.validate(); err != nil {
+		panic(err)
+	}
+	if err := cfg.Instr.validate(); err != nil {
+		panic(err)
+	}
+}
+
+func (u *Unpartitioned) Access(kind AccessKind, addr uint64, er, ew lattice.Label) uint64 {
+	h, hcfg := u.data, u.cfg.Data
+	if kind == Fetch {
+		h, hcfg = u.instr, u.cfg.Instr
+	}
+	return normalAccess(h, hcfg, addr, u.statsFor(kind))
+}
+
+// statsFor returns the counter slots for the hierarchy kind touches.
+func (u *Unpartitioned) statsFor(kind AccessKind) *hierStats {
+	if kind == Fetch {
+		return &hierStats{&u.stats.L1IHits, &u.stats.L1IMisses, &u.stats.L2IHits, &u.stats.L2IMisses, &u.stats.ITLBHits, &u.stats.ITLBMisses}
+	}
+	return &hierStats{&u.stats.L1DHits, &u.stats.L1DMisses, &u.stats.L2DHits, &u.stats.L2DMisses, &u.stats.DTLBHits, &u.stats.DTLBMisses}
+}
+
+// Branch implements Env: the single shared predictor is always
+// consulted and trained, whatever the labels — insecure by design.
+func (u *Unpartitioned) Branch(addr uint64, taken bool, er, ew lattice.Label) uint64 {
+	c := branchCost(u.bp, u.cfg.BP, addr, taken)
+	u.countBranch(c)
+	return c
+}
+
+func (u *Unpartitioned) countBranch(c uint64) {
+	if c > 0 {
+		u.stats.BPMisses++
+	} else {
+		u.stats.BPHits++
+	}
+}
+
+func (u *Unpartitioned) Clone() Env {
+	return &Unpartitioned{lat: u.lat, cfg: u.cfg, data: u.data.clone(), instr: u.instr.clone(), bp: u.bp.clone()}
+}
+
+// ProjEqual: all unpartitioned state is public, i.e. lives at ⊥; the
+// projection at any other level is empty and therefore always equal.
+func (u *Unpartitioned) ProjEqual(other Env, lv lattice.Label) bool {
+	o, ok := other.(*Unpartitioned)
+	if !ok {
+		return false
+	}
+	if lv != u.lat.Bot() {
+		return true
+	}
+	return u.data.stateEqual(o.data) && u.instr.stateEqual(o.instr) && u.bp.stateEqual(o.bp)
+}
+
+func (u *Unpartitioned) LowEqual(other Env, lv lattice.Label) bool {
+	return lowEqual(u, other, lv)
+}
+
+func (u *Unpartitioned) Reset() {
+	u.data.flush()
+	u.instr.flush()
+	u.bp.flush()
+}
+
+func (u *Unpartitioned) Lattice() lattice.Lattice { return u.lat }
+func (u *Unpartitioned) Name() string             { return "unpartitioned" }
+func (u *Unpartitioned) Stats() Stats             { return u.stats }
+
+// hierStats points at the six counters an access updates.
+type hierStats struct {
+	l1h, l1m, l2h, l2m, tlbh, tlbm *uint64
+}
+
+// normalAccess performs a conventional TLB + L1 + L2 + memory access
+// with fills and LRU updates, returning its cost.
+func normalAccess(h *hier, cfg HierarchyConfig, addr uint64, st *hierStats) uint64 {
+	var cost uint64
+	if h.tlb.Access(addr) {
+		*st.tlbh++
+	} else {
+		*st.tlbm++
+		cost += cfg.TLBMissPenalty
+		h.tlb.Fill(addr)
+	}
+	cost += cfg.L1.HitLatency
+	if h.l1.Access(addr) {
+		*st.l1h++
+		return cost
+	}
+	*st.l1m++
+	cost += cfg.L2.HitLatency
+	if h.l2.Access(addr) {
+		*st.l2h++
+		h.l1.Fill(addr)
+		return cost
+	}
+	*st.l2m++
+	cost += cfg.MemLatency
+	h.l2.Fill(addr)
+	h.l1.Fill(addr)
+	return cost
+}
+
+// lowEqual implements ~ℓ from ProjEqual over all levels ℓ' ⊑ ℓ.
+func lowEqual(e Env, other Env, lv lattice.Label) bool {
+	lat := e.Lattice()
+	for _, l := range lat.Levels() {
+		if lat.Leq(l, lv) && !e.ProjEqual(other, l) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// NoFill (standard secure hardware, §4.2)
+
+// NoFill models standard hardware with a no-fill mode, per §4.2: the
+// whole hierarchy is treated as public (level ⊥). Commands whose write
+// label is not ⊥ execute in no-fill mode: cache and TLB hits are served
+// at hit latency but update no state (not even LRU order); misses are
+// served from the next level with no fills or evictions. Commands with
+// ew = ⊥ use the hierarchy normally.
+type NoFill struct {
+	lat   lattice.Lattice
+	cfg   Config
+	data  *hier
+	instr *hier
+	bp    *predictor
+	stats Stats
+}
+
+var _ Env = (*NoFill)(nil)
+
+// NewNoFill constructs the §4.2 environment.
+func NewNoFill(lat lattice.Lattice, cfg Config) *NoFill {
+	mustValidate(cfg)
+	return &NoFill{
+		lat:   lat,
+		cfg:   cfg,
+		data:  newHier(cfg.Data, "DTLB"),
+		instr: newHier(cfg.Instr, "ITLB"),
+		bp:    newPredictor(cfg.BP.Size),
+	}
+}
+
+func (n *NoFill) Access(kind AccessKind, addr uint64, er, ew lattice.Label) uint64 {
+	h, hcfg := n.data, n.cfg.Data
+	st := n.statsFor(kind)
+	if kind == Fetch {
+		h, hcfg = n.instr, n.cfg.Instr
+	}
+	if ew == n.lat.Bot() {
+		return normalAccess(h, hcfg, addr, st)
+	}
+	return noFillAccess(h, hcfg, addr, st)
+}
+
+func (n *NoFill) statsFor(kind AccessKind) *hierStats {
+	if kind == Fetch {
+		return &hierStats{&n.stats.L1IHits, &n.stats.L1IMisses, &n.stats.L2IHits, &n.stats.L2IMisses, &n.stats.ITLBHits, &n.stats.ITLBMisses}
+	}
+	return &hierStats{&n.stats.L1DHits, &n.stats.L1DMisses, &n.stats.L2DHits, &n.stats.L2DMisses, &n.stats.DTLBHits, &n.stats.DTLBMisses}
+}
+
+// noFillAccess computes the access cost without modifying any state:
+// hits are probed with Contains (no LRU update); misses charge the full
+// path with no fills. This is what makes Property 5 hold for commands
+// with non-public write labels.
+func noFillAccess(h *hier, cfg HierarchyConfig, addr uint64, st *hierStats) uint64 {
+	var cost uint64
+	if h.tlb.Contains(addr) {
+		*st.tlbh++
+	} else {
+		*st.tlbm++
+		cost += cfg.TLBMissPenalty
+	}
+	cost += cfg.L1.HitLatency
+	if h.l1.Contains(addr) {
+		*st.l1h++
+		return cost
+	}
+	*st.l1m++
+	cost += cfg.L2.HitLatency
+	if h.l2.Contains(addr) {
+		*st.l2h++
+		return cost
+	}
+	*st.l2m++
+	cost += cfg.MemLatency
+	return cost
+}
+
+// Branch implements Env: public-write-label branches use the (public)
+// predictor normally; all others charge a fixed mispredict penalty and
+// leave it untouched — the predictor analogue of no-fill mode.
+func (n *NoFill) Branch(addr uint64, taken bool, er, ew lattice.Label) uint64 {
+	if !n.bp.enabled() {
+		return 0
+	}
+	if ew == n.lat.Bot() {
+		c := branchCost(n.bp, n.cfg.BP, addr, taken)
+		if c > 0 {
+			n.stats.BPMisses++
+		} else {
+			n.stats.BPHits++
+		}
+		return c
+	}
+	n.stats.BPMisses++
+	return n.cfg.BP.MissPenalty
+}
+
+func (n *NoFill) Clone() Env {
+	return &NoFill{lat: n.lat, cfg: n.cfg, data: n.data.clone(), instr: n.instr.clone(), bp: n.bp.clone()}
+}
+
+func (n *NoFill) ProjEqual(other Env, lv lattice.Label) bool {
+	o, ok := other.(*NoFill)
+	if !ok {
+		return false
+	}
+	if lv != n.lat.Bot() {
+		return true
+	}
+	return n.data.stateEqual(o.data) && n.instr.stateEqual(o.instr) && n.bp.stateEqual(o.bp)
+}
+
+func (n *NoFill) LowEqual(other Env, lv lattice.Label) bool {
+	return lowEqual(n, other, lv)
+}
+
+func (n *NoFill) Reset() {
+	n.data.flush()
+	n.instr.flush()
+	n.bp.flush()
+}
+
+func (n *NoFill) Lattice() lattice.Lattice { return n.lat }
+func (n *NoFill) Name() string             { return "nofill" }
+func (n *NoFill) Stats() Stats             { return n.stats }
+
+// ---------------------------------------------------------------------------
+// Partitioned (efficient secure hardware, §4.3)
+
+// Partitioned models caches and TLBs statically partitioned per
+// security level (§4.3, generalized from two levels to any finite
+// lattice):
+//
+//   - A lookup under read label er searches the partitions of every
+//     level ℓ ⊑ er, so timing depends only on ⊑-er state (Property 6).
+//   - A hit in partition p updates p's LRU order only when ew ⊑ p
+//     (Property 5 forbids modifying state below the write label).
+//   - A miss installs the block into partition ew exactly. If the
+//     block already resides in an unsearched partition p' and ew ⊑ p',
+//     the controller moves it (invalidates it there) to preserve the
+//     single-copy invariant; either way the access costs the full miss
+//     path, so timing never reveals unsearched-partition state.
+type Partitioned struct {
+	lat   lattice.Lattice
+	cfg   Config  // original (unsplit) configuration
+	pcfg  Config  // per-partition configuration
+	data  []*hier // indexed by label ID
+	instr []*hier // indexed by label ID
+	bps   []*predictor
+	stats Stats
+}
+
+var _ Env = (*Partitioned)(nil)
+
+// NewPartitioned constructs the §4.3 environment with one partition of
+// every structure per lattice level.
+func NewPartitioned(lat lattice.Lattice, cfg Config) *Partitioned {
+	mustValidate(cfg)
+	n := lat.Size()
+	p := &Partitioned{
+		lat:  lat,
+		cfg:  cfg,
+		pcfg: Config{Data: splitHierarchy(cfg.Data, n), Instr: splitHierarchy(cfg.Instr, n)},
+	}
+	p.data = make([]*hier, n)
+	p.instr = make([]*hier, n)
+	p.bps = make([]*predictor, n)
+	bpSize := cfg.BP.Size / n
+	if cfg.BP.Size > 0 && bpSize < 1 {
+		bpSize = 1
+	}
+	p.pcfg.BP = BPConfig{Size: bpSize, MissPenalty: cfg.BP.MissPenalty}
+	for i := 0; i < n; i++ {
+		p.data[i] = newHier(p.pcfg.Data, "DTLB")
+		p.instr[i] = newHier(p.pcfg.Instr, "ITLB")
+		p.bps[i] = newPredictor(bpSize)
+	}
+	return p
+}
+
+// Branch implements Env. The branch trains the predictor partition of
+// its WRITE label (the outcome is information the command writes into
+// machine state) and may consult it only when ew ⊑ er, so the timing
+// dependence stays within the read label; otherwise a fixed penalty is
+// charged and no state is touched. The type system's branch-outcome
+// rule (guard level ⊑ ew) makes the stored outcomes no more secret
+// than the partition holding them.
+func (p *Partitioned) Branch(addr uint64, taken bool, er, ew lattice.Label) uint64 {
+	if p.cfg.BP.Size <= 0 {
+		return 0
+	}
+	if !p.lat.Leq(ew, er) {
+		p.stats.BPMisses++
+		return p.pcfg.BP.MissPenalty
+	}
+	c := branchCost(p.bps[ew.ID()], p.pcfg.BP, addr, taken)
+	if c > 0 {
+		p.stats.BPMisses++
+	} else {
+		p.stats.BPHits++
+	}
+	return c
+}
+
+// PartitionConfig returns the per-partition configuration (after
+// splitting), for reporting.
+func (p *Partitioned) PartitionConfig() Config { return p.pcfg }
+
+func (p *Partitioned) Access(kind AccessKind, addr uint64, er, ew lattice.Label) uint64 {
+	parts, hcfg := p.data, p.pcfg.Data
+	if kind == Fetch {
+		parts, hcfg = p.instr, p.pcfg.Instr
+	}
+	st := p.statsFor(kind)
+	var cost uint64
+	// TLB.
+	if hit := p.partLookup(parts, er, ew, addr, tlbSel); hit {
+		*st.tlbh++
+	} else {
+		*st.tlbm++
+		cost += hcfg.TLBMissPenalty
+		p.partFill(parts, er, ew, addr, tlbSel)
+	}
+	// L1.
+	cost += hcfg.L1.HitLatency
+	if p.partLookup(parts, er, ew, addr, l1Sel) {
+		*st.l1h++
+		return cost
+	}
+	*st.l1m++
+	// L2.
+	cost += hcfg.L2.HitLatency
+	if p.partLookup(parts, er, ew, addr, l2Sel) {
+		*st.l2h++
+		p.partFill(parts, er, ew, addr, l1Sel)
+		return cost
+	}
+	*st.l2m++
+	cost += hcfg.MemLatency
+	p.partFill(parts, er, ew, addr, l2Sel)
+	p.partFill(parts, er, ew, addr, l1Sel)
+	return cost
+}
+
+func (p *Partitioned) statsFor(kind AccessKind) *hierStats {
+	if kind == Fetch {
+		return &hierStats{&p.stats.L1IHits, &p.stats.L1IMisses, &p.stats.L2IHits, &p.stats.L2IMisses, &p.stats.ITLBHits, &p.stats.ITLBMisses}
+	}
+	return &hierStats{&p.stats.L1DHits, &p.stats.L1DMisses, &p.stats.L2DHits, &p.stats.L2DMisses, &p.stats.DTLBHits, &p.stats.DTLBMisses}
+}
+
+// sel selects one structure (TLB, L1 or L2) from a partition.
+type sel func(*hier) *cache.Cache
+
+func tlbSel(h *hier) *cache.Cache { return h.tlb }
+func l1Sel(h *hier) *cache.Cache  { return h.l1 }
+func l2Sel(h *hier) *cache.Cache  { return h.l2 }
+
+// partLookup searches the partitions at levels ⊑ er for addr. On a hit
+// it refreshes LRU order only in partitions p with ew ⊑ p.
+func (p *Partitioned) partLookup(parts []*hier, er, ew lattice.Label, addr uint64, s sel) bool {
+	hit := false
+	for _, lv := range p.lat.Levels() {
+		if !p.lat.Leq(lv, er) {
+			continue
+		}
+		c := s(parts[lv.ID()])
+		if c.Contains(addr) {
+			hit = true
+			if p.lat.Leq(ew, lv) {
+				c.Access(addr) // refresh LRU; permitted by Property 5
+			}
+		}
+	}
+	return hit
+}
+
+// partFill installs addr into partition ew and removes stale copies
+// from any other partition p' that Property 5 lets us modify (ew ⊑ p').
+func (p *Partitioned) partFill(parts []*hier, er, ew lattice.Label, addr uint64, s sel) {
+	for _, lv := range p.lat.Levels() {
+		if lv == ew {
+			continue
+		}
+		if !p.lat.Leq(ew, lv) {
+			continue // may not modify this partition
+		}
+		s(parts[lv.ID()]).Invalidate(addr)
+	}
+	s(parts[ew.ID()]).Fill(addr)
+}
+
+func (p *Partitioned) Clone() Env {
+	n := &Partitioned{lat: p.lat, cfg: p.cfg, pcfg: p.pcfg}
+	n.data = make([]*hier, len(p.data))
+	n.instr = make([]*hier, len(p.instr))
+	n.bps = make([]*predictor, len(p.bps))
+	for i := range p.data {
+		n.data[i] = p.data[i].clone()
+		n.instr[i] = p.instr[i].clone()
+		n.bps[i] = p.bps[i].clone()
+	}
+	return n
+}
+
+// ProjEqual compares exactly the level-lv partitions.
+func (p *Partitioned) ProjEqual(other Env, lv lattice.Label) bool {
+	o, ok := other.(*Partitioned)
+	if !ok || len(o.data) != len(p.data) {
+		return false
+	}
+	id := lv.ID()
+	return p.data[id].stateEqual(o.data[id]) && p.instr[id].stateEqual(o.instr[id]) &&
+		p.bps[id].stateEqual(o.bps[id])
+}
+
+func (p *Partitioned) LowEqual(other Env, lv lattice.Label) bool {
+	return lowEqual(p, other, lv)
+}
+
+func (p *Partitioned) Reset() {
+	for i := range p.data {
+		p.data[i].flush()
+		p.instr[i].flush()
+		p.bps[i].flush()
+	}
+}
+
+func (p *Partitioned) Lattice() lattice.Lattice { return p.lat }
+func (p *Partitioned) Name() string             { return "partitioned" }
+func (p *Partitioned) Stats() Stats             { return p.stats }
+
+// ---------------------------------------------------------------------------
+// Flat (no machine state) — useful for tests and as a degenerate model.
+
+// Flat is a machine environment with no state at all: every access
+// costs a fixed latency. It trivially satisfies Properties 5–7 and
+// isolates direct timing dependencies from indirect ones in tests.
+type Flat struct {
+	lat     lattice.Lattice
+	Latency uint64
+}
+
+var _ Env = (*Flat)(nil)
+
+// NewFlat constructs a stateless environment with the given fixed cost
+// per access.
+func NewFlat(lat lattice.Lattice, latency uint64) *Flat {
+	return &Flat{lat: lat, Latency: latency}
+}
+
+func (f *Flat) Access(kind AccessKind, addr uint64, er, ew lattice.Label) uint64 {
+	return f.Latency
+}
+
+// Branch implements Env: stateless, free.
+func (f *Flat) Branch(addr uint64, taken bool, er, ew lattice.Label) uint64 { return 0 }
+func (f *Flat) Clone() Env                                                  { c := *f; return &c }
+func (f *Flat) ProjEqual(other Env, lv lattice.Label) bool {
+	_, ok := other.(*Flat)
+	return ok
+}
+func (f *Flat) LowEqual(other Env, lv lattice.Label) bool { return f.ProjEqual(other, lv) }
+func (f *Flat) Reset()                                    {}
+func (f *Flat) Lattice() lattice.Lattice                  { return f.lat }
+func (f *Flat) Name() string                              { return "flat" }
+func (f *Flat) Stats() Stats                              { return Stats{} }

@@ -1,0 +1,73 @@
+package hw
+
+import (
+	"testing"
+
+	"repro/internal/lattice"
+)
+
+func TestFlushOnHighNormalLowPath(t *testing.T) {
+	lat, L, _ := two()
+	env := NewFlushOnHigh(lat, TinyConfig())
+	cold := env.Access(Read, 0x40, L, L)
+	warm := env.Access(Read, 0x40, L, L)
+	if warm >= cold {
+		t.Errorf("low path should cache normally: %d then %d", cold, warm)
+	}
+}
+
+func TestFlushOnHighFlushesEverything(t *testing.T) {
+	lat, L, H := two()
+	env := NewFlushOnHigh(lat, TinyConfig())
+	env.Access(Read, 0x40, L, L) // warm low state
+	env.Access(Fetch, 0x80, L, L)
+	env.Access(Read, 0x1000, H, H) // flush
+	fresh := NewFlushOnHigh(lat, TinyConfig())
+	if !env.LowEqual(fresh, lat.Top()) {
+		t.Error("high access should leave the environment empty")
+	}
+	// Post-flush, the previously-warm low address misses again.
+	again := env.Access(Read, 0x40, L, L)
+	cold := fresh.Access(Read, 0x40, L, L)
+	if again != cold {
+		t.Errorf("post-flush access should be cold: %d vs %d", again, cold)
+	}
+}
+
+func TestFlushOnHighHighCostConstant(t *testing.T) {
+	// Every confidential access costs the same regardless of state:
+	// the high path carries no machine-state timing dependence at all.
+	lat, L, H := two()
+	env := NewFlushOnHigh(lat, TinyConfig())
+	c1 := env.Access(Read, 0x40, H, H)
+	env.Access(Read, 0x40, L, L)
+	c2 := env.Access(Read, 0x40, H, H)
+	c3 := env.Access(Fetch, 0x999, H, H)
+	if c1 != c2 || c2 != c3 {
+		t.Errorf("high access costs vary: %d %d %d", c1, c2, c3)
+	}
+}
+
+func TestFlushOnHighCloneAndReset(t *testing.T) {
+	lat, L, _ := two()
+	env := NewFlushOnHigh(lat, TinyConfig())
+	env.Access(Read, 0x40, L, L)
+	cl := env.Clone()
+	if !env.LowEqual(cl, lat.Top()) {
+		t.Error("clone should be equal")
+	}
+	cl.Access(Read, 0x80, L, L)
+	if env.LowEqual(cl, lat.Top()) {
+		t.Error("clone should now differ")
+	}
+	env.Reset()
+	if env.Stats().L1DHits+env.Stats().L1DMisses == 0 {
+		t.Error("stats should persist across reset")
+	}
+	if env.Name() != "flush-on-high" {
+		t.Error("name")
+	}
+	if env.ProjEqual(NewFlat(lattice.TwoPoint(), 1), lat.Bot()) {
+		t.Error("cross-type ProjEqual must be false")
+	}
+}

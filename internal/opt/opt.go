@@ -1,0 +1,135 @@
+// Package opt implements timing-aware compiler optimizations over the
+// language AST: constant folding and constant-branch elimination.
+//
+// Optimizations interact with the paper's model in a specific way:
+// they may freely CHANGE a program's timing (timing belongs to the
+// language implementation, which the machine-environment contract
+// abstracts), but they must preserve
+//
+//  1. the core semantics — same final memory and same observable event
+//     values (checked against the unoptimized program over generated
+//     inputs in the tests), and
+//  2. typability — the optimized program must still type-check, with
+//     labels no more restrictive than before. Folding only ever
+//     REMOVES variable reads and branches, so expression levels and
+//     timing end-labels can only go down; the tests confirm
+//     monotonicity on generated programs.
+//
+// Branches whose guards fold to constants are eliminated: the surviving
+// arm was type-checked under a pc raised by the guard's level, which a
+// constant makes ⊥, so it still checks in the enclosing context.
+package opt
+
+import (
+	"repro/internal/lang/ast"
+	"repro/internal/lang/token"
+	"repro/internal/sem/core"
+)
+
+// Program optimizes prog in place (the AST is rewritten; declarations
+// and mitigate identifiers are preserved) and reports how many
+// expressions were folded and how many branches were eliminated.
+func Program(prog *ast.Program) (folds, branches int) {
+	o := &optimizer{}
+	prog.Body = o.cmd(prog.Body)
+	return o.folds, o.branches
+}
+
+type optimizer struct {
+	folds    int
+	branches int
+}
+
+// cmd rewrites one command, returning its replacement.
+func (o *optimizer) cmd(c ast.Cmd) ast.Cmd {
+	switch cm := c.(type) {
+	case *ast.Seq:
+		cm.First = o.cmd(cm.First)
+		cm.Second = o.cmd(cm.Second)
+		return cm
+	case *ast.Skip:
+		return cm
+	case *ast.Assign:
+		cm.X = o.expr(cm.X)
+		return cm
+	case *ast.Store:
+		cm.Idx = o.expr(cm.Idx)
+		cm.X = o.expr(cm.X)
+		return cm
+	case *ast.Sleep:
+		cm.X = o.expr(cm.X)
+		return cm
+	case *ast.If:
+		cm.Cond = o.expr(cm.Cond)
+		cm.Then = o.cmd(cm.Then)
+		cm.Else = o.cmd(cm.Else)
+		if lit, ok := cm.Cond.(*ast.IntLit); ok {
+			o.branches++
+			if lit.Value != 0 {
+				return cm.Then
+			}
+			return cm.Else
+		}
+		return cm
+	case *ast.While:
+		cm.Cond = o.expr(cm.Cond)
+		cm.Body = o.cmd(cm.Body)
+		if lit, ok := cm.Cond.(*ast.IntLit); ok && lit.Value == 0 {
+			// while (0) never runs: replace with a skip that reuses
+			// the loop's node identity and labels.
+			o.branches++
+			s := &ast.Skip{}
+			s.TokPos = cm.TokPos
+			s.NodeID = cm.NodeID
+			s.Lab = cm.Lab
+			return s
+		}
+		// A constant-true guard is left alone: the loop is the
+		// program's (non-)termination behaviour, not dead code.
+		return cm
+	case *ast.Mitigate:
+		cm.Init = o.expr(cm.Init)
+		cm.Body = o.cmd(cm.Body)
+		return cm
+	}
+	return c
+}
+
+// expr rewrites one expression bottom-up.
+func (o *optimizer) expr(e ast.Expr) ast.Expr {
+	switch ex := e.(type) {
+	case *ast.IntLit, *ast.Var:
+		return e
+	case *ast.Index:
+		ex.Idx = o.expr(ex.Idx)
+		return ex
+	case *ast.Unary:
+		ex.X = o.expr(ex.X)
+		if lit, ok := ex.X.(*ast.IntLit); ok {
+			o.folds++
+			switch ex.Op {
+			case token.MINUS:
+				return &ast.IntLit{TokPos: ex.TokPos, Value: -lit.Value}
+			case token.NOT:
+				v := int64(0)
+				if lit.Value == 0 {
+					v = 1
+				}
+				return &ast.IntLit{TokPos: ex.TokPos, Value: v}
+			}
+			o.folds-- // unknown operator: leave as is
+		}
+		return ex
+	case *ast.Binary:
+		ex.X = o.expr(ex.X)
+		ex.Y = o.expr(ex.Y)
+		lx, okx := ex.X.(*ast.IntLit)
+		ly, oky := ex.Y.(*ast.IntLit)
+		if okx && oky {
+			o.folds++
+			return &ast.IntLit{TokPos: ex.TokPos, Value: core.EvalBinop(ex.Op, lx.Value, ly.Value)}
+		}
+		return ex
+	}
+	return e
+}

@@ -1,0 +1,192 @@
+package opt
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/parser"
+	"repro/internal/lang/printer"
+	"repro/internal/lattice"
+	"repro/internal/progen"
+	"repro/internal/sem/core"
+	"repro/internal/sem/mem"
+	"repro/internal/types"
+)
+
+func parseCheck(t *testing.T, src string) (*ast.Program, *types.Result) {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := types.Check(p, lattice.TwoPoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, r
+}
+
+func TestConstantFolding(t *testing.T) {
+	p, _ := parseCheck(t, "var x : L; x := 1 + 2 * 3 - -4;")
+	folds, _ := Program(p)
+	if folds < 3 {
+		t.Errorf("folds = %d", folds)
+	}
+	a := p.Body.(*ast.Assign)
+	lit, ok := a.X.(*ast.IntLit)
+	if !ok || lit.Value != 11 {
+		t.Errorf("folded expr = %v", printer.PrintExpr(a.X))
+	}
+}
+
+func TestNotFolding(t *testing.T) {
+	p, _ := parseCheck(t, "var x : L; x := !(3 - 3);")
+	Program(p)
+	a := p.Body.(*ast.Assign)
+	if lit, ok := a.X.(*ast.IntLit); !ok || lit.Value != 1 {
+		t.Errorf("folded = %v", printer.PrintExpr(a.X))
+	}
+}
+
+func TestBranchElimination(t *testing.T) {
+	p, _ := parseCheck(t, `
+var x : L;
+if (2 > 1) { x := 10; } else { x := 20; }
+if (0) { x := 30; } else { x := 40; }
+while (1 - 1) { x := 50; }
+`)
+	_, branches := Program(p)
+	if branches != 3 {
+		t.Errorf("branches eliminated = %d, want 3", branches)
+	}
+	out := printer.Print(p, printer.Options{})
+	if strings.Contains(out, "if") || strings.Contains(out, "while") {
+		t.Errorf("constant branches survive:\n%s", out)
+	}
+	if strings.Contains(out, "x := 20") || strings.Contains(out, "x := 30") ||
+		strings.Contains(out, "x := 50") {
+		t.Errorf("dead arms survive:\n%s", out)
+	}
+}
+
+func TestInfiniteLoopPreserved(t *testing.T) {
+	p, _ := parseCheck(t, "var x : L; while (1) { x := x + 1; }")
+	Program(p)
+	out := printer.Print(p, printer.Options{})
+	if !strings.Contains(out, "while (1)") {
+		t.Errorf("while (1) must be preserved:\n%s", out)
+	}
+}
+
+func TestVariablesBlockFolding(t *testing.T) {
+	p, _ := parseCheck(t, "var a : L; var x : L; x := a + 0;")
+	folds, _ := Program(p)
+	// a + 0 is NOT folded: only all-constant operands fold (algebraic
+	// identities would silently drop a machine-environment read).
+	if folds != 0 {
+		t.Errorf("folds = %d, want 0", folds)
+	}
+}
+
+// Optimized programs compute exactly the same values as the originals,
+// over generated programs and random inputs.
+func TestSemanticPreservationOnGenerated(t *testing.T) {
+	lat := lattice.TwoPoint()
+	r := rand.New(rand.NewSource(7))
+	for seed := int64(0); seed < 25; seed++ {
+		// Two independent copies of the same program: one optimized.
+		mk := func() (*ast.Program, string) {
+			prog, _, src, err := progen.GenerateTyped(progen.Config{
+				Lat: lat, Seed: 2200 + seed, AllowMitigate: true, AllowSleep: true, MaxDepth: 4,
+			}, 50)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return prog, src
+		}
+		orig, src := mk()
+		opt, _ := mk()
+		Program(opt)
+
+		inputs := func(m *mem.Memory) {
+			for _, d := range orig.Decls {
+				if d.IsArray {
+					for i := int64(0); i < d.Size; i++ {
+						m.SetEl(d.Name, i, int64(r.Intn(50)))
+					}
+				} else {
+					m.Set(d.Name, int64(r.Intn(50)))
+				}
+			}
+		}
+		m1 := mem.New(orig)
+		inputs(m1)
+		m2 := m1.Clone()
+		k1 := core.New(orig, m1)
+		k2 := core.New(opt, m2)
+		if err := k1.Run(2_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if err := k2.Run(2_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if !m1.Equal(m2) {
+			t.Fatalf("seed %d: optimization changed the final memory\n%s", seed, src)
+		}
+		if !k1.Trace().ValuesEqual(k2.Trace()) {
+			t.Fatalf("seed %d: optimization changed event values\n%s", seed, src)
+		}
+	}
+}
+
+// Optimized programs still type-check: folding removes reads and
+// branches, which only lowers levels.
+func TestTypabilityPreservedOnGenerated(t *testing.T) {
+	lat := lattice.TwoPoint()
+	for seed := int64(0); seed < 25; seed++ {
+		prog, _, src, err := progen.GenerateTyped(progen.Config{
+			Lat: lat, Seed: 3300 + seed, AllowMitigate: true, AllowSleep: true,
+		}, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Program(prog)
+		if _, err := types.Check(prog, lat); err != nil {
+			t.Fatalf("seed %d: optimized program fails type checking: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+// Optimization is idempotent.
+func TestIdempotent(t *testing.T) {
+	p, _ := parseCheck(t, `
+var x : L;
+if (1) { x := 2 + 3; } else { skip; }
+`)
+	Program(p)
+	folds, branches := Program(p)
+	if folds != 0 || branches != 0 {
+		t.Errorf("second pass did work: %d folds, %d branches", folds, branches)
+	}
+}
+
+// Folding a mitigate's init expression keeps its identifier and level.
+func TestMitigatePreserved(t *testing.T) {
+	p, _ := parseCheck(t, `
+var h : H;
+mitigate@3 (16 * 4, H) [L,L] { sleep(h) [H,H]; }
+`)
+	folds, _ := Program(p)
+	if folds != 1 {
+		t.Errorf("folds = %d", folds)
+	}
+	m := p.Body.(*ast.Mitigate)
+	if m.MitID != 3 {
+		t.Error("mitigate id lost")
+	}
+	if lit, ok := m.Init.(*ast.IntLit); !ok || lit.Value != 64 {
+		t.Errorf("init = %v", printer.PrintExpr(m.Init))
+	}
+}

@@ -1,0 +1,354 @@
+// Package progen generates random programs in the timing-channel
+// language for property-based testing.
+//
+// The generator mirrors the typing discipline of the paper's Fig. 4 as
+// it builds commands — tracking the program-counter label and the
+// timing start-label, and choosing assignment targets high enough to
+// absorb all taint — so that almost every generated program
+// type-checks. Loops are built over dedicated counter variables with a
+// forced reset/increment shape, so every generated program terminates.
+// GenerateTyped retries with fresh seeds until type checking succeeds,
+// making it a total source of (program, typing) pairs.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/parser"
+	"repro/internal/lattice"
+	"repro/internal/types"
+)
+
+// Config controls generation. The zero value of optional fields selects
+// the defaults noted.
+type Config struct {
+	// Lat is the security lattice; required.
+	Lat lattice.Lattice
+	// Seed drives the deterministic random source.
+	Seed int64
+	// MaxDepth bounds command nesting; default 3.
+	MaxDepth int
+	// StmtsPerBlock bounds the statements in each sequence; default 4.
+	StmtsPerBlock int
+	// ScalarsPerLevel is the number of scalar variables declared at
+	// each lattice level; default 2.
+	ScalarsPerLevel int
+	// ArraysPerLevel is the number of arrays (of ArrayLen elements)
+	// declared per level; default 1.
+	ArraysPerLevel int
+	// ArrayLen is the length of generated arrays; default 8.
+	ArrayLen int
+	// CountersPerLevel is the number of loop counters available per
+	// level; default 2. Loops consume a free counter; when none is
+	// free, loop generation falls back to an if.
+	CountersPerLevel int
+	// LoopBound is the iteration count of generated loops; default 3.
+	LoopBound int
+	// AllowMitigate enables mitigate generation; mitigation levels are
+	// always ⊤ so bodies can be arbitrary.
+	AllowMitigate bool
+	// AllowSleep enables sleep generation.
+	AllowSleep bool
+	// MaxExprDepth bounds expression nesting; default 3.
+	MaxExprDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 3
+	}
+	if c.StmtsPerBlock == 0 {
+		c.StmtsPerBlock = 4
+	}
+	if c.ScalarsPerLevel == 0 {
+		c.ScalarsPerLevel = 2
+	}
+	if c.ArraysPerLevel == 0 {
+		c.ArraysPerLevel = 1
+	}
+	if c.ArrayLen == 0 {
+		c.ArrayLen = 8
+	}
+	if c.CountersPerLevel == 0 {
+		c.CountersPerLevel = 2
+	}
+	if c.LoopBound == 0 {
+		c.LoopBound = 3
+	}
+	if c.MaxExprDepth == 0 {
+		c.MaxExprDepth = 3
+	}
+	return c
+}
+
+// varInfo describes one declared variable.
+type varInfo struct {
+	name    string
+	level   lattice.Label
+	isArray bool
+	counter bool
+}
+
+type gen struct {
+	cfg  Config
+	lat  lattice.Lattice
+	r    *rand.Rand
+	vars []varInfo
+	// counterBusy marks counters currently owned by an enclosing loop.
+	counterBusy map[string]bool
+	b           strings.Builder
+}
+
+// Generate produces random program source text. The result usually
+// type-checks (by construction) but is not guaranteed to; use
+// GenerateTyped for a guaranteed-well-typed program.
+func Generate(cfg Config) string {
+	cfg = cfg.withDefaults()
+	g := &gen{
+		cfg:         cfg,
+		lat:         cfg.Lat,
+		r:           rand.New(rand.NewSource(cfg.Seed)),
+		counterBusy: make(map[string]bool),
+	}
+	g.declare()
+	g.block(0, g.lat.Bot(), g.lat.Bot(), g.lat.Top(), g.cfg.StmtsPerBlock)
+	return g.b.String()
+}
+
+// GenerateTyped generates until the program type-checks, up to
+// maxTries seeds derived from cfg.Seed; it reports how many attempts
+// were needed via the returned seed offset.
+func GenerateTyped(cfg Config, maxTries int) (*ast.Program, *types.Result, string, error) {
+	cfg = cfg.withDefaults()
+	for i := 0; i < maxTries; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*1_000_003
+		src := Generate(c)
+		prog, err := parser.Parse(src)
+		if err != nil {
+			continue
+		}
+		res, err := types.Check(prog, cfg.Lat)
+		if err != nil {
+			continue
+		}
+		return prog, res, src, nil
+	}
+	return nil, nil, "", fmt.Errorf("progen: no well-typed program in %d tries (seed %d)", maxTries, cfg.Seed)
+}
+
+// declare emits declarations and records variable metadata.
+func (g *gen) declare() {
+	for _, lv := range g.lat.Levels() {
+		ln := sanitize(lv.String())
+		for i := 0; i < g.cfg.ScalarsPerLevel; i++ {
+			name := fmt.Sprintf("s_%s_%d", ln, i)
+			g.vars = append(g.vars, varInfo{name: name, level: lv})
+			fmt.Fprintf(&g.b, "var %s : %s;\n", name, lv)
+		}
+		for i := 0; i < g.cfg.ArraysPerLevel; i++ {
+			name := fmt.Sprintf("a_%s_%d", ln, i)
+			g.vars = append(g.vars, varInfo{name: name, level: lv, isArray: true})
+			fmt.Fprintf(&g.b, "array %s[%d] : %s;\n", name, g.cfg.ArrayLen, lv)
+		}
+		for i := 0; i < g.cfg.CountersPerLevel; i++ {
+			name := fmt.Sprintf("c_%s_%d", ln, i)
+			g.vars = append(g.vars, varInfo{name: name, level: lv, counter: true})
+			fmt.Fprintf(&g.b, "var %s : %s;\n", name, lv)
+		}
+	}
+}
+
+// sanitize turns a label name into an identifier fragment.
+func sanitize(s string) string {
+	var out strings.Builder
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			out.WriteRune(r)
+		}
+	}
+	if out.Len() == 0 {
+		return "x"
+	}
+	return out.String()
+}
+
+// pick returns a random variable satisfying the filter, or nil.
+func (g *gen) pick(filter func(varInfo) bool) *varInfo {
+	var cands []int
+	for i, v := range g.vars {
+		if filter(v) {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	return &g.vars[cands[g.r.Intn(len(cands))]]
+}
+
+// expr generates a random expression whose variables all have levels
+// ⊑ cap; it returns the source text, the expression's level, and its
+// address level (join of index-expression levels).
+func (g *gen) expr(depth int, cap lattice.Label) (string, lattice.Label, lattice.Label) {
+	bot := g.lat.Bot()
+	if depth >= g.cfg.MaxExprDepth || g.r.Intn(3) == 0 {
+		// Leaf: literal or variable.
+		switch g.r.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.Intn(20)), bot, bot
+		default:
+			v := g.pick(func(v varInfo) bool {
+				return !v.isArray && !v.counter && g.lat.Leq(v.level, cap)
+			})
+			if v == nil {
+				return fmt.Sprintf("%d", g.r.Intn(20)), bot, bot
+			}
+			return v.name, v.level, bot
+		}
+	}
+	switch g.r.Intn(5) {
+	case 0: // unary
+		s, l, al := g.expr(depth+1, cap)
+		op := "-"
+		if g.r.Intn(2) == 0 {
+			op = "!"
+		}
+		return fmt.Sprintf("%s(%s)", op, s), l, al
+	case 1: // array read a[e]
+		v := g.pick(func(v varInfo) bool { return v.isArray && g.lat.Leq(v.level, cap) })
+		if v == nil {
+			break
+		}
+		is, il, ial := g.expr(depth+1, cap)
+		lvl := g.lat.Join(v.level, il)
+		addr := g.lat.Join(il, ial)
+		return fmt.Sprintf("%s[%s]", v.name, is), lvl, addr
+	}
+	// binary
+	ops := []string{"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||", "&", "|", "^"}
+	op := ops[g.r.Intn(len(ops))]
+	a, la, aa := g.expr(depth+1, cap)
+	b, lb, ab := g.expr(depth+1, cap)
+	return fmt.Sprintf("(%s %s %s)", a, op, b), g.lat.Join(la, lb), g.lat.Join(aa, ab)
+}
+
+// block emits up to n statements, threading the timing label t through
+// them per T-SEQ, and returns the final timing label. cap bounds every
+// level used inside (⊤ outside loops; the loop's counter level inside).
+func (g *gen) block(depth int, pc, t, cap lattice.Label, n int) lattice.Label {
+	count := 1 + g.r.Intn(n)
+	emitted := 0
+	for i := 0; i < count; i++ {
+		nt, ok := g.stmt(depth, pc, t, cap)
+		if ok {
+			t = nt
+			emitted++
+		}
+	}
+	if emitted == 0 {
+		g.b.WriteString("skip;\n")
+	}
+	return t
+}
+
+// stmt emits one statement and returns the new timing label; ok is
+// false if nothing could be generated under the constraints.
+func (g *gen) stmt(depth int, pc, t, cap lattice.Label) (lattice.Label, bool) {
+	choices := []int{0, 1, 1, 1, 2, 2} // skip, assign, store
+	if depth < g.cfg.MaxDepth {
+		choices = append(choices, 3, 3, 4) // if, while
+		if g.cfg.AllowMitigate {
+			choices = append(choices, 5, 5)
+		}
+	}
+	if g.cfg.AllowSleep {
+		choices = append(choices, 6)
+	}
+	switch choices[g.r.Intn(len(choices))] {
+	case 0:
+		g.b.WriteString("skip;\n")
+		// Inferred er = pc: t' = t ⊔ pc (already ⊒ pc never hurts).
+		return g.lat.Join(t, pc), true
+
+	case 1: // assignment
+		es, el, al := g.expr(0, cap)
+		// Inferred ew = er = pc ⊔ al; target must absorb everything.
+		need := g.lat.Join(g.lat.Join(pc, t), g.lat.Join(el, al))
+		v := g.pick(func(v varInfo) bool {
+			return !v.isArray && !v.counter && g.lat.Leq(need, v.level) && g.lat.Leq(v.level, cap)
+		})
+		if v == nil {
+			return t, false
+		}
+		fmt.Fprintf(&g.b, "%s := %s;\n", v.name, es)
+		return v.level, true
+
+	case 2: // array store
+		is, il, ial := g.expr(0, cap)
+		es, el, al := g.expr(0, cap)
+		need := g.lat.Join(
+			g.lat.Join(pc, t),
+			g.lat.Join(g.lat.Join(il, ial), g.lat.Join(el, al)))
+		v := g.pick(func(v varInfo) bool {
+			return v.isArray && g.lat.Leq(need, v.level) && g.lat.Leq(v.level, cap)
+		})
+		if v == nil {
+			return t, false
+		}
+		fmt.Fprintf(&g.b, "%s[%s] := %s;\n", v.name, is, es)
+		return v.level, true
+
+	case 3: // if
+		gs, gl, gal := g.expr(0, cap)
+		innerPC := g.lat.Join(pc, gl)
+		// Inferred er = pc ⊔ gal for the if command itself.
+		innerT := g.lat.Join(g.lat.Join(gl, t), g.lat.Join(pc, gal))
+		fmt.Fprintf(&g.b, "if (%s) {\n", gs)
+		t1 := g.block(depth+1, innerPC, innerT, cap, g.cfg.StmtsPerBlock)
+		g.b.WriteString("} else {\n")
+		t2 := g.block(depth+1, innerPC, innerT, cap, g.cfg.StmtsPerBlock)
+		g.b.WriteString("}\n")
+		return g.lat.Join(t1, t2), true
+
+	case 4: // bounded while over a free counter
+		// The counter's level must absorb the current taint so its
+		// reset and increment type-check at the loop's fixed point.
+		need := g.lat.Join(pc, t)
+		v := g.pick(func(v varInfo) bool {
+			return v.counter && !g.counterBusy[v.name] &&
+				g.lat.Leq(need, v.level) && g.lat.Leq(v.level, cap)
+		})
+		if v == nil {
+			return t, false
+		}
+		g.counterBusy[v.name] = true
+		fmt.Fprintf(&g.b, "%s := 0;\n", v.name)
+		fmt.Fprintf(&g.b, "while (%s < %d) {\n", v.name, g.cfg.LoopBound)
+		fmt.Fprintf(&g.b, "%s := %s + 1;\n", v.name, v.name)
+		// Body capped at the counter's level so the loop fixed point
+		// stays at that level; mitigates inside may still exceed it.
+		g.block(depth+1, v.level, v.level, v.level, g.cfg.StmtsPerBlock-1)
+		g.b.WriteString("}\n")
+		g.counterBusy[v.name] = false
+		// After reset (t=v.level), loop end label is the fixed point.
+		return v.level, true
+
+	case 5: // mitigate at top level: body is unconstrained
+		init := 1 + g.r.Intn(64)
+		fmt.Fprintf(&g.b, "mitigate (%d, %s) {\n", init, g.lat.Top())
+		g.block(depth+1, pc, g.lat.Join(t, pc), g.lat.Top(), g.cfg.StmtsPerBlock)
+		g.b.WriteString("}\n")
+		// T-MTG: end label is t ⊔ ℓe(init literal = ⊥) ⊔ er(pc).
+		return g.lat.Join(t, pc), true
+
+	case 6: // sleep
+		es, el, al := g.expr(0, cap)
+		fmt.Fprintf(&g.b, "sleep(%s);\n", es)
+		return g.lat.Join(g.lat.Join(t, el), g.lat.Join(pc, al)), true
+	}
+	return t, false
+}

@@ -1,0 +1,127 @@
+package progen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang/parser"
+	"repro/internal/lattice"
+	"repro/internal/sem/core"
+	"repro/internal/sem/mem"
+	"repro/internal/types"
+)
+
+func TestGenerateParses(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		src := Generate(Config{Lat: lattice.TwoPoint(), Seed: seed, AllowMitigate: true, AllowSleep: true})
+		if _, err := parser.Parse(src); err != nil {
+			t.Fatalf("seed %d: generated unparsable program: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Lat: lattice.TwoPoint(), Seed: 42, AllowMitigate: true}
+	if Generate(cfg) != Generate(cfg) {
+		t.Error("same seed should generate the same program")
+	}
+	other := Config{Lat: lattice.TwoPoint(), Seed: 43, AllowMitigate: true}
+	if Generate(cfg) == Generate(other) {
+		t.Error("different seeds should (almost surely) differ")
+	}
+}
+
+func TestGenerateMostlyWellTyped(t *testing.T) {
+	lat := lattice.TwoPoint()
+	typed := 0
+	const total = 100
+	for seed := int64(0); seed < total; seed++ {
+		src := Generate(Config{Lat: lat, Seed: seed, AllowMitigate: true, AllowSleep: true})
+		p, err := parser.Parse(src)
+		if err != nil {
+			continue
+		}
+		if _, err := types.Check(p, lat); err == nil {
+			typed++
+		}
+	}
+	// The generator mirrors the typing rules; essentially everything
+	// should type-check.
+	if typed < total*9/10 {
+		t.Errorf("only %d/%d generated programs type-check", typed, total)
+	}
+}
+
+func TestGenerateTyped(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		prog, res, src, err := GenerateTyped(Config{
+			Lat: lattice.ThreePoint(), Seed: seed, AllowMitigate: true, AllowSleep: true,
+		}, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prog == nil || res == nil || src == "" {
+			t.Fatal("nil results")
+		}
+	}
+}
+
+func TestGeneratedProgramsTerminate(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		prog, _, src, err := GenerateTyped(Config{
+			Lat: lattice.TwoPoint(), Seed: seed, AllowMitigate: true, AllowSleep: true,
+			MaxDepth: 4,
+		}, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := core.New(prog, mem.New(prog))
+		if err := k.Run(2_000_000); err != nil {
+			t.Fatalf("seed %d: generated program did not terminate: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+func TestGenerateUsesRequestedFeatures(t *testing.T) {
+	// Across many seeds, mitigate and sleep should both appear.
+	sawMitigate, sawSleep, sawWhile := false, false, false
+	for seed := int64(0); seed < 40; seed++ {
+		src := Generate(Config{Lat: lattice.TwoPoint(), Seed: seed, AllowMitigate: true, AllowSleep: true})
+		if strings.Contains(src, "mitigate") {
+			sawMitigate = true
+		}
+		if strings.Contains(src, "sleep") {
+			sawSleep = true
+		}
+		if strings.Contains(src, "while") {
+			sawWhile = true
+		}
+	}
+	if !sawMitigate || !sawSleep || !sawWhile {
+		t.Errorf("feature coverage: mitigate=%v sleep=%v while=%v", sawMitigate, sawSleep, sawWhile)
+	}
+}
+
+func TestGenerateWithoutOptionalFeatures(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		src := Generate(Config{Lat: lattice.TwoPoint(), Seed: seed})
+		if strings.Contains(src, "mitigate") || strings.Contains(src, "sleep") {
+			t.Fatalf("disabled features appeared:\n%s", src)
+		}
+	}
+}
+
+func TestGenerateDiamondLattice(t *testing.T) {
+	_, _, _, err := GenerateTyped(Config{Lat: lattice.Diamond(), Seed: 7, AllowMitigate: true}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateTypedExhaustion(t *testing.T) {
+	// maxTries=0 must fail cleanly.
+	_, _, _, err := GenerateTyped(Config{Lat: lattice.TwoPoint()}, 0)
+	if err == nil {
+		t.Error("expected exhaustion error")
+	}
+}

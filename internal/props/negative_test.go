@@ -1,0 +1,102 @@
+package props
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/machine/hw"
+)
+
+// wobblyEnv shares a mutable counter across all instances created by
+// one factory, so two "identical" runs see different costs — a stand-in
+// for hardware with cross-run hidden state (e.g. uninitialized DRAM
+// timing), which Property 2 forbids.
+type wobblyEnv struct {
+	hw.Env
+	counter *uint64
+}
+
+func (w *wobblyEnv) Access(kind hw.AccessKind, addr uint64, er, ew lattice.Label) uint64 {
+	*w.counter++
+	return w.Env.Access(kind, addr, er, ew) + (*w.counter)%3
+}
+
+func (w *wobblyEnv) Clone() hw.Env {
+	return &wobblyEnv{Env: w.Env.Clone(), counter: w.counter}
+}
+
+func TestWobblyEnvFailsDeterminism(t *testing.T) {
+	lat := lattice.TwoPoint()
+	shared := new(uint64)
+	c := checkerFor(t, "var l : L;\nl := 1;\nl := l + 2;\n", lat, func() hw.Env {
+		return &wobblyEnv{Env: hw.NewFlat(lat, 2), counter: shared}
+	}, 41)
+	if err := c.CheckDeterminism(3); err == nil {
+		t.Error("cross-instance hidden state should fail Property 2")
+	}
+}
+
+// The unpartitioned design fails end-to-end machine-environment
+// noninterference: secret-dependent accesses land in the shared cache,
+// so two runs with ~L-equal memories end with distinguishable L state.
+func TestUnpartitionedFailsNoninterference(t *testing.T) {
+	lat := lattice.TwoPoint()
+	src := `
+var h : H;
+var h2 : H;
+array hm[8] : H;
+h2 := hm[h % 8] [H,H];
+`
+	c := checkerFor(t, src, lat,
+		func() hw.Env { return hw.NewUnpartitioned(lat, hw.TinyConfig()) }, 43)
+	if err := c.CheckNoninterference(20); err == nil {
+		t.Error("unpartitioned hardware should fail Theorem 1's environment clause")
+	}
+}
+
+func TestSleepAccuracyCatchesBadPrograms(t *testing.T) {
+	// buildProgram propagates parse/type errors.
+	if _, _, err := buildProgram("var l : L; l := ;", lattice.TwoPoint()); err == nil {
+		t.Error("parse error should propagate")
+	}
+	if _, _, err := buildProgram("var l : L; l := h;", lattice.TwoPoint()); err == nil {
+		t.Error("type error should propagate")
+	}
+}
+
+// Non-terminating programs surface step-limit errors through every
+// whole-program checker rather than hanging.
+func TestCheckersRespectStepBudget(t *testing.T) {
+	lat := lattice.TwoPoint()
+	c := checkerFor(t, "var x : L;\nwhile (1) { x := x + 1; }\n", lat,
+		func() hw.Env { return hw.NewFlat(lat, 1) }, 47)
+	c.MaxSteps = 100
+	if err := c.CheckAdequacy(1); err == nil {
+		t.Error("adequacy should report the step limit")
+	}
+	if err := c.CheckDeterminism(1); err == nil {
+		t.Error("determinism should report the step limit")
+	}
+	if err := c.CheckSequentialComposition(1); err == nil {
+		t.Error("seq composition should report the step limit")
+	}
+	if err := c.CheckNoninterference(1); err == nil {
+		t.Error("noninterference should report the step limit")
+	}
+	if err := c.CheckLowDeterminism(1, lat.Bot()); err == nil {
+		t.Error("low determinism should report the step limit")
+	}
+}
+
+// A second lattice sanity: low-determinism filtering at the top level
+// (adversary sees everything → empty projection → trivially succeeds).
+func TestLowDeterminismTopAdversary(t *testing.T) {
+	lat := lattice.TwoPoint()
+	c := checkerFor(t, richSrc, lat,
+		func() hw.Env { return hw.NewFlat(lat, 2) }, 53)
+	c.Rand = rand.New(rand.NewSource(53))
+	if err := c.CheckLowDeterminism(3, lat.Top()); err != nil {
+		t.Errorf("top adversary: %v", err)
+	}
+}

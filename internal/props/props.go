@@ -1,0 +1,329 @@
+// Package props provides executable checkers for the paper's
+// software–hardware contract: the faithfulness requirements
+// (Properties 1–4, §3.5), the security requirements (Properties 5–7,
+// §3.6), memory and machine-environment noninterference (Theorem 1),
+// and low-determinism of mitigate commands (Lemma 1).
+//
+// This is the practical form of the paper's second contribution: a
+// formalized contract that lets hardware models be validated
+// independently of the programs that run on them. A hardware designer
+// plugs a new hw.Env implementation into a Checker and runs the suite
+// over randomly generated well-typed programs and inputs; any
+// counterexample is reported with enough detail to debug.
+package props
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lattice"
+	"repro/internal/machine/hw"
+	"repro/internal/sem/core"
+	"repro/internal/sem/full"
+	"repro/internal/sem/mem"
+	"repro/internal/types"
+)
+
+// EnvFactory creates a fresh machine environment in its initial state.
+type EnvFactory func() hw.Env
+
+// Checker verifies the contract for one (program, hardware) pair.
+type Checker struct {
+	Prog   *ast.Program
+	Res    *types.Result
+	NewEnv EnvFactory
+	// Opts configures the full-semantics machines (zero = defaults).
+	Opts full.Options
+	// MaxSteps bounds each run; default 500_000.
+	MaxSteps int
+	// Rand drives input generation; required.
+	Rand *rand.Rand
+}
+
+func (c *Checker) maxSteps() int {
+	if c.MaxSteps == 0 {
+		return 500_000
+	}
+	return c.MaxSteps
+}
+
+// freshMemory returns a new memory with every variable randomized.
+func (c *Checker) freshMemory() *mem.Memory {
+	m := mem.New(c.Prog)
+	c.randomize(m)
+	return m
+}
+
+// randomize fills every declared variable with a random small value.
+func (c *Checker) randomize(m *mem.Memory) {
+	for _, d := range c.Prog.Decls {
+		if d.IsArray {
+			for i := int64(0); i < d.Size; i++ {
+				m.SetEl(d.Name, i, int64(c.Rand.Intn(64)))
+			}
+		} else {
+			m.Set(d.Name, int64(c.Rand.Intn(64)))
+		}
+	}
+}
+
+// copyInto copies the values of src into dst (same declarations).
+func (c *Checker) copyInto(dst, src *mem.Memory) {
+	for _, d := range c.Prog.Decls {
+		if d.IsArray {
+			for i := int64(0); i < d.Size; i++ {
+				dst.SetEl(d.Name, i, src.GetEl(d.Name, i))
+			}
+		} else {
+			dst.Set(d.Name, src.Get(d.Name))
+		}
+	}
+}
+
+// scramble assigns fresh random values to every variable whose level
+// satisfies pred, leaving others intact.
+func (c *Checker) scramble(m *mem.Memory, pred func(lattice.Label) bool) {
+	for _, d := range c.Prog.Decls {
+		if !pred(d.Label) {
+			continue
+		}
+		if d.IsArray {
+			for i := int64(0); i < d.Size; i++ {
+				m.SetEl(d.Name, i, int64(c.Rand.Intn(64)))
+			}
+		} else {
+			m.Set(d.Name, int64(c.Rand.Intn(64)))
+		}
+	}
+}
+
+// newMachine builds a full machine with the given memory contents.
+func (c *Checker) newMachine(init *mem.Memory) (*full.Machine, error) {
+	m, err := full.New(c.Prog, c.Res, c.NewEnv(), c.Opts)
+	if err != nil {
+		return nil, err
+	}
+	if init != nil {
+		c.copyInto(m.Memory(), init)
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------------
+// Property 1: adequacy of the core semantics
+
+// CheckAdequacy verifies that the full semantics and the core semantics
+// describe the same executions: equal final memories, equal
+// (value-wise) event traces, and equal step counts, over random inputs.
+func (c *Checker) CheckAdequacy(trials int) error {
+	for i := 0; i < trials; i++ {
+		init := mem.New(c.Prog)
+		c.randomize(init)
+
+		ck := core.New(c.Prog, init.Clone())
+		if err := ck.Run(c.maxSteps()); err != nil {
+			return fmt.Errorf("adequacy trial %d: core run: %w", i, err)
+		}
+		fm, err := c.newMachine(init)
+		if err != nil {
+			return err
+		}
+		if err := fm.Run(c.maxSteps()); err != nil {
+			return fmt.Errorf("adequacy trial %d: full run: %w", i, err)
+		}
+		if !fm.Memory().Equal(ck.Memory()) {
+			return fmt.Errorf("adequacy trial %d: final memories differ", i)
+		}
+		if !fm.Trace().ValuesEqual(ck.Trace()) {
+			return fmt.Errorf("adequacy trial %d: event values differ\ncore: %v\nfull: %v",
+				i, ck.Trace(), fm.Trace())
+		}
+		if fm.Steps() != ck.Steps() {
+			return fmt.Errorf("adequacy trial %d: step counts differ (core %d, full %d)",
+				i, ck.Steps(), fm.Steps())
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Property 2: deterministic execution
+
+// CheckDeterminism verifies that two runs from identical configurations
+// produce identical clocks, traces, and final memories.
+func (c *Checker) CheckDeterminism(trials int) error {
+	for i := 0; i < trials; i++ {
+		init := mem.New(c.Prog)
+		c.randomize(init)
+		m1, err := c.newMachine(init)
+		if err != nil {
+			return err
+		}
+		m2, err := c.newMachine(init)
+		if err != nil {
+			return err
+		}
+		if err := m1.Run(c.maxSteps()); err != nil {
+			return fmt.Errorf("determinism trial %d: %w", i, err)
+		}
+		if err := m2.Run(c.maxSteps()); err != nil {
+			return fmt.Errorf("determinism trial %d: %w", i, err)
+		}
+		if m1.Clock() != m2.Clock() {
+			return fmt.Errorf("determinism trial %d: clocks differ (%d vs %d)", i, m1.Clock(), m2.Clock())
+		}
+		if !m1.Trace().Equal(m2.Trace()) {
+			return fmt.Errorf("determinism trial %d: traces differ", i)
+		}
+		if !m1.Memory().Equal(m2.Memory()) {
+			return fmt.Errorf("determinism trial %d: memories differ", i)
+		}
+		if !m1.Env().LowEqual(m2.Env(), c.Res.Lat.Top()) {
+			return fmt.Errorf("determinism trial %d: machine environments differ", i)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Property 3: sequential composition
+
+// CheckSequentialComposition verifies that running the program is
+// equivalent to running it with its sequences reassociated — the
+// observable content of the paper's sequential-composition property
+// (time accumulates and the machine environment propagates through ';'
+// regardless of grouping).
+func (c *Checker) CheckSequentialComposition(trials int) error {
+	re := reassociate(c.Prog.Body)
+	progB := &ast.Program{
+		Decls:        c.Prog.Decls,
+		Body:         re,
+		NumNodes:     c.Prog.NumNodes,
+		NumMitigates: c.Prog.NumMitigates,
+	}
+	for i := 0; i < trials; i++ {
+		init := mem.New(c.Prog)
+		c.randomize(init)
+		m1, err := c.newMachine(init)
+		if err != nil {
+			return err
+		}
+		m2, err := full.New(progB, c.Res, c.NewEnv(), c.Opts)
+		if err != nil {
+			return err
+		}
+		c.copyInto(m2.Memory(), init)
+		if err := m1.Run(c.maxSteps()); err != nil {
+			return fmt.Errorf("seq trial %d: %w", i, err)
+		}
+		if err := m2.Run(c.maxSteps()); err != nil {
+			return fmt.Errorf("seq trial %d: %w", i, err)
+		}
+		if m1.Clock() != m2.Clock() || !m1.Trace().Equal(m2.Trace()) || !m1.Memory().Equal(m2.Memory()) {
+			return fmt.Errorf("seq trial %d: reassociated program behaves differently", i)
+		}
+	}
+	return nil
+}
+
+// reassociate rebuilds all Seq chains left-associatively (the parser
+// builds them right-associatively), preserving leaf order and IDs.
+func reassociate(c ast.Cmd) ast.Cmd {
+	leaves, ids := flatten(c)
+	if len(leaves) == 1 {
+		return leaves[0]
+	}
+	out := leaves[0]
+	for i := 1; i < len(leaves); i++ {
+		out = &ast.Seq{TokPos: out.Pos(), NodeID: ids[(i-1)%len(ids)], First: out, Second: recurse(leaves[i])}
+	}
+	return out
+}
+
+// recurse reassociates within compound commands.
+func recurse(c ast.Cmd) ast.Cmd {
+	switch cm := c.(type) {
+	case *ast.If:
+		cp := *cm
+		cp.Then = reassociate(cm.Then)
+		cp.Else = reassociate(cm.Else)
+		return &cp
+	case *ast.While:
+		cp := *cm
+		cp.Body = reassociate(cm.Body)
+		return &cp
+	case *ast.Mitigate:
+		cp := *cm
+		cp.Body = reassociate(cm.Body)
+		return &cp
+	}
+	return c
+}
+
+// flatten returns the non-Seq leaves of a Seq chain in order, plus the
+// Seq node IDs encountered.
+func flatten(c ast.Cmd) ([]ast.Cmd, []int) {
+	if s, ok := c.(*ast.Seq); ok {
+		l1, i1 := flatten(s.First)
+		l2, i2 := flatten(s.Second)
+		return append(l1, l2...), append(append(i1, s.NodeID), i2...)
+	}
+	return []ast.Cmd{recurse(c)}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Property 4: accurate sleep duration
+
+// CheckSleepAccuracy verifies that from identical configurations, a
+// program that sleeps n versus one that sleeps n' shows a duration
+// difference of exactly max(n,0) − max(n',0). (Our full semantics
+// charges instruction-fetch and operand-read overhead on sleep like on
+// every command; the paper's Property 4 idealizes that overhead away,
+// so the checkable content is the exact delta. See DESIGN.md.)
+func CheckSleepAccuracy(lat lattice.Lattice, newEnv EnvFactory, ns []int64) error {
+	prog, res, err := buildProgram("var x : L;\nsleep(x);\n", lat)
+	if err != nil {
+		return err
+	}
+	durations := make([]uint64, len(ns))
+	for i, n := range ns {
+		m, err := full.New(prog, res, newEnv(), full.Options{})
+		if err != nil {
+			return err
+		}
+		m.Memory().Set("x", n)
+		if err := m.Run(1000); err != nil {
+			return err
+		}
+		durations[i] = m.Clock()
+	}
+	for i := 1; i < len(ns); i++ {
+		want := maxZero(ns[i]) - maxZero(ns[0])
+		got := int64(durations[i]) - int64(durations[0])
+		if got != want {
+			return fmt.Errorf("sleep accuracy: sleep(%d)-sleep(%d) = %d cycles, want %d",
+				ns[i], ns[0], got, want)
+		}
+	}
+	return nil
+}
+
+func maxZero(n int64) int64 {
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+func buildProgram(src string, lat lattice.Lattice) (*ast.Program, *types.Result, error) {
+	prog, err := parseSrc(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := types.Check(prog, lat)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, res, nil
+}

@@ -1,0 +1,303 @@
+package props
+
+import (
+	"fmt"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/parser"
+	"repro/internal/lattice"
+	"repro/internal/machine/hw"
+	"repro/internal/sem/events"
+	"repro/internal/sem/mem"
+)
+
+func parseSrc(src string) (*ast.Program, error) { return parser.Parse(src) }
+
+// labelsOf returns the resolved labels of a labeled command.
+func labelsOf(c ast.Cmd) (*ast.Labels, bool) {
+	lc, ok := c.(ast.Labeled)
+	if !ok {
+		return nil, false
+	}
+	return lc.Labels(), true
+}
+
+// ---------------------------------------------------------------------------
+// Property 5: write labels
+
+// CheckWriteLabel verifies over random executions that every single
+// step of a command with write label ew leaves the machine-environment
+// projection unchanged at every level ℓ with ew ⋢ ℓ.
+func (c *Checker) CheckWriteLabel(trials int) error {
+	lat := c.Res.Lat
+	for i := 0; i < trials; i++ {
+		init := c.freshMemory()
+		m, err := c.newMachine(init)
+		if err != nil {
+			return err
+		}
+		for step := 0; step < c.maxSteps(); step++ {
+			head := m.Peek()
+			if head == nil {
+				break
+			}
+			lab, ok := labelsOf(head)
+			if !ok {
+				return fmt.Errorf("write-label trial %d: unlabeled head %T", i, head)
+			}
+			before := m.Env().Clone()
+			if !m.Step() {
+				break
+			}
+			for _, lv := range lat.Levels() {
+				if lat.Leq(lab.WL, lv) {
+					continue
+				}
+				if !m.Env().ProjEqual(before, lv) {
+					return fmt.Errorf("write-label trial %d: step %d (cmd at %s, ew=%s) modified level-%s machine state",
+						i, step, head.Pos(), lab.WL, lv)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Property 6: read labels
+
+// CheckReadLabel verifies the read-label requirement on single steps:
+// if two configurations agree on the variables evaluated by the next
+// step (vars1) and their machine environments are er-equivalent, the
+// step takes the same time in both. The check constructs the variant
+// configuration by scrambling memory outside vars1 and perturbing the
+// machine environment at levels not below er.
+func (c *Checker) CheckReadLabel(trials int) error {
+	lat := c.Res.Lat
+	for i := 0; i < trials; i++ {
+		init := c.freshMemory()
+		m1, err := c.newMachine(init)
+		if err != nil {
+			return err
+		}
+		// Walk to a random step index, then compare one step.
+		target := c.Rand.Intn(64)
+		for s := 0; s < target && m1.Peek() != nil; s++ {
+			m1.Step()
+		}
+		head := m1.Peek()
+		if head == nil {
+			continue
+		}
+		lab, _ := labelsOf(head)
+		m2 := m1.Clone()
+
+		// Scramble memory outside vars1 of the head command. Variables
+		// in vars1 must agree (the property's premise).
+		keep := make(map[string]bool)
+		for _, v := range ast.Vars1(head) {
+			keep[v] = true
+		}
+		// NOTE: scrambling any variable not in vars1 is allowed by the
+		// premise, but to keep the comparison single-step (same head
+		// command reached), scrambling is done on the clone only and
+		// only one step is compared.
+		c.scramble2(m2.Memory(), func(name string) bool { return !keep[name] })
+
+		// Perturb machine environment at levels where modification
+		// preserves ~er: every level ℓ' with ℓ' ⋢ er... a write with
+		// ew' not below any level ⊑ er. Choose ew' among levels that
+		// are not ⊑ er.
+		for _, lv := range lat.Levels() {
+			if lat.Leq(lv, lab.RL) {
+				continue
+			}
+			// Modifying partitions at levels ⊒ lv preserves ~er: if some
+			// p ⊑ er had lv ⊑ p then lv ⊑ er, a contradiction. An odd
+			// access count maximizes the chance of flipping any hidden
+			// parity-style state a broken design might keep.
+			for j := 0; j < 5; j++ {
+				m2.Env().Access(hw.Read, uint64(c.Rand.Intn(1<<14)), lv, lv)
+			}
+		}
+		if !m1.Env().LowEqual(m2.Env(), lab.RL) {
+			return fmt.Errorf("read-label trial %d: perturbation broke ~er (test harness bug)", i)
+		}
+
+		t1 := m1.Clock()
+		t2 := m2.Clock()
+		m1.Step()
+		m2.Step()
+		d1 := m1.Clock() - t1
+		d2 := m2.Clock() - t2
+		if d1 != d2 {
+			return fmt.Errorf("read-label trial %d: step at %s (er=%s) took %d vs %d cycles under er-equivalent configurations",
+				i, head.Pos(), lab.RL, d1, d2)
+		}
+	}
+	return nil
+}
+
+// scramble2 randomizes variables selected by name.
+func (c *Checker) scramble2(m *mem.Memory, pred func(string) bool) {
+	for _, d := range c.Prog.Decls {
+		if !pred(d.Name) {
+			continue
+		}
+		if d.IsArray {
+			for i := int64(0); i < d.Size; i++ {
+				m.SetEl(d.Name, i, int64(c.Rand.Intn(64)))
+			}
+		} else {
+			m.Set(d.Name, int64(c.Rand.Intn(64)))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Property 7: single-step machine-environment noninterference
+
+// CheckSingleStepNI verifies that for every level ℓ, a single step
+// taken from two configurations with m1 ~ℓ m2 and E1 ~ℓ E2 yields
+// E1' ~ℓ E2'.
+func (c *Checker) CheckSingleStepNI(trials int) error {
+	lat := c.Res.Lat
+	levels := lat.Levels()
+	for i := 0; i < trials; i++ {
+		lv := levels[c.Rand.Intn(len(levels))]
+		init := c.freshMemory()
+		m1, err := c.newMachine(init)
+		if err != nil {
+			return err
+		}
+		target := c.Rand.Intn(64)
+		for s := 0; s < target && m1.Peek() != nil; s++ {
+			m1.Step()
+		}
+		if m1.Peek() == nil {
+			continue
+		}
+		m2 := m1.Clone()
+		// Vary memory at levels ⋢ lv: preserves m1 ~lv m2.
+		c.scramble(m2.Memory(), func(l lattice.Label) bool { return !lat.Leq(l, lv) })
+		// Vary machine environment at levels ⋢ lv: preserves E1 ~lv E2.
+		for _, pl := range levels {
+			if lat.Leq(pl, lv) {
+				continue
+			}
+			for j := 0; j < 4; j++ {
+				m2.Env().Access(hw.Read, uint64(c.Rand.Intn(1<<14)), pl, pl)
+			}
+		}
+		if !m1.Env().LowEqual(m2.Env(), lv) {
+			return fmt.Errorf("single-step-NI trial %d: perturbation broke ~%s (test harness bug)", i, lv)
+		}
+		head := m1.Peek()
+		m1.Step()
+		m2.Step()
+		if !m1.Env().LowEqual(m2.Env(), lv) {
+			return fmt.Errorf("single-step-NI trial %d: step at %s broke E1 ~%s E2",
+				i, head.Pos(), lv)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1: memory and machine-environment noninterference
+
+// CheckNoninterference verifies Theorem 1 end-to-end: for a well-typed
+// program and any level ℓ, two runs whose initial memories agree at
+// ℓ-and-below (and equal initial environments) terminate with final
+// memories and machine environments that still agree at ℓ-and-below.
+func (c *Checker) CheckNoninterference(trials int) error {
+	lat := c.Res.Lat
+	levels := lat.Levels()
+	gamma := c.Res.Vars
+	for i := 0; i < trials; i++ {
+		lv := levels[c.Rand.Intn(len(levels))]
+		init1 := c.freshMemory()
+		m1, err := c.newMachine(init1)
+		if err != nil {
+			return err
+		}
+		m2, err := c.newMachine(init1)
+		if err != nil {
+			return err
+		}
+		// Vary the second run's memory at levels ⋢ lv.
+		c.scramble(m2.Memory(), func(l lattice.Label) bool { return !lat.Leq(l, lv) })
+		if err := m1.Run(c.maxSteps()); err != nil {
+			return fmt.Errorf("NI trial %d: %w", i, err)
+		}
+		if err := m2.Run(c.maxSteps()); err != nil {
+			return fmt.Errorf("NI trial %d: %w", i, err)
+		}
+		if !m1.Memory().LowEquiv(m2.Memory(), lat, gamma, lv) {
+			return fmt.Errorf("NI trial %d: final memories differ at ~%s", i, lv)
+		}
+		if !m1.Env().LowEqual(m2.Env(), lv) {
+			return fmt.Errorf("NI trial %d: final machine environments differ at ~%s", i, lv)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 1: low-determinism of mitigate commands
+
+// CheckLowDeterminism verifies that the subsequence of executed
+// mitigate commands whose pc-label is outside L↑ (for L = levels not
+// observable at the adversary level) is identical across runs that
+// agree on the corresponding low memory.
+func (c *Checker) CheckLowDeterminism(trials int, adv lattice.Label) error {
+	lat := c.Res.Lat
+	// L_ℓA = all levels not ⊑ adv; its upward closure.
+	var hidden []lattice.Label
+	for _, l := range lat.Levels() {
+		if !lat.Leq(l, adv) {
+			hidden = append(hidden, l)
+		}
+	}
+	closure := lattice.UpwardClosure(lat, hidden)
+	inClosure := func(l lattice.Label) bool { return lattice.Contains(closure, l) }
+
+	for i := 0; i < trials; i++ {
+		init := c.freshMemory()
+		m1, err := c.newMachine(init)
+		if err != nil {
+			return err
+		}
+		m2, err := c.newMachine(init)
+		if err != nil {
+			return err
+		}
+		// Vary variables whose level is in the closure (hidden from
+		// the adversary).
+		c.scramble(m2.Memory(), func(l lattice.Label) bool { return inClosure(l) })
+		if err := m1.Run(c.maxSteps()); err != nil {
+			return fmt.Errorf("low-det trial %d: %w", i, err)
+		}
+		if err := m2.Run(c.maxSteps()); err != nil {
+			return fmt.Errorf("low-det trial %d: %w", i, err)
+		}
+		p1 := m1.Mitigations().Filter(func(r events.MitRecord) bool {
+			return !inClosure(c.Res.Mitigates[r.ID].PC)
+		})
+		p2 := m2.Mitigations().Filter(func(r events.MitRecord) bool {
+			return !inClosure(c.Res.Mitigates[r.ID].PC)
+		})
+		ids1, ids2 := p1.IDs(), p2.IDs()
+		if len(ids1) != len(ids2) {
+			return fmt.Errorf("low-det trial %d: projected mitigate sequences differ in length (%d vs %d)",
+				i, len(ids1), len(ids2))
+		}
+		for j := range ids1 {
+			if ids1[j] != ids2[j] {
+				return fmt.Errorf("low-det trial %d: mitigate id sequence differs at %d (M%d vs M%d)",
+					i, j, ids1[j], ids2[j])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package props
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/machine/hw"
+	"repro/internal/progen"
+)
+
+// TestContractSoak sweeps a wide seed range of generated programs
+// through the full contract on the partitioned design — the repo's
+// strongest end-to-end evidence that the type system, the hardware
+// model, and the mitigation runtime compose securely. Skipped under
+// -short.
+func TestContractSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	lat := lattice.TwoPoint()
+	for seed := int64(0); seed < 40; seed++ {
+		prog, res, src, err := progen.GenerateTyped(progen.Config{
+			Lat:  lat,
+			Seed: 5000 + seed*31,
+			// Deeper and busier than the default quick checks.
+			MaxDepth:      4,
+			StmtsPerBlock: 5,
+			AllowMitigate: true,
+			AllowSleep:    true,
+		}, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := &Checker{
+			Prog:   prog,
+			Res:    res,
+			NewEnv: func() hw.Env { return hw.NewPartitioned(lat, hw.TinyConfig()) },
+			Rand:   rand.New(rand.NewSource(seed)),
+		}
+		if err := c.CheckAdequacy(2); err != nil {
+			t.Errorf("seed %d adequacy: %v\n%s", seed, err, src)
+		}
+		if err := c.CheckDeterminism(2); err != nil {
+			t.Errorf("seed %d determinism: %v\n%s", seed, err, src)
+		}
+		if err := c.CheckWriteLabel(2); err != nil {
+			t.Errorf("seed %d write label: %v\n%s", seed, err, src)
+		}
+		if err := c.CheckReadLabel(10); err != nil {
+			t.Errorf("seed %d read label: %v\n%s", seed, err, src)
+		}
+		if err := c.CheckSingleStepNI(10); err != nil {
+			t.Errorf("seed %d single-step NI: %v\n%s", seed, err, src)
+		}
+		if err := c.CheckNoninterference(2); err != nil {
+			t.Errorf("seed %d noninterference: %v\n%s", seed, err, src)
+		}
+		if err := c.CheckLowDeterminism(2, lat.Bot()); err != nil {
+			t.Errorf("seed %d low determinism: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+// TestContractSoakNoFill repeats a lighter sweep on the no-fill design.
+func TestContractSoakNoFill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	lat := lattice.TwoPoint()
+	for seed := int64(0); seed < 15; seed++ {
+		prog, res, src, err := progen.GenerateTyped(progen.Config{
+			Lat: lat, Seed: 9000 + seed*17, AllowMitigate: true, AllowSleep: true,
+		}, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := &Checker{
+			Prog:   prog,
+			Res:    res,
+			NewEnv: func() hw.Env { return hw.NewNoFill(lat, hw.TinyConfig()) },
+			Rand:   rand.New(rand.NewSource(seed)),
+		}
+		if err := c.CheckWriteLabel(2); err != nil {
+			t.Errorf("seed %d write label: %v\n%s", seed, err, src)
+		}
+		if err := c.CheckSingleStepNI(8); err != nil {
+			t.Errorf("seed %d single-step NI: %v\n%s", seed, err, src)
+		}
+		if err := c.CheckNoninterference(2); err != nil {
+			t.Errorf("seed %d noninterference: %v\n%s", seed, err, src)
+		}
+	}
+}

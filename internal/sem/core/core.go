@@ -1,0 +1,232 @@
+// Package core implements the core operational semantics of the
+// language (paper Fig. 2): a standard, untimed small-step semantics in
+// which mitigate is the identity and sleep behaves like skip.
+//
+// The interpreter takes exactly the steps of Fig. 2: one step per
+// labeled command, with sequential composition transparent (a Seq is
+// decomposed without consuming a step, matching the (c1;c2) rules that
+// step the head command in place). This makes the adequacy property
+// (Property 1) checkable structurally against the full semantics.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/token"
+	"repro/internal/sem/events"
+	"repro/internal/sem/mem"
+)
+
+// ErrStepLimit is returned by Run when the program does not terminate
+// within the step budget.
+var ErrStepLimit = errors.New("core: step limit exceeded")
+
+// Eval evaluates an expression in a memory (big-step, as in the paper).
+// The semantics is total and deterministic: division and modulo by zero
+// yield 0, shift counts are masked to 0–63, out-of-range array indices
+// wrap, and booleans are 0/1 with any nonzero value counting as true.
+// Logical && and || do NOT short-circuit: all variables in an
+// expression are read, matching the vars1 over-approximation used by
+// Property 6.
+func Eval(e ast.Expr, m *mem.Memory) int64 {
+	switch ex := e.(type) {
+	case *ast.IntLit:
+		return ex.Value
+	case *ast.Var:
+		return m.Get(ex.Name)
+	case *ast.Index:
+		return m.GetEl(ex.Name, Eval(ex.Idx, m))
+	case *ast.Unary:
+		v := Eval(ex.X, m)
+		switch ex.Op {
+		case token.MINUS:
+			return -v
+		case token.NOT:
+			if v == 0 {
+				return 1
+			}
+			return 0
+		}
+	case *ast.Binary:
+		a := Eval(ex.X, m)
+		b := Eval(ex.Y, m)
+		return EvalBinop(ex.Op, a, b)
+	}
+	panic(fmt.Sprintf("core: unknown expression %T", e))
+}
+
+// EvalBinop applies a binary operator with the language's total
+// semantics; it is shared with the full semantics so both evaluators
+// agree exactly (required by adequacy, Property 1).
+func EvalBinop(op token.Kind, a, b int64) int64 {
+	switch op {
+	case token.PLUS:
+		return a + b
+	case token.MINUS:
+		return a - b
+	case token.STAR:
+		return a * b
+	case token.SLASH:
+		if b == 0 {
+			return 0
+		}
+		if a == int64(-1)<<63 && b == -1 {
+			return a // wraparound like hardware, avoid Go's panic
+		}
+		return a / b
+	case token.PERCENT:
+		if b == 0 {
+			return 0
+		}
+		if a == int64(-1)<<63 && b == -1 {
+			return 0
+		}
+		return a % b
+	case token.EQ:
+		return b2i(a == b)
+	case token.NEQ:
+		return b2i(a != b)
+	case token.LT:
+		return b2i(a < b)
+	case token.LEQ:
+		return b2i(a <= b)
+	case token.GT:
+		return b2i(a > b)
+	case token.GEQ:
+		return b2i(a >= b)
+	case token.LAND:
+		return b2i(a != 0 && b != 0)
+	case token.LOR:
+		return b2i(a != 0 || b != 0)
+	case token.AND:
+		return a & b
+	case token.OR:
+		return a | b
+	case token.XOR:
+		return a ^ b
+	case token.SHL:
+		return a << (uint64(b) & 63)
+	case token.SHR:
+		return a >> (uint64(b) & 63)
+	}
+	panic(fmt.Sprintf("core: unknown operator %v", op))
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Machine is a core-semantics interpreter state: the pair (c, m) of
+// Fig. 2, with the command represented as a stack of pending commands
+// (head first) so sequential composition needs no rewriting.
+type Machine struct {
+	stack []ast.Cmd
+	mem   *mem.Memory
+	steps int
+	trace events.Trace
+}
+
+// New creates a machine for the program body with the given memory.
+// The memory is used in place (not copied): callers who need the
+// initial memory later should Clone it first.
+func New(prog *ast.Program, m *mem.Memory) *Machine {
+	return &Machine{stack: []ast.Cmd{prog.Body}, mem: m}
+}
+
+// NewCmd creates a machine for a bare command.
+func NewCmd(c ast.Cmd, m *mem.Memory) *Machine {
+	return &Machine{stack: []ast.Cmd{c}, mem: m}
+}
+
+// Memory returns the machine's current memory.
+func (k *Machine) Memory() *mem.Memory { return k.mem }
+
+// Steps returns the number of small steps taken so far.
+func (k *Machine) Steps() int { return k.steps }
+
+// Trace returns the assignment events emitted so far. Core-semantics
+// events carry the step count as their time, since the core semantics
+// has no clock; they are used for value (not timing) comparisons.
+func (k *Machine) Trace() events.Trace { return k.trace }
+
+// Done reports whether execution has reached stop.
+func (k *Machine) Done() bool { return len(k.stack) == 0 }
+
+// top pops Seq frames until the head of the stack is a labeled command,
+// returning it (or nil when done). Decomposing Seq is not a step.
+func (k *Machine) top() ast.Cmd {
+	for len(k.stack) > 0 {
+		head := k.stack[len(k.stack)-1]
+		seq, ok := head.(*ast.Seq)
+		if !ok {
+			return head
+		}
+		k.stack = k.stack[:len(k.stack)-1]
+		k.stack = append(k.stack, seq.Second, seq.First)
+	}
+	return nil
+}
+
+// Step performs one small step of Fig. 2. It returns false when the
+// machine has already stopped.
+func (k *Machine) Step() bool {
+	head := k.top()
+	if head == nil {
+		return false
+	}
+	k.steps++
+	k.stack = k.stack[:len(k.stack)-1] // pop head; rules below may push
+	switch c := head.(type) {
+	case *ast.Skip:
+		// (skip, m) → (stop, m)
+	case *ast.Sleep:
+		// (sleep e, m) → (stop, m): like skip in the core semantics,
+		// but the argument is still evaluated (it is read).
+		Eval(c.X, k.mem)
+	case *ast.Assign:
+		v := Eval(c.X, k.mem)
+		k.mem.Set(c.Name, v)
+		k.trace = append(k.trace, events.Event{Var: c.Name, Value: v, Time: uint64(k.steps)})
+	case *ast.Store:
+		i := k.mem.WrapIndex(c.Name, Eval(c.Idx, k.mem))
+		v := Eval(c.X, k.mem)
+		k.mem.SetEl(c.Name, i, v)
+		k.trace = append(k.trace, events.Event{
+			Var: fmt.Sprintf("%s[%d]", c.Name, i), Value: v, Time: uint64(k.steps)})
+	case *ast.If:
+		if Eval(c.Cond, k.mem) != 0 {
+			k.stack = append(k.stack, c.Then)
+		} else {
+			k.stack = append(k.stack, c.Else)
+		}
+	case *ast.While:
+		if Eval(c.Cond, k.mem) != 0 {
+			// (while e do c, m) → (c; while e do c, m)
+			k.stack = append(k.stack, c, c.Body)
+		}
+	case *ast.Mitigate:
+		// Core semantics: mitigate (e, ℓ) c → c (identity), though e
+		// is evaluated.
+		Eval(c.Init, k.mem)
+		k.stack = append(k.stack, c.Body)
+	default:
+		panic(fmt.Sprintf("core: unknown command %T", head))
+	}
+	return true
+}
+
+// Run executes until stop or until maxSteps is exceeded.
+func (k *Machine) Run(maxSteps int) error {
+	for !k.Done() {
+		if k.steps >= maxSteps {
+			return fmt.Errorf("%w (%d steps)", ErrStepLimit, maxSteps)
+		}
+		k.Step()
+	}
+	return nil
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/parser"
+	"repro/internal/sem/mem"
+)
+
+func run(t *testing.T, src string, setup func(*mem.Memory)) *Machine {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(p)
+	if setup != nil {
+		setup(m)
+	}
+	k := New(p, m)
+	if err := k.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestArithmetic(t *testing.T) {
+	k := run(t, `
+var a : L; var b : L; var c : L;
+a := 7; b := 3;
+c := a * b + a / b - a % b;
+`, nil)
+	if got := k.Memory().Get("c"); got != 21+2-1 {
+		t.Errorf("c = %d, want 22", got)
+	}
+}
+
+func TestDivisionByZeroTotal(t *testing.T) {
+	k := run(t, `
+var a : L; var b : L; var c : L;
+a := 5;
+b := a / c;
+c := a % c + 1;
+`, nil)
+	if k.Memory().Get("b") != 0 || k.Memory().Get("c") != 1 {
+		t.Error("div/mod by zero should be 0")
+	}
+}
+
+func TestMinInt64Division(t *testing.T) {
+	k := run(t, `
+var a : L; var b : L; var c : L; var d : L;
+a := 0 - 1; // -1
+b := 1 << 63; // min int64
+c := b / a;
+d := b % a;
+`, nil)
+	if k.Memory().Get("c") != -1<<63 {
+		t.Errorf("minInt/−1 = %d, want wraparound", k.Memory().Get("c"))
+	}
+	if k.Memory().Get("d") != 0 {
+		t.Errorf("minInt%%−1 = %d, want 0", k.Memory().Get("d"))
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	k := run(t, `
+var a : L; var b : L; var r : L;
+a := 4; b := 9;
+r := (a < b) + (a <= b) + (a > b) + (a >= b) + (a == b) + (a != b);
+`, nil)
+	if got := k.Memory().Get("r"); got != 3 {
+		t.Errorf("r = %d, want 3", got)
+	}
+	k = run(t, `
+var a : L; var r : L;
+a := 5;
+r := (a && 0) + (a || 0) * 2 + (!a) * 4 + (!0) * 8;
+`, nil)
+	if got := k.Memory().Get("r"); got != 0+2+0+8 {
+		t.Errorf("r = %d, want 10", got)
+	}
+}
+
+func TestBitwiseAndShifts(t *testing.T) {
+	k := run(t, `
+var r : L;
+r := (12 & 10) + (12 | 10) * 100 + (12 ^ 10) * 10000;
+`, nil)
+	if got := k.Memory().Get("r"); got != 8+1400+60000 {
+		t.Errorf("r = %d", got)
+	}
+	k = run(t, `
+var r : L; var s : L;
+r := 1 << 4;
+s := 256 >> 70; // shift masked to 6 bits: 70&63 = 6
+`, nil)
+	if k.Memory().Get("r") != 16 || k.Memory().Get("s") != 4 {
+		t.Errorf("shifts: %d %d", k.Memory().Get("r"), k.Memory().Get("s"))
+	}
+}
+
+func TestUnaryOps(t *testing.T) {
+	k := run(t, "var r : L; var s : L; r := -5; s := !(3 - 3);", nil)
+	if k.Memory().Get("r") != -5 || k.Memory().Get("s") != 1 {
+		t.Error("unary ops")
+	}
+}
+
+func TestIfBranching(t *testing.T) {
+	k := run(t, `
+var h : H; var r : L;
+if (h > 10) { r := 1; } else { r := 2; }
+`, func(m *mem.Memory) { m.Set("h", 50) })
+	if k.Memory().Get("r") != 1 {
+		t.Error("then branch")
+	}
+	k = run(t, `
+var h : H; var r : L;
+if (h > 10) { r := 1; } else { r := 2; }
+`, func(m *mem.Memory) { m.Set("h", 3) })
+	if k.Memory().Get("r") != 2 {
+		t.Error("else branch")
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	k := run(t, `
+var i : L; var s : L;
+while (i < 10) { s := s + i; i := i + 1; }
+`, nil)
+	if k.Memory().Get("s") != 45 {
+		t.Errorf("s = %d, want 45", k.Memory().Get("s"))
+	}
+}
+
+func TestWhileZeroIterations(t *testing.T) {
+	k := run(t, "var s : L; while (0) { s := 99; }", nil)
+	if k.Memory().Get("s") != 0 {
+		t.Error("loop body should not run")
+	}
+}
+
+func TestArrays(t *testing.T) {
+	k := run(t, `
+array a[8] : L; var i : L; var s : L;
+while (i < 8) { a[i] := i * i; i := i + 1; }
+s := a[3] + a[7];
+`, nil)
+	if got := k.Memory().Get("s"); got != 9+49 {
+		t.Errorf("s = %d, want 58", got)
+	}
+}
+
+func TestMitigateIsIdentityInCore(t *testing.T) {
+	k := run(t, `
+var h : H; var r : H;
+mitigate (1, H) { r := h + 1 [H,H]; }
+`, func(m *mem.Memory) { m.Set("h", 10) })
+	if k.Memory().Get("r") != 11 {
+		t.Error("mitigate body should run")
+	}
+}
+
+func TestSleepIsSkipInCore(t *testing.T) {
+	k := run(t, "var r : L; sleep(1000); r := 1;", nil)
+	if k.Memory().Get("r") != 1 {
+		t.Error("sleep should not block core semantics")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p, err := parser.Parse("var x : L; while (1) { x := x + 1; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := New(p, mem.New(p))
+	err = k.Run(100)
+	if !errors.Is(err, ErrStepLimit) {
+		t.Errorf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestTraceEvents(t *testing.T) {
+	k := run(t, `
+var x : L; array a[4] : L;
+x := 5;
+a[2] := 7;
+x := 6;
+`, nil)
+	tr := k.Trace()
+	if len(tr) != 3 {
+		t.Fatalf("trace = %v", tr)
+	}
+	if tr[0].Var != "x" || tr[0].Value != 5 {
+		t.Errorf("event 0 = %v", tr[0])
+	}
+	if tr[1].Var != "a[2]" || tr[1].Value != 7 {
+		t.Errorf("event 1 = %v", tr[1])
+	}
+	if tr[2].Var != "x" || tr[2].Value != 6 {
+		t.Errorf("event 2 = %v", tr[2])
+	}
+}
+
+func TestStepCount(t *testing.T) {
+	// skip; x:=1; if → branch skip: 4 labeled-command steps, and the
+	// Seq decomposition is free.
+	k := run(t, "var x : L; skip; x := 1; if (x) { skip; } else { x := 0; }", nil)
+	if k.Steps() != 4 {
+		t.Errorf("steps = %d, want 4", k.Steps())
+	}
+}
+
+func TestStepAfterDone(t *testing.T) {
+	p, _ := parser.Parse("skip;")
+	k := New(p, mem.New(p))
+	if err := k.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if k.Step() {
+		t.Error("Step after done should return false")
+	}
+	if !k.Done() {
+		t.Error("Done should remain true")
+	}
+}
+
+func TestNewCmdFragment(t *testing.T) {
+	p, err := parser.Parse("var x : L; x := 1; x := x + 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(p)
+	k := NewCmd(p.Body, m)
+	if err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Get("x") != 2 {
+		t.Error("NewCmd execution")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	src := `
+var h : H; var i : L; var s : H; array a[4] : H;
+while (i < 20) {
+    a[i] := a[i] + h [H,H];
+    if (a[i] > 10) [H,H] { s := s + 1 [H,H]; } else { s := s [H,H]; }
+    i := i + 1;
+}
+`
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run1 := func() *Machine {
+		m := mem.New(p)
+		m.Set("h", 3)
+		k := New(p, m)
+		if err := k.Run(100000); err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	a, b := run1(), run1()
+	if !a.Memory().Equal(b.Memory()) {
+		t.Error("core semantics must be deterministic")
+	}
+	if !a.Trace().Equal(b.Trace()) {
+		t.Error("traces must agree")
+	}
+}
+
+func TestEvalPanicsOnNil(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Eval(nil, nil)
+}
+
+func TestWalkFreeVarsAgreement(t *testing.T) {
+	// Eval reads exactly the variables ExprVars reports (non-short-
+	// circuit &&/||): evaluate an expression with && whose right side
+	// references an undeclared... instead check that all of ExprVars
+	// are needed by constructing memories: here simply evaluate both
+	// operands of && even when left is false.
+	p, err := parser.Parse("var a : L; var b : L; var r : L; r := a && b;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(p)
+	m.Set("b", 1)
+	k := New(p, m)
+	if err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Get("r") != 0 {
+		t.Error("0 && 1 = 0")
+	}
+	asg := findAssign(p.Body, "r")
+	vars := ast.ExprVars(asg.X)
+	if len(vars) != 2 {
+		t.Errorf("ExprVars = %v", vars)
+	}
+}
+
+func findAssign(c ast.Cmd, name string) *ast.Assign {
+	var out *ast.Assign
+	ast.WalkCmds(c, func(x ast.Cmd) bool {
+		if a, ok := x.(*ast.Assign); ok && a.Name == name {
+			out = a
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,167 @@
+// Package events defines observable assignment events and adversary
+// projections of event traces (paper §3.4 and §6.1).
+//
+// An adversary at level ℓA observes assignments to variables whose
+// level flows to ℓA — including *when* those assignments happen,
+// because the coresident adversary can monitor shared memory for
+// changes. Traces of events are therefore the adversary's full view of
+// an execution; the leakage package counts distinguishable traces.
+package events
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lattice"
+)
+
+// Event is an observable assignment event (x, v, t): variable x was
+// assigned value v at global time t. Array stores record the element as
+// "name[i]". The empty event ε of the paper is represented by simply
+// not emitting anything.
+type Event struct {
+	Var   string
+	Value int64
+	Time  uint64
+}
+
+// String formats the event as "(x, v, t)".
+func (e Event) String() string {
+	return fmt.Sprintf("(%s, %d, %d)", e.Var, e.Value, e.Time)
+}
+
+// Trace is a sequence of events in emission order.
+type Trace []Event
+
+// String renders the whole trace.
+func (t Trace) String() string {
+	parts := make([]string, len(t))
+	for i, e := range t {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Key returns a canonical string identifying the trace exactly —
+// variables, values, and times. Two executions are distinguishable to
+// an observer of these events iff their Keys differ; the leakage
+// measure counts distinct Keys.
+func (t Trace) Key() string { return t.String() }
+
+// BaseVar returns the variable name of an event with any array index
+// stripped: "m[3]" → "m".
+func (e Event) BaseVar() string {
+	if i := strings.IndexByte(e.Var, '['); i >= 0 {
+		return e.Var[:i]
+	}
+	return e.Var
+}
+
+// ObservableAt filters the trace to the events an adversary at level
+// adv can see: those whose variable level flows to adv (=>ℓA in §6.1).
+func (t Trace) ObservableAt(lat lattice.Lattice, gamma map[string]lattice.Label, adv lattice.Label) Trace {
+	var out Trace
+	for _, e := range t {
+		lv, ok := gamma[e.BaseVar()]
+		if !ok {
+			continue
+		}
+		if lat.Leq(lv, adv) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Equal reports exact equality of two traces.
+func (t Trace) Equal(o Trace) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ValuesEqual reports whether the traces agree on variables and values,
+// ignoring times — useful for separating storage-channel from
+// timing-channel differences in tests.
+func (t Trace) ValuesEqual(o Trace) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i].Var != o[i].Var || t[i].Value != o[i].Value {
+			return false
+		}
+	}
+	return true
+}
+
+// MitRecord records one completed mitigate command execution: its
+// identifier η and the total time the command took, including padding
+// (the (M_η, t) tuples of §6.3), ordered by completion time.
+type MitRecord struct {
+	ID int
+	// Duration is the total execution time of the mitigate command,
+	// including padding.
+	Duration uint64
+	// Elapsed is the body's raw execution time before padding; with
+	// mitigation disabled Duration == Elapsed. Useful for sampling
+	// initial predictions (§8.2).
+	Elapsed uint64
+	// Start is the global time at which the mitigate began.
+	Start uint64
+	// Mispredicted reports whether this execution overran its
+	// prediction and forced a penalty.
+	Mispredicted bool
+}
+
+// String formats the record as "(M3, 128)".
+func (m MitRecord) String() string { return fmt.Sprintf("(M%d, %d)", m.ID, m.Duration) }
+
+// MitTrace is the vector of mitigate executions of one run.
+type MitTrace []MitRecord
+
+// String renders the whole mitigation trace.
+func (t MitTrace) String() string {
+	parts := make([]string, len(t))
+	for i, m := range t {
+		parts[i] = m.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Filter returns the subsequence whose records satisfy keep — the
+// projection (M,t)|φ of §6.3.
+func (t MitTrace) Filter(keep func(MitRecord) bool) MitTrace {
+	var out MitTrace
+	for _, m := range t {
+		if keep(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// IDs returns just the mitigate identifiers, in completion order.
+func (t MitTrace) IDs() []int {
+	out := make([]int, len(t))
+	for i, m := range t {
+		out[i] = m.ID
+	}
+	return out
+}
+
+// DurationsKey returns a canonical string of the durations only —
+// Definition 2 counts distinct timing components of the projection.
+func (t MitTrace) DurationsKey() string {
+	parts := make([]string, len(t))
+	for i, m := range t {
+		parts[i] = fmt.Sprintf("%d", m.Duration)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,105 @@
+package events
+
+import (
+	"testing"
+
+	"repro/internal/lattice"
+)
+
+func TestEventString(t *testing.T) {
+	e := Event{Var: "x", Value: 5, Time: 100}
+	if e.String() != "(x, 5, 100)" {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestBaseVar(t *testing.T) {
+	if (Event{Var: "m[3]"}).BaseVar() != "m" {
+		t.Error("array event base var")
+	}
+	if (Event{Var: "x"}).BaseVar() != "x" {
+		t.Error("scalar event base var")
+	}
+}
+
+func TestTraceKeyDistinguishesTimes(t *testing.T) {
+	a := Trace{{Var: "x", Value: 1, Time: 10}}
+	b := Trace{{Var: "x", Value: 1, Time: 11}}
+	if a.Key() == b.Key() {
+		t.Error("keys must distinguish times")
+	}
+	if !a.ValuesEqual(b) {
+		t.Error("values are equal")
+	}
+	if a.Equal(b) {
+		t.Error("traces differ in time")
+	}
+	if !a.Equal(Trace{{Var: "x", Value: 1, Time: 10}}) {
+		t.Error("identical traces equal")
+	}
+}
+
+func TestValuesEqualLength(t *testing.T) {
+	a := Trace{{Var: "x", Value: 1, Time: 1}}
+	if a.ValuesEqual(Trace{}) {
+		t.Error("length mismatch")
+	}
+	if a.Equal(Trace{}) {
+		t.Error("length mismatch")
+	}
+}
+
+func TestObservableAt(t *testing.T) {
+	lat := lattice.TwoPoint()
+	L, H := lat.Bot(), lat.Top()
+	gamma := map[string]lattice.Label{"l": L, "h": H, "m": H}
+	tr := Trace{
+		{Var: "l", Value: 1, Time: 10},
+		{Var: "h", Value: 2, Time: 20},
+		{Var: "m[4]", Value: 3, Time: 30},
+		{Var: "unknown", Value: 4, Time: 40},
+	}
+	lowView := tr.ObservableAt(lat, gamma, L)
+	if len(lowView) != 1 || lowView[0].Var != "l" {
+		t.Errorf("low view = %v", lowView)
+	}
+	highView := tr.ObservableAt(lat, gamma, H)
+	if len(highView) != 3 {
+		t.Errorf("high view = %v", highView)
+	}
+}
+
+func TestMitRecordString(t *testing.T) {
+	m := MitRecord{ID: 3, Duration: 128}
+	if m.String() != "(M3, 128)" {
+		t.Errorf("String = %q", m.String())
+	}
+	tr := MitTrace{m, {ID: 1, Duration: 4}}
+	if tr.String() != "(M3, 128) (M1, 4)" {
+		t.Errorf("trace String = %q", tr.String())
+	}
+}
+
+func TestMitTraceFilterAndIDs(t *testing.T) {
+	tr := MitTrace{{ID: 0, Duration: 4}, {ID: 1, Duration: 8}, {ID: 0, Duration: 16}}
+	f := tr.Filter(func(m MitRecord) bool { return m.ID == 0 })
+	if len(f) != 2 || f[0].Duration != 4 || f[1].Duration != 16 {
+		t.Errorf("filtered = %v", f)
+	}
+	ids := tr.IDs()
+	if len(ids) != 3 || ids[0] != 0 || ids[1] != 1 || ids[2] != 0 {
+		t.Errorf("ids = %v", ids)
+	}
+	if tr.DurationsKey() != "4,8,16" {
+		t.Errorf("durations key = %q", tr.DurationsKey())
+	}
+}
+
+func TestTraceStringEmpty(t *testing.T) {
+	if Trace(nil).String() != "" {
+		t.Error("empty trace string")
+	}
+	if MitTrace(nil).DurationsKey() != "" {
+		t.Error("empty durations key")
+	}
+}

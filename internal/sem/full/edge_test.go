@@ -1,0 +1,149 @@
+package full
+
+import (
+	"testing"
+
+	"repro/internal/machine/hw"
+	"repro/internal/sem/mem"
+)
+
+// Low events inside a mitigate body occur before the padding; because
+// the type system keeps everything ahead of them low, their absolute
+// times are secret-independent even though the enclosing mitigate's
+// duration varies (within the schedule).
+func TestLowEventInsideMitigate(t *testing.T) {
+	src := `
+var h : H;
+var lo : L;
+var done : L;
+mitigate (4096, H) [L,L] {
+    lo := 7;
+    sleep(h) [H,H];
+}
+done := 1;
+`
+	p, r := build(t, src)
+	run := func(h int64) (loTime, doneTime uint64) {
+		env := hw.NewPartitioned(r.Lat, hw.TinyConfig())
+		res, err := Execute(p, r, env, Options{}, func(m *mem.Memory) { m.Set("h", h) }, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range res.Trace {
+			switch e.Var {
+			case "lo":
+				loTime = e.Time
+			case "done":
+				doneTime = e.Time
+			}
+		}
+		return loTime, doneTime
+	}
+	lo1, done1 := run(5)
+	lo2, done2 := run(3000)
+	if lo1 != lo2 {
+		t.Errorf("inner low event times differ: %d vs %d", lo1, lo2)
+	}
+	if done1 != done2 {
+		t.Errorf("post-mitigation event times differ: %d vs %d", done1, done2)
+	}
+	if lo1 >= done1 {
+		t.Error("inner event should precede the padded completion")
+	}
+}
+
+// Cloning a machine mid-mitigation must preserve the open region: both
+// copies finish it identically.
+func TestCloneMidMitigation(t *testing.T) {
+	src := `
+var h : H;
+var done : L;
+mitigate (512, H) [L,L] {
+    sleep(h) [H,H];
+    sleep(1) [H,H];
+}
+done := 1;
+`
+	p, r := build(t, src)
+	env := hw.NewFlat(r.Lat, 2)
+	m, err := New(p, r, env, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Memory().Set("h", 40)
+	// Step into the mitigate body (mitigate entry + first sleep).
+	m.Step()
+	m.Step()
+	c := m.Clone()
+	if err := m.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Clock() != c.Clock() {
+		t.Errorf("clone diverged: %d vs %d", m.Clock(), c.Clock())
+	}
+	if len(m.Mitigations()) != 1 || len(c.Mitigations()) != 1 ||
+		m.Mitigations()[0] != c.Mitigations()[0] {
+		t.Errorf("mitigation records differ: %v vs %v", m.Mitigations(), c.Mitigations())
+	}
+}
+
+// A step-limited run still exposes the partial trace collected so far.
+func TestPartialTraceOnStepLimit(t *testing.T) {
+	src := `
+var i : L;
+while (1) {
+    i := i + 1;
+}
+`
+	p, r := build(t, src)
+	env := hw.NewFlat(r.Lat, 1)
+	m, err := New(p, r, env, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(41); err == nil {
+		t.Fatal("expected step limit")
+	}
+	if len(m.Trace()) == 0 {
+		t.Error("partial trace should be available")
+	}
+	if m.Trace()[len(m.Trace())-1].Value < 2 {
+		t.Error("loop should have iterated")
+	}
+}
+
+// The branch predictor makes a repeated loop's later iterations cheaper
+// (trained branch), observable in event spacing.
+func TestBranchPredictorWarmup(t *testing.T) {
+	src := `
+var i : L;
+array out[16] : L;
+while (i < 12) {
+    out[i] := i;
+    i := i + 1;
+}
+`
+	p, r := build(t, src)
+	env := hw.NewPartitioned(r.Lat, hw.Table1Config())
+	res, err := Execute(p, r, env, Options{}, nil, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outs []uint64
+	for _, e := range res.Trace {
+		if e.BaseVar() == "out" {
+			outs = append(outs, e.Time)
+		}
+	}
+	if len(outs) != 12 {
+		t.Fatalf("trace = %v", res.Trace)
+	}
+	early := outs[1] - outs[0]
+	late := outs[11] - outs[10]
+	if late >= early {
+		t.Errorf("trained iterations (%d) should be cheaper than cold ones (%d)", late, early)
+	}
+}

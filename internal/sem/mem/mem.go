@@ -1,0 +1,285 @@
+// Package mem provides program memories (the m component of semantic
+// configurations) and the address layout that maps variables and array
+// elements to simulated machine addresses.
+//
+// The paper distinguishes memory m from the machine environment E: both
+// affect timing, but only memory affects control flow (§3.3). Memory
+// here is a flat store of 64-bit integers for scalars and arrays.
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lattice"
+)
+
+// Memory holds the values of all declared scalars and arrays.
+type Memory struct {
+	scalars map[string]int64
+	arrays  map[string][]int64
+}
+
+// New creates a zero-initialized memory for the program's declarations.
+func New(prog *ast.Program) *Memory {
+	m := &Memory{
+		scalars: make(map[string]int64),
+		arrays:  make(map[string][]int64),
+	}
+	for _, d := range prog.Decls {
+		if d.IsArray {
+			m.arrays[d.Name] = make([]int64, d.Size)
+		} else {
+			m.scalars[d.Name] = 0
+		}
+	}
+	return m
+}
+
+// Get returns a scalar's value; it panics on undeclared names (the
+// type checker guarantees declaredness before execution).
+func (m *Memory) Get(name string) int64 {
+	v, ok := m.scalars[name]
+	if !ok {
+		panic(fmt.Sprintf("mem: undeclared scalar %q", name))
+	}
+	return v
+}
+
+// Set assigns a scalar.
+func (m *Memory) Set(name string, v int64) {
+	if _, ok := m.scalars[name]; !ok {
+		panic(fmt.Sprintf("mem: undeclared scalar %q", name))
+	}
+	m.scalars[name] = v
+}
+
+// GetEl returns array element name[i]; out-of-range indices wrap
+// modulo the array length (a deterministic total semantics, so that
+// erroneous programs still satisfy the determinism properties rather
+// than trapping).
+func (m *Memory) GetEl(name string, i int64) int64 {
+	a, ok := m.arrays[name]
+	if !ok {
+		panic(fmt.Sprintf("mem: undeclared array %q", name))
+	}
+	return a[wrap(i, len(a))]
+}
+
+// SetEl assigns array element name[i], with the same wrapping rule.
+func (m *Memory) SetEl(name string, i, v int64) {
+	a, ok := m.arrays[name]
+	if !ok {
+		panic(fmt.Sprintf("mem: undeclared array %q", name))
+	}
+	a[wrap(i, len(a))] = v
+}
+
+// WrapIndex exposes the index-wrapping rule so the layout and the
+// interpreters agree on which address an out-of-range access touches.
+func (m *Memory) WrapIndex(name string, i int64) int64 {
+	a, ok := m.arrays[name]
+	if !ok {
+		panic(fmt.Sprintf("mem: undeclared array %q", name))
+	}
+	return wrap(i, len(a))
+}
+
+func wrap(i int64, n int) int64 {
+	if n <= 0 {
+		panic("mem: empty array")
+	}
+	r := i % int64(n)
+	if r < 0 {
+		r += int64(n)
+	}
+	return r
+}
+
+// ArrayLen returns the length of an array, or 0 if not declared.
+func (m *Memory) ArrayLen(name string) int {
+	return len(m.arrays[name])
+}
+
+// HasScalar reports whether name is a declared scalar.
+func (m *Memory) HasScalar(name string) bool {
+	_, ok := m.scalars[name]
+	return ok
+}
+
+// HasArray reports whether name is a declared array.
+func (m *Memory) HasArray(name string) bool {
+	_, ok := m.arrays[name]
+	return ok
+}
+
+// Clone returns an independent deep copy.
+func (m *Memory) Clone() *Memory {
+	n := &Memory{
+		scalars: make(map[string]int64, len(m.scalars)),
+		arrays:  make(map[string][]int64, len(m.arrays)),
+	}
+	for k, v := range m.scalars {
+		n.scalars[k] = v
+	}
+	for k, v := range m.arrays {
+		n.arrays[k] = append([]int64(nil), v...)
+	}
+	return n
+}
+
+// Equal reports full equality of two memories.
+func (m *Memory) Equal(o *Memory) bool {
+	if len(m.scalars) != len(o.scalars) || len(m.arrays) != len(o.arrays) {
+		return false
+	}
+	for k, v := range m.scalars {
+		ov, ok := o.scalars[k]
+		if !ok || ov != v {
+			return false
+		}
+	}
+	for k, v := range m.arrays {
+		ov, ok := o.arrays[k]
+		if !ok || len(ov) != len(v) {
+			return false
+		}
+		for i := range v {
+			if v[i] != ov[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ProjEquiv reports m ≈ℓ o: equality of all variables with exactly
+// level lv under Γ (§3.4's projected equivalence).
+func (m *Memory) ProjEquiv(o *Memory, gamma map[string]lattice.Label, lv lattice.Label) bool {
+	return m.equivWhere(o, gamma, func(l lattice.Label) bool { return l == lv })
+}
+
+// LowEquiv reports m ~ℓ o: equality of all variables at levels ⊑ lv.
+func (m *Memory) LowEquiv(o *Memory, lat lattice.Lattice, gamma map[string]lattice.Label, lv lattice.Label) bool {
+	return m.equivWhere(o, gamma, func(l lattice.Label) bool { return lat.Leq(l, lv) })
+}
+
+func (m *Memory) equivWhere(o *Memory, gamma map[string]lattice.Label, include func(lattice.Label) bool) bool {
+	for k, v := range m.scalars {
+		l, ok := gamma[k]
+		if !ok || !include(l) {
+			continue
+		}
+		if ov, ok := o.scalars[k]; !ok || ov != v {
+			return false
+		}
+	}
+	for k, v := range m.arrays {
+		l, ok := gamma[k]
+		if !ok || !include(l) {
+			continue
+		}
+		ov, ok := o.arrays[k]
+		if !ok || len(ov) != len(v) {
+			return false
+		}
+		for i := range v {
+			if v[i] != ov[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Names returns all declared names (scalars then arrays), sorted.
+func (m *Memory) Names() []string {
+	var out []string
+	for k := range m.scalars {
+		out = append(out, k)
+	}
+	for k := range m.arrays {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Layout
+
+// Layout assigns simulated machine addresses: each scalar gets one
+// 8-byte slot and each array a contiguous run of 8-byte elements, in
+// declaration order from DataBase. Command nodes get code addresses
+// from CodeBase with CodeStride bytes per node, so distinct commands
+// fall in distinct (or at least spread-out) instruction-cache blocks.
+type Layout struct {
+	addrs      map[string]uint64
+	dataBase   uint64
+	codeBase   uint64
+	codeStride uint64
+	end        uint64
+}
+
+// LayoutConfig controls address assignment; the zero value selects the
+// defaults below.
+type LayoutConfig struct {
+	DataBase   uint64 // default 0x1_0000
+	CodeBase   uint64 // default 0x40_0000
+	CodeStride uint64 // bytes of instruction space per command node; default 16
+	ElemSize   uint64 // bytes per scalar/element; fixed at 8
+}
+
+// NewLayout computes the address layout for a program.
+func NewLayout(prog *ast.Program, cfg LayoutConfig) *Layout {
+	if cfg.DataBase == 0 {
+		cfg.DataBase = 0x10000
+	}
+	if cfg.CodeBase == 0 {
+		cfg.CodeBase = 0x400000
+	}
+	if cfg.CodeStride == 0 {
+		cfg.CodeStride = 16
+	}
+	l := &Layout{
+		addrs:      make(map[string]uint64),
+		dataBase:   cfg.DataBase,
+		codeBase:   cfg.CodeBase,
+		codeStride: cfg.CodeStride,
+	}
+	next := cfg.DataBase
+	for _, d := range prog.Decls {
+		l.addrs[d.Name] = next
+		if d.IsArray {
+			next += 8 * uint64(d.Size)
+		} else {
+			next += 8
+		}
+	}
+	l.end = next
+	return l
+}
+
+// Addr returns the address of a scalar (or an array's base address).
+func (l *Layout) Addr(name string) uint64 {
+	a, ok := l.addrs[name]
+	if !ok {
+		panic(fmt.Sprintf("layout: unknown variable %q", name))
+	}
+	return a
+}
+
+// ElemAddr returns the address of array element name[i]; the caller is
+// responsible for wrapping i into range first (Memory.WrapIndex).
+func (l *Layout) ElemAddr(name string, i int64) uint64 {
+	return l.Addr(name) + 8*uint64(i)
+}
+
+// CodeAddr returns the instruction address of a command node.
+func (l *Layout) CodeAddr(nodeID int) uint64 {
+	return l.codeBase + l.codeStride*uint64(nodeID)
+}
+
+// DataEnd returns the first address past the data segment.
+func (l *Layout) DataEnd() uint64 { return l.end }

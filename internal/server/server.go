@@ -1,0 +1,162 @@
+// Package server simulates a long-running service built on the
+// timing-channel language: one program handles a sequence of requests
+// on shared, persistent hardware state (caches stay warm) and — unlike
+// the per-request machines used in one-shot experiments — persistent
+// predictive-mitigation state, so miss counters carry over between
+// requests exactly as in the epoch-based mitigation of the paper's
+// predecessors [5, 38]. This exposes the realistic dynamics: early
+// requests may mispredict and inflate the schedule; the system then
+// settles, and total leakage across a whole request sequence stays
+// within the log-bound.
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/lang/ast"
+	"repro/internal/machine/hw"
+	"repro/internal/mitigation"
+	"repro/internal/sem/events"
+	"repro/internal/sem/full"
+	"repro/internal/sem/mem"
+	"repro/internal/types"
+)
+
+// Request sets the per-request public inputs (and, for simulation
+// purposes, the secrets) in the program memory before a run.
+type Request func(*mem.Memory)
+
+// Response summarizes one processed request.
+type Response struct {
+	// Index is the request's position in the sequence.
+	Index int
+	// Time is the request's total processing time in cycles.
+	Time uint64
+	// Trace holds the request's observable events (times are
+	// request-relative: the clock starts at 0 for each request, as a
+	// client measures round-trip latency).
+	Trace events.Trace
+	// Mitigations holds the request's mitigation records.
+	Mitigations events.MitTrace
+	// Mispredictions counts mitigation misses during this request.
+	Mispredictions int
+}
+
+// Options configure a Server.
+type Options struct {
+	// Env is the shared machine environment; required.
+	Env hw.Env
+	// Scheme and Policy configure the persistent mitigation state.
+	Scheme mitigation.Scheme
+	Policy mitigation.Policy
+	// DisableMitigation runs the program unmitigated.
+	DisableMitigation bool
+	// MaxStepsPerRequest bounds each request; default 10_000_000.
+	MaxStepsPerRequest int
+}
+
+// Server processes requests against one program with persistent
+// hardware and mitigation state.
+type Server struct {
+	prog *ast.Program
+	res  *types.Result
+	opts Options
+	mit  *mitigation.State
+	n    int
+}
+
+// New constructs a server. The program must be type-checked.
+func New(prog *ast.Program, res *types.Result, opts Options) (*Server, error) {
+	if opts.Env == nil {
+		return nil, fmt.Errorf("server: Env is required")
+	}
+	if opts.MaxStepsPerRequest == 0 {
+		opts.MaxStepsPerRequest = 10_000_000
+	}
+	return &Server{
+		prog: prog,
+		res:  res,
+		opts: opts,
+		mit:  mitigation.NewState(res.Lat, opts.Scheme, opts.Policy),
+	}, nil
+}
+
+// MitigationState exposes the persistent miss counters.
+func (s *Server) MitigationState() *mitigation.State { return s.mit }
+
+// Served returns the number of requests processed.
+func (s *Server) Served() int { return s.n }
+
+// Handle processes one request and returns its response.
+func (s *Server) Handle(req Request) (*Response, error) {
+	m, err := full.New(s.prog, s.res, s.opts.Env, full.Options{
+		Scheme:            s.opts.Scheme,
+		Policy:            s.opts.Policy,
+		DisableMitigation: s.opts.DisableMitigation,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Splice the persistent mitigation state into the fresh machine.
+	s.mit.CopyInto(m.MitigationState())
+	if req != nil {
+		req(m.Memory())
+	}
+	if err := m.Run(s.opts.MaxStepsPerRequest); err != nil {
+		return nil, fmt.Errorf("server: request %d: %w", s.n, err)
+	}
+	// Persist the (possibly inflated) counters for the next request.
+	m.MitigationState().CopyInto(s.mit)
+
+	resp := &Response{
+		Index:       s.n,
+		Time:        m.Clock(),
+		Trace:       m.Trace(),
+		Mitigations: m.Mitigations(),
+	}
+	for _, r := range m.Mitigations() {
+		if r.Mispredicted {
+			resp.Mispredictions++
+		}
+	}
+	s.n++
+	return resp, nil
+}
+
+// HandleAll processes a sequence of requests.
+func (s *Server) HandleAll(reqs []Request) ([]*Response, error) {
+	out := make([]*Response, 0, len(reqs))
+	for _, r := range reqs {
+		resp, err := s.Handle(r)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, resp)
+	}
+	return out, nil
+}
+
+// Times extracts the per-request processing times from responses.
+func Times(resps []*Response) []uint64 {
+	out := make([]uint64, len(resps))
+	for i, r := range resps {
+		out[i] = r.Time
+	}
+	return out
+}
+
+// SettledAfter returns the index of the first request after which no
+// request ever mispredicts again, or -1 if the tail keeps missing —
+// the server's convergence point.
+func SettledAfter(resps []*Response) int {
+	last := -1
+	for i, r := range resps {
+		if r.Mispredictions > 0 {
+			last = i
+		}
+	}
+	if last == len(resps)-1 && len(resps) > 0 && resps[last].Mispredictions > 0 {
+		return -1
+	}
+	return last + 1
+}

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/parser"
+	"repro/internal/lattice"
+	"repro/internal/machine/hw"
+	"repro/internal/mitigation"
+	"repro/internal/sem/mem"
+	"repro/internal/types"
+)
+
+func buildProg(t *testing.T, src string) (*ast.Program, *types.Result) {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := types.Check(p, lattice.TwoPoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, r
+}
+
+const echoSrc = `
+var h : H;
+var reply : L;
+mitigate (1, H) [L,L] {
+    sleep(h % 64) [H,H];
+}
+reply := 1;
+`
+
+func setH(h int64) Request {
+	return func(m *mem.Memory) { m.Set("h", h) }
+}
+
+func TestServerRequiresEnv(t *testing.T) {
+	p, r := buildProg(t, echoSrc)
+	if _, err := New(p, r, Options{}); err == nil {
+		t.Error("expected error without Env")
+	}
+}
+
+func TestServerSettlesAndStaysConstant(t *testing.T) {
+	p, r := buildProg(t, echoSrc)
+	lat := r.Lat
+	srv, err := New(p, r, Options{Env: hw.NewPartitioned(lat, hw.Table1Config())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []Request
+	for i := 0; i < 40; i++ {
+		reqs = append(reqs, setH(int64(i*13)%64))
+	}
+	resps, err := srv.HandleAll(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	settled := SettledAfter(resps)
+	if settled < 0 {
+		t.Fatal("server never settled")
+	}
+	if settled > 10 {
+		t.Errorf("settled only after %d requests", settled)
+	}
+	// After settling, every request takes the same time — regardless of
+	// the secret — because the persistent schedule covers them all.
+	base := resps[len(resps)-1].Time
+	for _, resp := range resps[settled+5:] {
+		if resp.Time != base {
+			t.Errorf("post-settlement time varies: request %d took %d, want %d",
+				resp.Index, resp.Time, base)
+		}
+	}
+	if srv.Served() != 40 {
+		t.Errorf("Served = %d", srv.Served())
+	}
+}
+
+func TestServerMissCountersPersist(t *testing.T) {
+	p, r := buildProg(t, echoSrc)
+	lat := r.Lat
+	srv, err := New(p, r, Options{Env: hw.NewFlat(lat, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First request with a big secret inflates the schedule...
+	first, err := srv.Handle(setH(63))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Mispredictions == 0 {
+		t.Fatal("first request should mispredict (init estimate is 1)")
+	}
+	missesAfterFirst := srv.MitigationState().TotalMisses()
+	// ...so an identical later request does not mispredict at all.
+	second, err := srv.Handle(setH(63))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Mispredictions != 0 {
+		t.Error("second identical request should be covered")
+	}
+	if srv.MitigationState().TotalMisses() != missesAfterFirst {
+		t.Error("miss counters should not grow on covered requests")
+	}
+}
+
+func TestServerTotalLeakageBounded(t *testing.T) {
+	// Across a whole request sequence with adversarially spread
+	// secrets, the number of distinct response times stays
+	// logarithmic: one per schedule step, not one per secret.
+	p, r := buildProg(t, echoSrc)
+	lat := r.Lat
+	srv, err := New(p, r, Options{Env: hw.NewFlat(lat, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		resp, err := srv.Handle(setH(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct[resp.Time] = true
+	}
+	// 64 distinct secrets; schedule values are ≤ log2(maxTime) many.
+	if len(distinct) > 10 {
+		t.Errorf("%d distinct response times across 64 secrets; expected few schedule steps",
+			len(distinct))
+	}
+}
+
+func TestServerUnmitigatedLeaksEachSecret(t *testing.T) {
+	p, r := buildProg(t, echoSrc)
+	lat := r.Lat
+	srv, err := New(p, r, Options{Env: hw.NewFlat(lat, 2), DisableMitigation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[uint64]bool{}
+	for i := 0; i < 16; i++ {
+		resp, err := srv.Handle(setH(int64(i * 3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct[resp.Time] = true
+	}
+	if len(distinct) < 16 {
+		t.Errorf("unmitigated server should leak every secret: %d distinct", len(distinct))
+	}
+}
+
+func TestServerPerSitePolicy(t *testing.T) {
+	p, r := buildProg(t, echoSrc)
+	lat := r.Lat
+	srv, err := New(p, r, Options{
+		Env:    hw.NewFlat(lat, 2),
+		Policy: mitigation.PerSite,
+		Scheme: mitigation.FastDoubling{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Handle(setH(40)); err != nil {
+		t.Fatal(err)
+	}
+	if srv.MitigationState().TotalMisses() == 0 {
+		t.Error("per-site counters should persist too")
+	}
+}
+
+func TestSettledAfterEdgeCases(t *testing.T) {
+	if got := SettledAfter(nil); got != 0 {
+		t.Errorf("empty = %d", got)
+	}
+	clean := []*Response{{}, {}}
+	if got := SettledAfter(clean); got != 0 {
+		t.Errorf("clean = %d", got)
+	}
+	tailMiss := []*Response{{}, {Mispredictions: 1}}
+	if got := SettledAfter(tailMiss); got != -1 {
+		t.Errorf("tail miss = %d", got)
+	}
+	midMiss := []*Response{{Mispredictions: 2}, {}}
+	if got := SettledAfter(midMiss); got != 1 {
+		t.Errorf("mid miss = %d", got)
+	}
+}
+
+func TestTimesHelper(t *testing.T) {
+	resps := []*Response{{Time: 5}, {Time: 9}}
+	ts := Times(resps)
+	if len(ts) != 2 || ts[0] != 5 || ts[1] != 9 {
+		t.Errorf("Times = %v", ts)
+	}
+}

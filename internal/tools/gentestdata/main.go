@@ -1,0 +1,25 @@
+// Command gentestdata regenerates the case-study program listings in
+// testdata/ from their builders, so the browsable .tc files can never
+// drift from the code (a sync test enforces it).
+package main
+
+import (
+	"log"
+	"os"
+
+	"repro/internal/apps/login"
+	"repro/internal/apps/rsa"
+)
+
+func main() {
+	files := map[string]string{
+		"testdata/login.tc":      login.Source(login.DefaultConfig()),
+		"testdata/rsa.tc":        rsa.Source(rsa.DefaultConfig(), rsa.LanguageLevel),
+		"testdata/rsa_system.tc": rsa.Source(rsa.DefaultConfig(), rsa.SystemLevel),
+	}
+	for name, src := range files {
+		if err := os.WriteFile(name, []byte(src), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package types
+
+import (
+	"testing"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lattice"
+)
+
+func TestCheckDetailedJudgments(t *testing.T) {
+	p := parse(t, `
+var h : H;
+var l : L;
+l := 1;
+mitigate (8, H) [L,L] {
+    sleep(h) [H,H];
+}
+l := 2;
+`)
+	lat := lattice.TwoPoint()
+	res, typings, err := CheckDetailed(p, lat, Options{CoupleReadWrite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	L, H := lat.Bot(), lat.Top()
+	if res.End != L {
+		t.Errorf("end = %v", res.End)
+	}
+	var sleepTy, mitTy CmdTyping
+	var sawSleep, sawMit bool
+	ast.WalkCmds(p.Body, func(c ast.Cmd) bool {
+		switch c.(type) {
+		case *ast.Sleep:
+			sleepTy, sawSleep = typings[c.ID()], true
+		case *ast.Mitigate:
+			mitTy, sawMit = typings[c.ID()], true
+		}
+		return true
+	})
+	if !sawSleep || !sawMit {
+		t.Fatal("missing judgments")
+	}
+	// The sleep inside the mitigate: pc=L, start=L (mitigate init is a
+	// literal), end=H (taints timing with h).
+	if sleepTy.PC != L || sleepTy.End != H {
+		t.Errorf("sleep judgment = %+v", sleepTy)
+	}
+	// The mitigate itself cuts the taint: end stays L.
+	if mitTy.End != L || mitTy.Start != L || mitTy.PC != L {
+		t.Errorf("mitigate judgment = %+v", mitTy)
+	}
+}
+
+func TestCheckDetailedWhileFixpoint(t *testing.T) {
+	// The recorded judgment for a while body must reflect the FIXED
+	// POINT start label, not the first speculative iteration's.
+	p := parse(t, `
+var h : H;
+var i : H;
+while (i < 4) [H,H] {
+    sleep(h) [H,H];
+    i := i + 1 [H,H];
+}
+`)
+	lat := lattice.TwoPoint()
+	_, typings, err := CheckDetailed(p, lat, Options{CoupleReadWrite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	H := lat.Top()
+	w := p.Body.(*ast.While)
+	wt := typings[w.ID()]
+	if wt.End != H {
+		t.Errorf("while end = %v, want H", wt.End)
+	}
+	// Body's first command starts at the loop's fixed point (H).
+	first := w.Body.(*ast.Seq).First
+	ft := typings[first.ID()]
+	if ft.Start != H {
+		t.Errorf("body start = %v, want H (fixed point)", ft.Start)
+	}
+}
+
+func TestCheckDetailedCoversAllLabeledCommands(t *testing.T) {
+	p := parse(t, `
+var l : L;
+array a[4] : L;
+var i : L;
+skip;
+l := 1;
+a[0] := 2;
+sleep(3);
+if (l) { skip; } else { skip; }
+i := 0;
+while (i < 2) { i := i + 1; }
+mitigate (4, H) { skip; }
+`)
+	_, typings, err := CheckDetailed(p, lattice.TwoPoint(), Options{CoupleReadWrite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing := 0
+	ast.WalkCmds(p.Body, func(c ast.Cmd) bool {
+		if _, isSeq := c.(*ast.Seq); isSeq {
+			return true
+		}
+		if _, ok := typings[c.ID()]; !ok {
+			missing++
+			t.Errorf("no judgment for %T at %s", c, c.Pos())
+		}
+		return true
+	})
+	if missing > 0 {
+		t.Fatalf("%d labeled commands missing judgments", missing)
+	}
+}
+
+func TestCheckWithoutDetailReturnsNoTypings(t *testing.T) {
+	p := parse(t, "var l : L; l := 1;")
+	if _, err := Check(p, lattice.TwoPoint()); err != nil {
+		t.Fatal(err)
+	}
+	// CheckDetailed on an ill-typed program errors and returns nil map.
+	bad := parse(t, "var h : H; var l : L; l := h;")
+	_, typings, err := CheckDetailed(bad, lattice.TwoPoint(), Options{})
+	if err == nil || typings != nil {
+		t.Error("ill-typed program should not return typings")
+	}
+}

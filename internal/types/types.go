@@ -1,0 +1,456 @@
+// Package types implements the security type system of the paper
+// (Fig. 4) together with timing-label inference (§8.2).
+//
+// Typing judgments for commands have the form Γ, pc, t ⊢ c : t', where
+// pc is the program-counter label, t the timing start-label, and t' the
+// timing end-label: bounds on the level of information that has flowed
+// into timing before and after executing c. Every rule enforces t ⊑ t'
+// (timing dependencies accumulate), requires pc ⊑ ew (no confidential
+// control flow may modify low machine-environment state, Property 5),
+// and accumulates read labels er into the end label (reading from
+// confidential parts of the machine environment taints timing).
+//
+// Labels omitted in the source are inferred as the least restrictive
+// labels satisfying the typing rules: ew = pc, and er = ew when the
+// hardware requires coupled labels (commodity and partitioned cache
+// designs, §5.1/§8.1) or er = ⊥ otherwise.
+package types
+
+import (
+	"fmt"
+
+	"repro/internal/lang/ast"
+	"repro/internal/lang/token"
+	"repro/internal/lattice"
+)
+
+// Error is a type error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList is a list of type errors; it implements error.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	default:
+		return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+	}
+}
+
+// Options configure checking and inference.
+type Options struct {
+	// CoupleReadWrite requires er = ew on every command, matching
+	// hardware with a single timing-label register (§8.1). Inference
+	// then picks er = ew; explicit annotations violating er = ew are
+	// rejected.
+	CoupleReadWrite bool
+	// RequireAnnotations rejects commands with omitted labels instead
+	// of inferring them.
+	RequireAnnotations bool
+}
+
+// MitigateInfo records the statically determined facts about one
+// mitigate command that the leakage theory consumes (§6.3): the
+// program-counter label pc(M_η) at its program point and its mitigation
+// level lev(M_η).
+type MitigateInfo struct {
+	ID    int
+	PC    lattice.Label
+	Level lattice.Label
+	Pos   token.Pos
+}
+
+// CmdTyping records the typing judgment Γ, pc, t ⊢ c : t' at one
+// command: the program-counter label and the timing start- and
+// end-labels. Produced by CheckDetailed for tooling (timingc explain).
+type CmdTyping struct {
+	PC    lattice.Label
+	Start lattice.Label
+	End   lattice.Label
+}
+
+// Result is the outcome of a successful check.
+type Result struct {
+	Lat lattice.Lattice
+	// Vars is Γ: the security level of every declared variable.
+	Vars map[string]lattice.Label
+	// ArraySizes maps array names to their element counts.
+	ArraySizes map[string]int64
+	// Mitigates has one entry per mitigate command, indexed by MitID.
+	Mitigates []MitigateInfo
+	// End is the timing end-label of the whole program: Γ,⊥,⊥ ⊢ c : End.
+	End lattice.Label
+}
+
+// VarLabel returns Γ(name); ok is false for undeclared names.
+func (r *Result) VarLabel(name string) (lattice.Label, bool) {
+	l, ok := r.Vars[name]
+	return l, ok
+}
+
+// checker holds state for one Check run.
+type checker struct {
+	lat    lattice.Lattice
+	opts   Options
+	errors ErrorList
+	vars   map[string]lattice.Label
+	arrays map[string]int64
+	mits   []MitigateInfo
+	// typings, when non-nil, records the judgment at every command
+	// node (keyed by node ID). Speculative while-fixpoint iterations
+	// also record, but the final authoritative pass overwrites them.
+	typings map[int]CmdTyping
+}
+
+// Check resolves declarations and label annotations, infers omitted
+// labels, and type-checks the program with default options.
+func Check(prog *ast.Program, lat lattice.Lattice) (*Result, error) {
+	return CheckWith(prog, lat, Options{CoupleReadWrite: true})
+}
+
+// CheckWith is Check with explicit options.
+func CheckWith(prog *ast.Program, lat lattice.Lattice, opts Options) (*Result, error) {
+	res, _, err := checkInternal(prog, lat, opts, false)
+	return res, err
+}
+
+// CheckDetailed is CheckWith, additionally returning the typing
+// judgment recorded at every command node (keyed by ast.Cmd.ID).
+func CheckDetailed(prog *ast.Program, lat lattice.Lattice, opts Options) (*Result, map[int]CmdTyping, error) {
+	return checkInternal(prog, lat, opts, true)
+}
+
+func checkInternal(prog *ast.Program, lat lattice.Lattice, opts Options, detailed bool) (*Result, map[int]CmdTyping, error) {
+	c := &checker{
+		lat:    lat,
+		opts:   opts,
+		vars:   make(map[string]lattice.Label),
+		arrays: make(map[string]int64),
+		mits:   make([]MitigateInfo, prog.NumMitigates),
+	}
+	if detailed {
+		c.typings = make(map[int]CmdTyping)
+	}
+	c.declarations(prog)
+	c.resolveAndInfer(prog.Body, lat.Bot())
+	end := c.command(prog.Body, lat.Bot(), lat.Bot())
+	if len(c.errors) > 0 {
+		return nil, nil, c.errors
+	}
+	return &Result{
+		Lat:        lat,
+		Vars:       c.vars,
+		ArraySizes: c.arrays,
+		Mitigates:  c.mits,
+		End:        end,
+	}, c.typings, nil
+}
+
+// record stores the judgment for one command when detailed checking is
+// enabled.
+func (c *checker) record(cmd ast.Cmd, pc, start, end lattice.Label) lattice.Label {
+	if c.typings != nil {
+		c.typings[cmd.ID()] = CmdTyping{PC: pc, Start: start, End: end}
+	}
+	return end
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	if len(c.errors) < 50 {
+		c.errors = append(c.errors, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (c *checker) lookupLabel(pos token.Pos, name string) lattice.Label {
+	l, ok := c.lat.Lookup(name)
+	if !ok {
+		c.errorf(pos, "unknown security label %q (lattice %s)", name, c.lat.Name())
+		return c.lat.Bot()
+	}
+	return l
+}
+
+func (c *checker) declarations(prog *ast.Program) {
+	for _, d := range prog.Decls {
+		if _, dup := c.vars[d.Name]; dup {
+			c.errorf(d.Pos(), "variable %q redeclared", d.Name)
+			continue
+		}
+		d.Label = c.lookupLabel(d.Pos(), d.LabelName)
+		c.vars[d.Name] = d.Label
+		if d.IsArray {
+			c.arrays[d.Name] = d.Size
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Label resolution and inference
+
+// resolveAndInfer walks the command tree computing the program-counter
+// label at each node and resolving or inferring the timing labels.
+func (c *checker) resolveAndInfer(cmd ast.Cmd, pc lattice.Label) {
+	switch cm := cmd.(type) {
+	case *ast.Seq:
+		c.resolveAndInfer(cm.First, pc)
+		c.resolveAndInfer(cm.Second, pc)
+		return
+	case *ast.If:
+		// Branch-outcome rule: the guard's value trains the branch
+		// predictor, machine state at level ew, so ℓe joins the
+		// inferred write label alongside the address level.
+		c.labels(cm, &cm.Lab, pc, c.lat.Join(c.expr(cm.Cond), c.addrLevel(cm.Cond)))
+		inner := c.lat.Join(pc, c.expr(cm.Cond))
+		c.resolveAndInfer(cm.Then, inner)
+		c.resolveAndInfer(cm.Else, inner)
+		return
+	case *ast.While:
+		c.labels(cm, &cm.Lab, pc, c.lat.Join(c.expr(cm.Cond), c.addrLevel(cm.Cond)))
+		inner := c.lat.Join(pc, c.expr(cm.Cond))
+		c.resolveAndInfer(cm.Body, inner)
+		return
+	case *ast.Mitigate:
+		c.labels(cm, &cm.Lab, pc, c.addrLevel(cm.Init))
+		cm.Level = c.lookupLabel(cm.Pos(), cm.LevelName)
+		if cm.MitID >= 0 && cm.MitID < len(c.mits) {
+			c.mits[cm.MitID] = MitigateInfo{ID: cm.MitID, PC: pc, Level: cm.Level, Pos: cm.Pos()}
+		}
+		// T-MTG leaves pc unchanged for the body.
+		c.resolveAndInfer(cm.Body, pc)
+		return
+	case *ast.Skip:
+		c.labels(cm, &cm.Lab, pc, c.lat.Bot())
+		return
+	case *ast.Assign:
+		c.labels(cm, &cm.Lab, pc, c.addrLevel(cm.X))
+		return
+	case *ast.Store:
+		al := c.lat.Join(c.expr(cm.Idx), c.lat.Join(c.addrLevel(cm.Idx), c.addrLevel(cm.X)))
+		c.labels(cm, &cm.Lab, pc, al)
+		return
+	case *ast.Sleep:
+		c.labels(cm, &cm.Lab, pc, c.addrLevel(cm.X))
+		return
+	}
+}
+
+// addrLevel computes the command-extension "address level" of an
+// expression: the join of the levels of all array index expressions
+// within it. Every array access touches a data-dependent address, so a
+// cache fill for it lands at an index-dependent location; Property 7
+// (single-step machine-environment noninterference) therefore requires
+// the fill to go to a partition at or above the index level, i.e.
+// addrLevel ⊑ ew. (The paper's language has only statically addressed
+// scalars, making this constraint vacuous there; arrays are our
+// extension, documented in DESIGN.md.)
+func (c *checker) addrLevel(e ast.Expr) lattice.Label {
+	out := c.lat.Bot()
+	ast.WalkExprs(e, func(x ast.Expr) {
+		if idx, ok := x.(*ast.Index); ok {
+			out = c.lat.Join(out, c.expr(idx.Idx))
+		}
+	})
+	return out
+}
+
+// labels resolves a command's [er,ew] annotation or infers it from pc
+// and the command's address level.
+func (c *checker) labels(cmd ast.Cmd, lab *ast.Labels, pc, addr lattice.Label) {
+	annotated := lab.ReadName != "" || lab.WriteName != ""
+	if annotated {
+		lab.RL = c.lookupLabel(cmd.Pos(), lab.ReadName)
+		lab.WL = c.lookupLabel(cmd.Pos(), lab.WriteName)
+		if c.opts.CoupleReadWrite && lab.RL != lab.WL {
+			c.errorf(cmd.Pos(), "hardware requires coupled timing labels: er=%s ≠ ew=%s", lab.RL, lab.WL)
+		}
+		if !c.lat.Leq(addr, lab.WL) {
+			c.errorf(cmd.Pos(), "write label %s below address/branch-outcome level %s: data-dependent machine-state updates would leak (addr ⋢ ew)",
+				lab.WL, addr)
+		}
+		return
+	}
+	if c.opts.RequireAnnotations {
+		c.errorf(cmd.Pos(), "missing [er,ew] annotation")
+	}
+	// Least restrictive labels: ew must satisfy pc ⊑ ew and
+	// addrLevel ⊑ ew, so ew = pc ⊔ addrLevel.
+	lab.WL = c.lat.Join(pc, addr)
+	if c.opts.CoupleReadWrite {
+		lab.RL = lab.WL
+	} else {
+		lab.RL = c.lat.Bot()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expression typing
+
+// expr returns the security level of an expression: the join of the
+// levels of all variables it reads (standard rules, omitted in the
+// paper's Fig. 4).
+func (c *checker) expr(e ast.Expr) lattice.Label {
+	switch ex := e.(type) {
+	case *ast.IntLit:
+		return c.lat.Bot()
+	case *ast.Var:
+		return c.varLabel(ex.Pos(), ex.Name, false)
+	case *ast.Index:
+		// The value read depends on both the array contents and the
+		// index.
+		return c.lat.Join(c.varLabel(ex.Pos(), ex.Name, true), c.expr(ex.Idx))
+	case *ast.Unary:
+		return c.expr(ex.X)
+	case *ast.Binary:
+		return c.lat.Join(c.expr(ex.X), c.expr(ex.Y))
+	}
+	return c.lat.Bot()
+}
+
+// varLabel resolves Γ(name), checking scalar/array usage.
+func (c *checker) varLabel(pos token.Pos, name string, wantArray bool) lattice.Label {
+	l, ok := c.vars[name]
+	if !ok {
+		c.errorf(pos, "undeclared variable %q", name)
+		return c.lat.Bot()
+	}
+	_, isArray := c.arrays[name]
+	if isArray != wantArray {
+		if isArray {
+			c.errorf(pos, "array %q used as scalar", name)
+		} else {
+			c.errorf(pos, "scalar %q indexed as array", name)
+		}
+	}
+	return l
+}
+
+// ---------------------------------------------------------------------------
+// Command typing (Fig. 4)
+
+// command checks Γ, pc, t ⊢ cmd : t' and returns t'.
+func (c *checker) command(cmd ast.Cmd, pc, t lattice.Label) lattice.Label {
+	switch cm := cmd.(type) {
+	case *ast.Skip:
+		// T-SKIP: pc ⊑ ew ⊢ skip[er,ew] : t ⊔ er.
+		c.requirePCWrite(cm, pc, cm.Lab.WL)
+		return c.record(cm, pc, t, c.lat.Join(t, cm.Lab.RL))
+
+	case *ast.Assign:
+		// T-ASGN: ℓe ⊔ pc ⊔ t ⊔ er ⊑ Γ(x); end label Γ(x).
+		c.requirePCWrite(cm, pc, cm.Lab.WL)
+		le := c.expr(cm.X)
+		gx := c.varLabel(cm.Pos(), cm.Name, false)
+		src := c.lat.Join(c.lat.Join(le, pc), c.lat.Join(t, cm.Lab.RL))
+		if !c.lat.Leq(src, gx) {
+			c.errorf(cm.Pos(), "assignment to %q leaks: %s ⋢ %s (expr %s, pc %s, timing %s, read label %s)",
+				cm.Name, src, gx, le, pc, t, cm.Lab.RL)
+		}
+		return c.record(cm, pc, t, gx)
+
+	case *ast.Store:
+		// Array store: like T-ASGN with the index folded into the
+		// source level (the updated element depends on the index).
+		c.requirePCWrite(cm, pc, cm.Lab.WL)
+		le := c.lat.Join(c.expr(cm.Idx), c.expr(cm.X))
+		gx := c.varLabel(cm.Pos(), cm.Name, true)
+		src := c.lat.Join(c.lat.Join(le, pc), c.lat.Join(t, cm.Lab.RL))
+		if !c.lat.Leq(src, gx) {
+			c.errorf(cm.Pos(), "store to %q leaks: %s ⋢ %s", cm.Name, src, gx)
+		}
+		return c.record(cm, pc, t, gx)
+
+	case *ast.Sleep:
+		// T-SLEEP: end label t ⊔ ℓe ⊔ er.
+		c.requirePCWrite(cm, pc, cm.Lab.WL)
+		le := c.expr(cm.X)
+		return c.record(cm, pc, t, c.lat.Join(c.lat.Join(t, le), cm.Lab.RL))
+
+	case *ast.Seq:
+		// T-SEQ: thread the end label of First into Second.
+		t1 := c.command(cm.First, pc, t)
+		return c.command(cm.Second, pc, t1)
+
+	case *ast.If:
+		// T-IF: branches check under ℓe ⊔ pc with start ℓe ⊔ t ⊔ er.
+		c.requirePCWrite(cm, pc, cm.Lab.WL)
+		le := c.expr(cm.Cond)
+		innerPC := c.lat.Join(le, pc)
+		innerT := c.lat.Join(le, c.lat.Join(t, cm.Lab.RL))
+		t1 := c.command(cm.Then, innerPC, innerT)
+		t2 := c.command(cm.Else, innerPC, innerT)
+		return c.record(cm, pc, t, c.lat.Join(t1, t2))
+
+	case *ast.While:
+		// T-WHILE: find the least t' with ℓe ⊔ t ⊔ er ⊑ t' and
+		// Γ, ℓe ⊔ pc, t' ⊢ body : t'. The loop body both starts and
+		// ends at t' because timing dependencies from one iteration
+		// flow into the next; we compute the least fixed point by
+		// iteration (the lattice is finite, and end labels are
+		// monotone in the start label, so this terminates).
+		c.requirePCWrite(cm, pc, cm.Lab.WL)
+		le := c.expr(cm.Cond)
+		innerPC := c.lat.Join(le, pc)
+		tp := c.lat.Join(le, c.lat.Join(t, cm.Lab.RL))
+		for {
+			// Speculatively check the body without recording errors:
+			// only the fixed point's check should report.
+			end := c.silently(func() lattice.Label { return c.command(cm.Body, innerPC, tp) })
+			next := c.lat.Join(tp, end)
+			if next == tp {
+				break
+			}
+			tp = next
+		}
+		c.command(cm.Body, innerPC, tp)
+		return c.record(cm, pc, t, tp)
+
+	case *ast.Mitigate:
+		// T-MTG: body checks with start t ⊔ ℓe ⊔ er; its end label t''
+		// must satisfy t'' ⊑ ℓ' but does NOT propagate out — the
+		// predictive mitigation mechanism controls how the body's
+		// timing leaks. The mitigate's own end label accounts only for
+		// evaluating the prediction expression.
+		c.requirePCWrite(cm, pc, cm.Lab.WL)
+		le := c.expr(cm.Init)
+		innerT := c.lat.Join(t, c.lat.Join(le, cm.Lab.RL))
+		tpp := c.command(cm.Body, pc, innerT)
+		if !c.lat.Leq(tpp, cm.Level) {
+			c.errorf(cm.Pos(), "mitigate@%d body timing level %s exceeds mitigation level %s",
+				cm.MitID, tpp, cm.Level)
+		}
+		return c.record(cm, pc, t, c.lat.Join(le, c.lat.Join(t, cm.Lab.RL)))
+	}
+	c.errorf(cmd.Pos(), "unknown command %T", cmd)
+	return t
+}
+
+// requirePCWrite enforces pc ⊑ ew, the condition shared by every rule:
+// together with Property 5 it ensures confidential control flow cannot
+// modify low machine-environment state.
+func (c *checker) requirePCWrite(cmd ast.Cmd, pc, ew lattice.Label) {
+	if !ew.Valid() {
+		// Resolution failed earlier; an error was already reported.
+		return
+	}
+	if !c.lat.Leq(pc, ew) {
+		c.errorf(cmd.Pos(), "write label %s too low for program-counter label %s (pc ⋢ ew)", ew, pc)
+	}
+}
+
+// silently runs f with error reporting suppressed and returns its
+// result, restoring the error list afterwards.
+func (c *checker) silently(f func() lattice.Label) lattice.Label {
+	saved := c.errors
+	out := f()
+	c.errors = saved
+	return out
+}
