@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all ci vet build test race bench harness quick clean
+
+all: ci
+
+# ci is the gate every change must pass: vet, build, and the race-
+# enabled test suite (the pool's concurrency is exercised under -race).
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run ^$$ .
+
+harness:
+	$(GO) run ./cmd/harness -quick
+
+quick: vet build test

@@ -7,6 +7,8 @@
 package repro
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/apps/login"
@@ -216,12 +218,9 @@ func BenchmarkAblationHardware(b *testing.B) {
 	}
 	creds := login.MakeCredentials(16)
 	att := login.Attempt{User: creds[3].User, Pass: creds[3].Pass}
-	envs := map[string]func() hw.Env{
-		"nofill":      func() hw.Env { return hw.NewNoFill(lat, hw.Table1Config()) },
-		"partitioned": func() hw.Env { return hw.NewPartitioned(lat, hw.Table1Config()) },
-		"flush":       func() hw.Env { return hw.NewFlushOnHigh(lat, hw.Table1Config()) },
-	}
-	for name, mk := range envs {
+	for _, name := range []string{"nofill", "partitioned", "flush"} {
+		name := name
+		mk := func() hw.Env { return hw.MustEnv(name, lat, hw.Table1Config()) }
 		b.Run(name, func(b *testing.B) {
 			var cycles uint64
 			for i := 0; i < b.N; i++ {
@@ -310,6 +309,7 @@ func BenchmarkAblationPenaltyPolicies(b *testing.B) {
 func BenchmarkAblationServerSchemes(b *testing.B) {
 	lat := lattice.TwoPoint()
 	prog, res := mustServerProg(b)
+	ctx := context.Background()
 	for _, scheme := range []mitigation.Scheme{
 		mitigation.FastDoubling{}, mitigation.Linear{}, mitigation.SlowDoubling{Period: 4},
 	} {
@@ -318,7 +318,7 @@ func BenchmarkAblationServerSchemes(b *testing.B) {
 			distinct := 0
 			for i := 0; i < b.N; i++ {
 				srv, err := server.New(prog, res, server.Options{
-					Env:    hw.NewPartitioned(lat, hw.Table1Config()),
+					Env:    hw.MustEnv("partitioned", lat, hw.Table1Config()),
 					Scheme: scheme,
 				})
 				if err != nil {
@@ -326,7 +326,7 @@ func BenchmarkAblationServerSchemes(b *testing.B) {
 				}
 				seen := map[uint64]bool{}
 				for r := 0; r < 48; r++ {
-					resp, err := srv.Handle(func(m *mem.Memory) { m.Set("h", int64(r*17%300)) })
+					resp, err := srv.Handle(ctx, func(m *mem.Memory) { m.Set("h", int64(r*17%300)) })
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -337,6 +337,43 @@ func BenchmarkAblationServerSchemes(b *testing.B) {
 			}
 			b.ReportMetric(float64(total)/float64(b.N), "cycles/sequence")
 			b.ReportMetric(float64(distinct), "distinct-durations")
+		})
+	}
+}
+
+// BenchmarkServerPool measures service throughput as shards are added:
+// the same 64-request login-style workload through a serial server
+// (workers=1) and sharded pools. Each shard owns partitioned hardware
+// and mitigation state, so the work is embarrassingly parallel; req/s
+// scales with worker count on multi-core hosts (wall-clock speedup is
+// bounded by GOMAXPROCS — on a single-CPU box the interesting metric
+// is that sharding adds no per-request cost).
+func BenchmarkServerPool(b *testing.B) {
+	lat := lattice.TwoPoint()
+	prog, res := mustServerProg(b)
+	ctx := context.Background()
+	const nreq = 64
+	reqs := make([]server.Request, nreq)
+	for r := 0; r < nreq; r++ {
+		s := int64(r*17) % 300
+		reqs[r] = func(m *mem.Memory) { m.Set("h", s) }
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pool, err := server.NewPool(prog, res, server.PoolOptions{
+					Workers: workers,
+					Options: server.Options{Env: hw.MustEnv("partitioned", lat, hw.Table1Config())},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := pool.HandleAll(ctx, reqs); err != nil {
+					b.Fatal(err)
+				}
+				pool.Close()
+			}
+			b.ReportMetric(float64(nreq)*float64(b.N)/b.Elapsed().Seconds(), "req/s")
 		})
 	}
 }

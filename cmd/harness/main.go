@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	harness [-experiment all|table1|figure7|table2|figure8|figure9|leakage]
+//	harness [-experiment all|table1|figure7|table2|figure8|figure9|leakage|service]
 //	        [-quick] [-format text|json|csv]
 //
 // The text format is the human-readable table; json and csv emit the
@@ -15,14 +15,12 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/apps/login"
-	"repro/internal/apps/rsa"
 	"repro/internal/experiments"
 )
 
 func main() {
 	which := flag.String("experiment", "all",
-		"experiment to run: all, table1, figure7, table2, figure8, figure9, leakage")
+		"experiment to run: all, table1, figure7, table2, figure8, figure9, leakage, service")
 	quick := flag.Bool("quick", false, "reduced-scale run (faster)")
 	format := flag.String("format", "text", "output format: text, json, csv")
 	parallel := flag.Bool("parallel", true, "fan independent figure7 probes across goroutines")
@@ -71,11 +69,7 @@ func main() {
 	if want("figure7") {
 		cfg := experiments.Figure7Config{}
 		if *quick {
-			cfg = experiments.Figure7Config{
-				App:         login.Config{TableSize: 20, WorkFactor: 60},
-				Attempts:    20,
-				ValidCounts: []int{4, 10, 20},
-			}
+			cfg = cfg.Quick()
 		}
 		cfg.Parallel = *parallel
 		d, err := experiments.Figure7(cfg)
@@ -92,11 +86,7 @@ func main() {
 	if want("table2") {
 		cfg := experiments.Table2Config{}
 		if *quick {
-			cfg = experiments.Table2Config{
-				App:      login.Config{TableSize: 20, WorkFactor: 60},
-				NumValid: 10,
-				Attempts: 10,
-			}
+			cfg = cfg.Quick()
 		}
 		d, err := experiments.Table2(cfg)
 		if err != nil {
@@ -108,11 +98,7 @@ func main() {
 	if want("figure8") {
 		cfg := experiments.Figure8Config{}
 		if *quick {
-			cfg = experiments.Figure8Config{
-				App:      rsa.Config{MaxBlocks: 4, Modulus: 1000003},
-				Messages: 10,
-				Blocks:   3,
-			}
+			cfg = cfg.Quick()
 		}
 		d, err := experiments.Figure8(cfg)
 		if err != nil {
@@ -128,10 +114,7 @@ func main() {
 	if want("figure9") {
 		cfg := experiments.Figure9Config{}
 		if *quick {
-			cfg = experiments.Figure9Config{
-				App:       rsa.Config{MaxBlocks: 8, Modulus: 1000003},
-				MaxBlocks: 8,
-			}
+			cfg = cfg.Quick()
 		}
 		d, err := experiments.Figure9(cfg)
 		if err != nil {
@@ -147,16 +130,25 @@ func main() {
 	if want("leakage") {
 		cfg := experiments.LeakageConfig{}
 		if *quick {
-			cfg = experiments.LeakageConfig{
-				App:    rsa.Config{MaxBlocks: 4, Modulus: 1000003},
-				Blocks: 2,
-			}
+			cfg = cfg.Quick()
 		}
 		d, err := experiments.LeakageBounds(cfg)
 		if err != nil {
 			fail("leakage", err)
 		}
 		emit("leakage", d.Render(), d)
+	}
+
+	if want("service") {
+		cfg := experiments.ServiceConfig{}
+		if *quick {
+			cfg = cfg.Quick()
+		}
+		d, err := experiments.Service(cfg)
+		if err != nil {
+			fail("service", err)
+		}
+		emit("service", d.Render(), d)
 	}
 }
 

@@ -5,9 +5,15 @@
 // time regardless of the secret. The total information exposed over
 // the whole sequence is the handful of schedule steps, not one value
 // per secret.
+//
+// It then re-serves the same workload through a 4-worker sharded Pool:
+// each shard owns its own partitioned hardware and mitigation state,
+// so the per-shard leakage bound is the serial bound, and the
+// instrumentation snapshot shows padding overhead and cache behavior.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,28 +44,54 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 	srv, err := server.New(prog, res, server.Options{
-		Env: hw.NewPartitioned(lat, hw.Table1Config()),
+		Env: hw.MustEnv("partitioned", lat, hw.Table1Config()),
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	secret := func(i int) server.Request {
+		s := int64(i*97) % 500
+		return func(m *mem.Memory) { m.Set("h", s) }
 	}
 
 	fmt.Println("request  secret  time(cycles)  mispredictions")
 	distinct := map[uint64]bool{}
 	var resps []*server.Response
 	for i := 0; i < 24; i++ {
-		secret := int64(i*97) % 500
-		resp, err := srv.Handle(func(m *mem.Memory) { m.Set("h", secret) })
+		resp, err := srv.Handle(ctx, secret(i))
 		if err != nil {
 			log.Fatal(err)
 		}
 		resps = append(resps, resp)
 		distinct[resp.Time] = true
-		fmt.Printf("%7d %7d %13d %15d\n", resp.Index, secret, resp.Time, resp.Mispredictions)
+		fmt.Printf("%7d %7d %13d %15d\n", resp.Index, int64(i*97)%500, resp.Time, resp.Mispredictions)
 	}
 	fmt.Printf("\nserver settled after request %d; %d distinct response times across %d secrets\n",
 		server.SettledAfter(resps), len(distinct), len(resps))
 	fmt.Println("the schedule learned the workload once, then every response was identical —")
 	fmt.Println("total leakage over the whole sequence is bounded by the few schedule steps.")
+
+	// The same workload through a sharded pool: every shard learns its
+	// own schedule from its own subsequence, on its own hardware clone.
+	pool, err := server.NewPool(prog, res, server.PoolOptions{
+		Workers: 4,
+		Options: server.Options{Env: hw.MustEnv("partitioned", lat, hw.Table1Config())},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var reqs []server.Request
+	for i := 0; i < 24; i++ {
+		reqs = append(reqs, secret(i))
+	}
+	if _, err := pool.HandleAll(ctx, reqs); err != nil {
+		log.Fatal(err)
+	}
+	pool.Close()
+	fmt.Printf("\npool served %d requests across %d shards; instrumentation snapshot:\n",
+		pool.Served(), pool.Workers())
+	fmt.Print(pool.Snapshot())
 }

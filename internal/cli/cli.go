@@ -10,6 +10,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/props"
 	"repro/internal/sem/full"
 	"repro/internal/sem/mem"
+	"repro/internal/server"
 	"repro/internal/types"
 )
 
@@ -59,6 +61,8 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		err = runExec(rest, stdout, stderr)
 	case "leak":
 		err = runLeak(rest, stdout, stderr)
+	case "serve":
+		err = runServe(rest, stdout, stderr)
 	case "verify":
 		err = runVerify(rest, stdout, stderr)
 	case "help", "-h", "--help":
@@ -91,6 +95,7 @@ commands:
   compile  compile to bytecode (disassemble, -exec to run, -o to save)
   exec     run a saved bytecode file on the VM
   leak     measure leakage over secret ranges (Theorem 2 / §7 bound)
+  serve    run a program as a sharded mitigation service over a request sequence
   verify   check a hardware model against the software-hardware contract
 `)
 }
@@ -118,24 +123,10 @@ func PickLattice(name string) (lattice.Lattice, error) {
 	return nil, fmt.Errorf("unknown lattice %q (want two, three, or diamond)", name)
 }
 
-// PickEnv resolves a hardware model by its CLI name.
+// PickEnv resolves a hardware model by its CLI name through the hw
+// registry; the empty name means partitioned (the paper's design).
 func PickEnv(name string, lat lattice.Lattice) (hw.Env, error) {
-	cfg := hw.Table1Config()
-	switch name {
-	case "flat":
-		return hw.NewFlat(lat, 2), nil
-	case "nopar", "unpartitioned":
-		return hw.NewUnpartitioned(lat, cfg), nil
-	case "nofill":
-		return hw.NewNoFill(lat, cfg), nil
-	case "partitioned", "":
-		return hw.NewPartitioned(lat, cfg), nil
-	case "flush":
-		return hw.NewFlushOnHigh(lat, cfg), nil
-	case "lock":
-		return hw.NewLockProtect(lat, cfg), nil
-	}
-	return nil, fmt.Errorf("unknown hardware %q (want flat, nopar, nofill, partitioned, flush, or lock)", name)
+	return hw.NewEnv(name, lat, hw.Table1Config())
 }
 
 func load(fs *flag.FlagSet, latName string) (*ast.Program, *types.Result, lattice.Lattice, error) {
@@ -523,6 +514,79 @@ func runTrace(args []string, stdout, stderr io.Writer) error {
 			"", m.Clock(), "", "", "", r.ID, r.Duration, r.Elapsed)
 	}
 	fmt.Fprintf(stdout, "total: %d steps, %d cycles\n", m.Steps(), m.Clock())
+	return nil
+}
+
+func runServe(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("serve", stderr)
+	latName := latticeFlag(fs)
+	hwName := fs.String("hw", "partitioned",
+		fmt.Sprintf("hardware model: one of %v", hw.EnvNames()))
+	workers := fs.Int("workers", 4, "number of pool shards")
+	queue := fs.Int("queue", 2, "per-shard submission queue depth")
+	requests := fs.Int("requests", 32, "number of requests to serve")
+	mitigate := fs.Bool("mitigate", true, "enable predictive mitigation")
+	maxSteps := fs.Int("max-steps", 10_000_000, "per-request step budget")
+	var vary rangeFlags
+	fs.Var(&vary, "vary", "vary a variable across requests, e.g. -vary h=0:63:1 (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prog, res, lat, err := load(fs, *latName)
+	if err != nil {
+		return err
+	}
+	for _, s := range vary {
+		if _, ok := res.VarLabel(s.name); !ok {
+			return fmt.Errorf("-vary %s: no such variable", s.name)
+		}
+	}
+	env, err := PickEnv(*hwName, lat)
+	if err != nil {
+		return err
+	}
+	pool, err := server.NewPool(prog, res, server.PoolOptions{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Options: server.Options{
+			Env:                env,
+			DisableMitigation:  !*mitigate,
+			MaxStepsPerRequest: *maxSteps,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	reqs := make([]server.Request, *requests)
+	for i := range reqs {
+		i := i
+		reqs[i] = func(m *mem.Memory) {
+			for _, s := range vary {
+				vals := s.values()
+				m.Set(s.name, vals[i%len(vals)])
+			}
+		}
+	}
+	resps, err := pool.HandleAll(context.Background(), reqs)
+	pool.Close()
+	if err != nil {
+		return err
+	}
+	distinct := map[uint64]bool{}
+	byShard := make([][]*server.Response, pool.Workers())
+	for _, r := range resps {
+		distinct[r.Time] = true
+		byShard[r.Shard] = append(byShard[r.Shard], r)
+	}
+	fmt.Fprintf(stdout, "served %d requests across %d shards on %s hardware\n",
+		pool.Served(), pool.Workers(), env.Name())
+	fmt.Fprintf(stdout, "distinct response times: %d\n", len(distinct))
+	for shard, rs := range byShard {
+		fmt.Fprintf(stdout, "shard %d: %d requests, settled after %d\n",
+			shard, len(rs), server.SettledAfter(rs))
+	}
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, pool.Snapshot())
 	return nil
 }
 

@@ -417,3 +417,39 @@ func TestFmtRoundTripsThroughCheck(t *testing.T) {
 		t.Errorf("resolved output does not re-check: %s", errOut)
 	}
 }
+
+func TestServeSubcommand(t *testing.T) {
+	code, out, errOut := run("serve",
+		"-workers", "2", "-queue", "1", "-requests", "8",
+		"-vary", "h=0:70:10",
+		testdataPath(t, "mitigated.tc"))
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "served 8 requests across 2 shards") {
+		t.Errorf("missing summary line:\n%s", out)
+	}
+	if !strings.Contains(out, "shard 0:") || !strings.Contains(out, "shard 1:") {
+		t.Errorf("missing per-shard lines:\n%s", out)
+	}
+	// The instrumentation snapshot must surface the acceptance metrics.
+	for _, want := range []string{"mitigations", "mispredicted", "padding", "cache hit rates"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeBadVary(t *testing.T) {
+	code, _, errOut := run("serve", "-vary", "nosuch=0:1:1", testdataPath(t, "mitigated.tc"))
+	if code != 1 || !strings.Contains(errOut, "no such variable") {
+		t.Errorf("exit=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestServeBadHardware(t *testing.T) {
+	code, _, errOut := run("serve", "-hw", "bogus", testdataPath(t, "mitigated.tc"))
+	if code != 1 || !strings.Contains(errOut, "unknown hardware") {
+		t.Errorf("exit=%d stderr=%q", code, errOut)
+	}
+}

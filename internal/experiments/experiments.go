@@ -53,9 +53,9 @@ func (o HWOption) String() string {
 
 func (o HWOption) env(lat lattice.Lattice) hw.Env {
 	if o == Nopar {
-		return hw.NewUnpartitioned(lat, hw.Table1Config())
+		return hw.MustEnv("nopar", lat, hw.Table1Config())
 	}
-	return hw.NewPartitioned(lat, hw.Table1Config())
+	return hw.MustEnv("partitioned", lat, hw.Table1Config())
 }
 
 func (o HWOption) mitigate() bool { return o == Mon }
@@ -114,7 +114,8 @@ type Figure7Config struct {
 	Parallel bool
 }
 
-func (c Figure7Config) withDefaults() Figure7Config {
+// Defaults fills zero fields with the paper-scale values.
+func (c Figure7Config) Defaults() Figure7Config {
 	if c.App.TableSize == 0 {
 		c.App = login.DefaultConfig()
 	}
@@ -130,13 +131,13 @@ func (c Figure7Config) withDefaults() Figure7Config {
 // Figure7 measures login time for each attempt under each secret
 // table, with and without mitigation, on partitioned Table-1 hardware.
 func Figure7(cfg Figure7Config) (*Figure7Data, error) {
-	cfg = cfg.withDefaults()
+	cfg = cfg.Defaults()
 	lat := lattice.TwoPoint()
 	app, err := login.Build(cfg.App, lat)
 	if err != nil {
 		return nil, err
 	}
-	newEnv := func() hw.Env { return hw.NewPartitioned(lat, hw.Table1Config()) }
+	newEnv := func() hw.Env { return hw.MustEnv("partitioned", lat, hw.Table1Config()) }
 
 	// Sample predictions per §8.2. Figure 7 models independent requests
 	// (each attempt starts on a cold machine, as when probing a farm of
@@ -270,7 +271,8 @@ type Table2Config struct {
 	Attempts int
 }
 
-func (c Table2Config) withDefaults() Table2Config {
+// Defaults fills zero fields with the paper-scale values.
+func (c Table2Config) Defaults() Table2Config {
 	if c.App.TableSize == 0 {
 		c.App = login.DefaultConfig()
 	}
@@ -286,14 +288,14 @@ func (c Table2Config) withDefaults() Table2Config {
 // Table2 measures average valid/invalid login time under nopar, moff,
 // and mon.
 func Table2(cfg Table2Config) (*Table2Data, error) {
-	cfg = cfg.withDefaults()
+	cfg = cfg.Defaults()
 	lat := lattice.TwoPoint()
 	app, err := login.Build(cfg.App, lat)
 	if err != nil {
 		return nil, err
 	}
 	creds := login.MakeCredentials(cfg.NumValid)
-	newPart := func() hw.Env { return hw.NewPartitioned(lat, hw.Table1Config()) }
+	newPart := func() hw.Env { return hw.MustEnv("partitioned", lat, hw.Table1Config()) }
 	// Warm worst-case sampling: the discarded warm-up attempt is a
 	// valid login so it warms the verification work table too; the
 	// measured samples then cover the warm full-scan and full-work
@@ -403,7 +405,8 @@ type Figure8Config struct {
 	Key2     int64
 }
 
-func (c Figure8Config) withDefaults() Figure8Config {
+// Defaults fills zero fields with the paper-scale values.
+func (c Figure8Config) Defaults() Figure8Config {
 	if c.App.MaxBlocks == 0 {
 		c.App = rsa.DefaultConfig()
 	}
@@ -424,13 +427,13 @@ func (c Figure8Config) withDefaults() Figure8Config {
 
 // Figure8 measures decryption time of each message under both keys.
 func Figure8(cfg Figure8Config) (*Figure8Data, error) {
-	cfg = cfg.withDefaults()
+	cfg = cfg.Defaults()
 	lat := lattice.TwoPoint()
 	app, err := rsa.Build(cfg.App, rsa.LanguageLevel, lat)
 	if err != nil {
 		return nil, err
 	}
-	newEnv := func() hw.Env { return hw.NewPartitioned(lat, hw.Table1Config()) }
+	newEnv := func() hw.Env { return hw.MustEnv("partitioned", lat, hw.Table1Config()) }
 	pred, err := app.SamplePrediction(newEnv,
 		[]int64{cfg.Key1, cfg.Key2},
 		[][]int64{rsa.Message(cfg.Blocks, 1), rsa.Message(cfg.Blocks, 2)})
@@ -499,7 +502,8 @@ type Figure9Config struct {
 	Key       int64
 }
 
-func (c Figure9Config) withDefaults() Figure9Config {
+// Defaults fills zero fields with the paper-scale values.
+func (c Figure9Config) Defaults() Figure9Config {
 	if c.App.MaxBlocks == 0 {
 		c.App = rsa.DefaultConfig()
 	}
@@ -515,7 +519,7 @@ func (c Figure9Config) withDefaults() Figure9Config {
 // Figure9 measures decryption time for message sizes 1..MaxBlocks
 // under language-level and system-level mitigation.
 func Figure9(cfg Figure9Config) (*Figure9Data, error) {
-	cfg = cfg.withDefaults()
+	cfg = cfg.Defaults()
 	lat := lattice.TwoPoint()
 	langApp, err := rsa.Build(cfg.App, rsa.LanguageLevel, lat)
 	if err != nil {
@@ -525,7 +529,7 @@ func Figure9(cfg Figure9Config) (*Figure9Data, error) {
 	if err != nil {
 		return nil, err
 	}
-	newEnv := func() hw.Env { return hw.NewPartitioned(lat, hw.Table1Config()) }
+	newEnv := func() hw.Env { return hw.MustEnv("partitioned", lat, hw.Table1Config()) }
 	perBlock, err := langApp.SamplePrediction(newEnv,
 		[]int64{cfg.Key}, [][]int64{rsa.Message(1, 1)})
 	if err != nil {

@@ -31,7 +31,8 @@ type LeakageConfig struct {
 	Keys   []int64
 }
 
-func (c LeakageConfig) withDefaults() LeakageConfig {
+// Defaults fills zero fields with the paper-scale values.
+func (c LeakageConfig) Defaults() LeakageConfig {
 	if c.App.MaxBlocks == 0 {
 		c.App = rsa.DefaultConfig()
 	}
@@ -52,13 +53,13 @@ func (c LeakageConfig) withDefaults() LeakageConfig {
 // adversary with and without mitigation and compares it against the
 // analytic bound (Theorem 2 + §7).
 func LeakageBounds(cfg LeakageConfig) (*LeakageData, error) {
-	cfg = cfg.withDefaults()
+	cfg = cfg.Defaults()
 	lat := lattice.TwoPoint()
 	app, err := rsa.Build(cfg.App, rsa.LanguageLevel, lat)
 	if err != nil {
 		return nil, err
 	}
-	newEnv := func() hw.Env { return hw.NewPartitioned(lat, hw.Table1Config()) }
+	newEnv := func() hw.Env { return hw.MustEnv("partitioned", lat, hw.Table1Config()) }
 	pred, err := app.SamplePrediction(newEnv, cfg.Keys[:2], [][]int64{rsa.Message(cfg.Blocks, 1)})
 	if err != nil {
 		return nil, err

@@ -44,7 +44,7 @@ func TestLeakageBounds(t *testing.T) {
 }
 
 func TestLeakageDefaults(t *testing.T) {
-	cfg := LeakageConfig{}.withDefaults()
+	cfg := LeakageConfig{}.Defaults()
 	if len(cfg.Keys) != 16 || cfg.Blocks != 3 {
 		t.Errorf("defaults: %+v", cfg)
 	}

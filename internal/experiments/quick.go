@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"repro/internal/apps/login"
+	"repro/internal/apps/rsa"
+)
+
+// The Quick methods return reduced-scale configurations for fast runs
+// (`harness -quick`, smoke tests). They preserve each experiment's
+// qualitative shape — settling behavior, curve coincidence, key
+// distinguishability — at a fraction of the paper-scale cost.
+
+// Quick returns the reduced-scale Figure 7 configuration.
+func (c Figure7Config) Quick() Figure7Config {
+	c.App = login.Config{TableSize: 20, WorkFactor: 60}
+	c.Attempts = 20
+	c.ValidCounts = []int{4, 10, 20}
+	return c
+}
+
+// Quick returns the reduced-scale Table 2 configuration.
+func (c Table2Config) Quick() Table2Config {
+	c.App = login.Config{TableSize: 20, WorkFactor: 60}
+	c.NumValid = 10
+	c.Attempts = 10
+	return c
+}
+
+// Quick returns the reduced-scale Figure 8 configuration.
+func (c Figure8Config) Quick() Figure8Config {
+	c.App = rsa.Config{MaxBlocks: 4, Modulus: 1000003}
+	c.Messages = 10
+	c.Blocks = 3
+	return c
+}
+
+// Quick returns the reduced-scale Figure 9 configuration.
+func (c Figure9Config) Quick() Figure9Config {
+	c.App = rsa.Config{MaxBlocks: 8, Modulus: 1000003}
+	c.MaxBlocks = 8
+	return c
+}
+
+// Quick returns the reduced-scale leakage-bound configuration.
+func (c LeakageConfig) Quick() LeakageConfig {
+	c.App = rsa.Config{MaxBlocks: 4, Modulus: 1000003}
+	c.Blocks = 2
+	return c
+}

@@ -97,6 +97,50 @@ type Stats struct {
 	BPHits, BPMisses     uint64
 }
 
+// Add returns the field-wise sum of two stat sets — the aggregation
+// primitive the instrumentation layer uses to combine per-shard
+// environments into one report.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		L1DHits: s.L1DHits + o.L1DHits, L1DMisses: s.L1DMisses + o.L1DMisses,
+		L2DHits: s.L2DHits + o.L2DHits, L2DMisses: s.L2DMisses + o.L2DMisses,
+		L1IHits: s.L1IHits + o.L1IHits, L1IMisses: s.L1IMisses + o.L1IMisses,
+		L2IHits: s.L2IHits + o.L2IHits, L2IMisses: s.L2IMisses + o.L2IMisses,
+		DTLBHits: s.DTLBHits + o.DTLBHits, DTLBMisses: s.DTLBMisses + o.DTLBMisses,
+		ITLBHits: s.ITLBHits + o.ITLBHits, ITLBMisses: s.ITLBMisses + o.ITLBMisses,
+		BPHits: s.BPHits + o.BPHits, BPMisses: s.BPMisses + o.BPMisses,
+	}
+}
+
+// hitRate returns hits/(hits+misses), or 0 when there were no events.
+func hitRate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// L1DHitRate returns the L1 data-cache hit rate in [0, 1].
+func (s Stats) L1DHitRate() float64 { return hitRate(s.L1DHits, s.L1DMisses) }
+
+// L2DHitRate returns the L2 data-cache hit rate in [0, 1].
+func (s Stats) L2DHitRate() float64 { return hitRate(s.L2DHits, s.L2DMisses) }
+
+// L1IHitRate returns the L1 instruction-cache hit rate in [0, 1].
+func (s Stats) L1IHitRate() float64 { return hitRate(s.L1IHits, s.L1IMisses) }
+
+// L2IHitRate returns the L2 instruction-cache hit rate in [0, 1].
+func (s Stats) L2IHitRate() float64 { return hitRate(s.L2IHits, s.L2IMisses) }
+
+// DTLBHitRate returns the data-TLB hit rate in [0, 1].
+func (s Stats) DTLBHitRate() float64 { return hitRate(s.DTLBHits, s.DTLBMisses) }
+
+// ITLBHitRate returns the instruction-TLB hit rate in [0, 1].
+func (s Stats) ITLBHitRate() float64 { return hitRate(s.ITLBHits, s.ITLBMisses) }
+
+// BPHitRate returns the branch-predictor hit rate in [0, 1].
+func (s Stats) BPHitRate() float64 { return hitRate(s.BPHits, s.BPMisses) }
+
 // HierarchyConfig describes one cache hierarchy (data or instruction).
 type HierarchyConfig struct {
 	L1 cache.Config

@@ -135,7 +135,17 @@ type State struct {
 	global  int
 	// bySite is indexed by mitigate identifier (PerSite).
 	bySite map[int]int
+	// onMiss, when set, observes every miss-counter increment. It is
+	// instrumentation only: observers must not mutate mitigation state,
+	// and recording never affects predictions or timing.
+	onMiss func(level lattice.Label, site int)
 }
+
+// SetOnMiss installs an observer called on every miss-counter
+// increment (schedule inflation) with the penalized level and site.
+// Pass nil to remove it. Clones inherit the observer; CopyInto leaves
+// the destination's observer untouched.
+func (s *State) SetOnMiss(fn func(level lattice.Label, site int)) { s.onMiss = fn }
 
 // NewState creates mitigation state for the given lattice.
 func NewState(lat lattice.Lattice, scheme Scheme, policy Policy) *State {
@@ -176,6 +186,9 @@ func (s *State) bump(level lattice.Label, site int) {
 		s.bySite[site]++
 	default:
 		s.byLevel[level.ID()]++
+	}
+	if s.onMiss != nil {
+		s.onMiss(level, site)
 	}
 }
 
@@ -222,6 +235,7 @@ func (s *State) Clone() *State {
 		byLevel: append([]int(nil), s.byLevel...),
 		global:  s.global,
 		bySite:  make(map[int]int, len(s.bySite)),
+		onMiss:  s.onMiss,
 	}
 	for k, v := range s.bySite {
 		n.bySite[k] = v

@@ -1,0 +1,253 @@
+// Package obs is a lightweight instrumentation layer for the service
+// runtime: concurrency-safe counters and a power-of-two latency
+// histogram, aggregated into an immutable Snapshot for reporting.
+//
+// The counters are deliberately observational — recording them never
+// changes simulated time or machine state, so instrumented runs remain
+// bit-for-bit deterministic. All mutators are safe for concurrent use;
+// a single Metrics value can be shared by every worker of a pool.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/machine/hw"
+)
+
+// Metrics accumulates service-layer counters. The zero value is ready
+// to use; share one value across goroutines freely.
+type Metrics struct {
+	requests       atomic.Uint64
+	failures       atomic.Uint64
+	steps          atomic.Uint64
+	cycles         atomic.Uint64
+	paddingCycles  atomic.Uint64
+	mitigations    atomic.Uint64
+	mispredictions atomic.Uint64
+	scheduleBumps  atomic.Uint64
+	latency        Histogram
+}
+
+// NewMetrics returns an empty metrics accumulator.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// AddRequest records one served request and its response latency in
+// simulated cycles.
+func (m *Metrics) AddRequest(latency uint64) {
+	m.requests.Add(1)
+	m.latency.Observe(latency)
+}
+
+// AddFailure records one failed (aborted, over-budget, or canceled)
+// request.
+func (m *Metrics) AddFailure() { m.failures.Add(1) }
+
+// AddSteps records language-level steps executed.
+func (m *Metrics) AddSteps(n uint64) { m.steps.Add(n) }
+
+// AddCycles records simulated cycles spent (useful work and padding
+// together; padding is broken out by AddPadding).
+func (m *Metrics) AddCycles(n uint64) { m.cycles.Add(n) }
+
+// AddPadding records cycles spent idling to a mitigation prediction
+// boundary rather than doing useful work.
+func (m *Metrics) AddPadding(n uint64) { m.paddingCycles.Add(n) }
+
+// AddMitigation records one completed mitigate command and whether it
+// mispredicted.
+func (m *Metrics) AddMitigation(mispredicted bool) {
+	m.mitigations.Add(1)
+	if mispredicted {
+		m.mispredictions.Add(1)
+	}
+}
+
+// AddScheduleBumps records miss-counter increments (schedule
+// inflations); one misprediction may bump the counter several times.
+func (m *Metrics) AddScheduleBumps(n uint64) { m.scheduleBumps.Add(n) }
+
+// Snapshot returns a consistent-enough point-in-time copy of the
+// counters. (Counters are read individually; a snapshot taken while
+// requests are in flight may tear across fields, which is fine for
+// reporting.) The HW field is left zero — the service layer that owns
+// the machine environments fills it in.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Requests:       m.requests.Load(),
+		Failures:       m.failures.Load(),
+		Steps:          m.steps.Load(),
+		Cycles:         m.cycles.Load(),
+		PaddingCycles:  m.paddingCycles.Load(),
+		Mitigations:    m.mitigations.Load(),
+		Mispredictions: m.mispredictions.Load(),
+		ScheduleBumps:  m.scheduleBumps.Load(),
+		Latency:        m.latency.Snapshot(),
+	}
+}
+
+// Snapshot is a plain-value copy of the metrics, suitable for
+// rendering, JSON export, and assertions.
+type Snapshot struct {
+	// Requests and Failures count completed and aborted requests.
+	Requests, Failures uint64
+	// Steps and Cycles are the total language steps and simulated
+	// cycles executed; PaddingCycles is the share of Cycles spent
+	// idling to mitigation prediction boundaries.
+	Steps, Cycles, PaddingCycles uint64
+	// Mitigations counts completed mitigate commands; Mispredictions
+	// those that missed; ScheduleBumps the miss-counter increments.
+	Mitigations, Mispredictions, ScheduleBumps uint64
+	// Latency is the distribution of per-request response times.
+	Latency HistogramSnapshot
+	// HW holds cumulative cache/TLB/branch-predictor counters, summed
+	// over the service's machine environments.
+	HW hw.Stats
+}
+
+// UsefulCycles returns the cycles spent on actual execution rather
+// than padding.
+func (s Snapshot) UsefulCycles() uint64 {
+	if s.PaddingCycles > s.Cycles {
+		return 0
+	}
+	return s.Cycles - s.PaddingCycles
+}
+
+// PaddingFraction returns padding cycles as a fraction of all cycles.
+func (s Snapshot) PaddingFraction() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.PaddingCycles) / float64(s.Cycles)
+}
+
+// Merge returns the field-wise sum of two snapshots.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	out := s
+	out.Requests += o.Requests
+	out.Failures += o.Failures
+	out.Steps += o.Steps
+	out.Cycles += o.Cycles
+	out.PaddingCycles += o.PaddingCycles
+	out.Mitigations += o.Mitigations
+	out.Mispredictions += o.Mispredictions
+	out.ScheduleBumps += o.ScheduleBumps
+	out.Latency = s.Latency.Merge(o.Latency)
+	out.HW = s.HW.Add(o.HW)
+	return out
+}
+
+// String renders the snapshot as the human-readable report printed by
+// cmd/harness and the CLI.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests served:      %d (%d failed)\n", s.Requests, s.Failures)
+	fmt.Fprintf(&b, "language steps:       %d\n", s.Steps)
+	fmt.Fprintf(&b, "cycles:               %d total = %d useful + %d padding (%.1f%% padding)\n",
+		s.Cycles, s.UsefulCycles(), s.PaddingCycles, 100*s.PaddingFraction())
+	fmt.Fprintf(&b, "mitigations:          %d (%d mispredicted, %d schedule bumps)\n",
+		s.Mitigations, s.Mispredictions, s.ScheduleBumps)
+	fmt.Fprintf(&b, "latency cycles:       mean %.0f, p50 ≤ %d, p99 ≤ %d, max ≤ %d\n",
+		s.Latency.Mean(), s.Latency.Quantile(0.50), s.Latency.Quantile(0.99), s.Latency.Quantile(1))
+	fmt.Fprintf(&b, "cache hit rates:      L1D %.1f%%  L2D %.1f%%  L1I %.1f%%  L2I %.1f%%\n",
+		100*s.HW.L1DHitRate(), 100*s.HW.L2DHitRate(), 100*s.HW.L1IHitRate(), 100*s.HW.L2IHitRate())
+	fmt.Fprintf(&b, "TLB/BP hit rates:     DTLB %.1f%%  ITLB %.1f%%  BP %.1f%%\n",
+		100*s.HW.DTLBHitRate(), 100*s.HW.ITLBHitRate(), 100*s.HW.BPHitRate())
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// histBuckets is one bucket per possible bit length of a uint64 value
+// (0 → bucket 0, [2^(k-1), 2^k) → bucket k).
+const histBuckets = 65
+
+// Histogram is a concurrency-safe power-of-two histogram. The zero
+// value is ready to use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bits.Len64(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot copies the histogram into a plain value.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	// Buckets[k] counts observations with bit length k, i.e. values in
+	// [2^(k-1), 2^k) for k ≥ 1 and the value 0 for k = 0.
+	Buckets [histBuckets]uint64
+	Count   uint64
+	Sum     uint64
+}
+
+// Mean returns the exact mean of all observations (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0, 1]):
+// the upper edge of the bucket containing it. Returns 0 when empty.
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen uint64
+	for k, n := range s.Buckets {
+		seen += n
+		if seen > rank {
+			if k == 0 {
+				return 0
+			}
+			if k == 64 {
+				return ^uint64(0)
+			}
+			return 1<<uint(k) - 1
+		}
+	}
+	return ^uint64(0)
+}
+
+// Merge returns the bucket-wise sum of two snapshots.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	out := s
+	for i := range out.Buckets {
+		out.Buckets[i] += o.Buckets[i]
+	}
+	out.Count += o.Count
+	out.Sum += o.Sum
+	return out
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/machine/hw"
+)
+
+func TestMetricsCounters(t *testing.T) {
+	m := NewMetrics()
+	m.AddRequest(100)
+	m.AddRequest(200)
+	m.AddFailure()
+	m.AddSteps(50)
+	m.AddCycles(300)
+	m.AddPadding(120)
+	m.AddMitigation(false)
+	m.AddMitigation(true)
+	m.AddScheduleBumps(3)
+	s := m.Snapshot()
+	if s.Requests != 2 || s.Failures != 1 {
+		t.Errorf("requests/failures = %d/%d", s.Requests, s.Failures)
+	}
+	if s.Steps != 50 || s.Cycles != 300 || s.PaddingCycles != 120 {
+		t.Errorf("steps/cycles/padding = %d/%d/%d", s.Steps, s.Cycles, s.PaddingCycles)
+	}
+	if s.Mitigations != 2 || s.Mispredictions != 1 || s.ScheduleBumps != 3 {
+		t.Errorf("mitigations/misses/bumps = %d/%d/%d",
+			s.Mitigations, s.Mispredictions, s.ScheduleBumps)
+	}
+	if got := s.UsefulCycles(); got != 180 {
+		t.Errorf("UsefulCycles = %d, want 180", got)
+	}
+	if got := s.PaddingFraction(); got != 0.4 {
+		t.Errorf("PaddingFraction = %f, want 0.4", got)
+	}
+	if s.Latency.Count != 2 || s.Latency.Sum != 300 {
+		t.Errorf("latency count/sum = %d/%d", s.Latency.Count, s.Latency.Sum)
+	}
+}
+
+func TestSnapshotEdgeCases(t *testing.T) {
+	var s Snapshot
+	if s.UsefulCycles() != 0 || s.PaddingFraction() != 0 {
+		t.Error("zero snapshot should report zero cycles split")
+	}
+	// Padding reported past cycles (tearing between atomic loads) must
+	// not underflow.
+	s = Snapshot{Cycles: 10, PaddingCycles: 15}
+	if s.UsefulCycles() != 0 {
+		t.Errorf("UsefulCycles under tear = %d, want 0", s.UsefulCycles())
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := Snapshot{Requests: 1, Cycles: 10, Mitigations: 2,
+		HW: hw.Stats{L1DHits: 5}}
+	a.Latency.Buckets[3] = 1
+	a.Latency.Count, a.Latency.Sum = 1, 5
+	b := Snapshot{Requests: 2, Cycles: 20, Mispredictions: 1,
+		HW: hw.Stats{L1DHits: 7, L1DMisses: 1}}
+	b.Latency.Buckets[3] = 2
+	b.Latency.Count, b.Latency.Sum = 2, 12
+	m := a.Merge(b)
+	if m.Requests != 3 || m.Cycles != 30 || m.Mitigations != 2 || m.Mispredictions != 1 {
+		t.Errorf("merged = %+v", m)
+	}
+	if m.HW.L1DHits != 12 || m.HW.L1DMisses != 1 {
+		t.Errorf("merged HW = %+v", m.HW)
+	}
+	if m.Latency.Buckets[3] != 3 || m.Latency.Count != 3 || m.Latency.Sum != 17 {
+		t.Errorf("merged latency = %+v", m.Latency)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	m := NewMetrics()
+	m.AddRequest(64)
+	m.AddMitigation(true)
+	m.AddCycles(100)
+	m.AddPadding(25)
+	s := m.Snapshot()
+	s.HW = hw.Stats{L1DHits: 9, L1DMisses: 1}
+	out := s.String()
+	for _, want := range []string{
+		"requests served:      1",
+		"mitigations:          1 (1 mispredicted",
+		"75 useful + 25 padding (25.0% padding)",
+		"cache hit rates:      L1D 90.0%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)    // bucket 0
+	h.Observe(1)    // bucket 1
+	h.Observe(2)    // bucket 2
+	h.Observe(3)    // bucket 2
+	h.Observe(1000) // bucket 10 ([512, 1024))
+	s := h.Snapshot()
+	if s.Buckets[0] != 1 || s.Buckets[1] != 1 || s.Buckets[2] != 2 || s.Buckets[10] != 1 {
+		t.Errorf("buckets = %v", s.Buckets[:11])
+	}
+	if s.Count != 5 || s.Sum != 1006 {
+		t.Errorf("count/sum = %d/%d", s.Count, s.Sum)
+	}
+	if got := s.Mean(); got != 1006.0/5 {
+		t.Errorf("Mean = %f", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(10) // bucket 4, upper edge 15
+	}
+	h.Observe(100_000) // bucket 17, upper edge 131071
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != 15 {
+		t.Errorf("p50 = %d, want 15", q)
+	}
+	if q := s.Quantile(1); q != 131071 {
+		t.Errorf("p100 = %d, want 131071", q)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	// Out-of-range q is clamped.
+	if s.Quantile(-1) != 15 || s.Quantile(2) != 131071 {
+		t.Error("quantile clamping failed")
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.AddRequest(uint64(i))
+				m.AddCycles(2)
+				m.AddMitigation(i%2 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.Requests != 8000 || s.Cycles != 16000 || s.Mitigations != 8000 || s.Mispredictions != 4000 {
+		t.Errorf("concurrent totals: %+v", s)
+	}
+	if s.Latency.Count != 8000 {
+		t.Errorf("latency count = %d", s.Latency.Count)
+	}
+}

@@ -20,13 +20,16 @@
 package full
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/lang/ast"
 	"repro/internal/lang/token"
+	"repro/internal/lattice"
 	"repro/internal/machine/hw"
 	"repro/internal/mitigation"
+	"repro/internal/obs"
 	"repro/internal/sem/core"
 	"repro/internal/sem/events"
 	"repro/internal/sem/mem"
@@ -36,6 +39,10 @@ import (
 // ErrStepLimit is returned by Run when the program does not terminate
 // within the step budget.
 var ErrStepLimit = errors.New("full: step limit exceeded")
+
+// ErrCycleLimit is returned by RunBudget when the program exceeds its
+// simulated-cycle budget.
+var ErrCycleLimit = errors.New("full: cycle limit exceeded")
 
 // Options configure a Machine. The zero value selects the defaults
 // noted on each field.
@@ -54,6 +61,10 @@ type Options struct {
 	// DisableMitigation makes mitigate behave as in the core semantics
 	// (identity); used for the unmitigated baselines of §8.
 	DisableMitigation bool
+	// Metrics, when non-nil, receives instrumentation (steps, cycles,
+	// padding, mitigation outcomes). Recording is observational only
+	// and never changes execution or simulated time.
+	Metrics *obs.Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -116,7 +127,7 @@ func New(prog *ast.Program, res *types.Result, env hw.Env, opts Options) (*Machi
 	if unresolved != nil {
 		return nil, unresolved
 	}
-	return &Machine{
+	m := &Machine{
 		prog:   prog,
 		res:    res,
 		opts:   opts,
@@ -125,7 +136,11 @@ func New(prog *ast.Program, res *types.Result, env hw.Env, opts Options) (*Machi
 		mem:    mem.New(prog),
 		env:    env,
 		mit:    mitigation.NewState(res.Lat, opts.Scheme, opts.Policy),
-	}, nil
+	}
+	if opts.Metrics != nil {
+		m.mit.SetOnMiss(func(lattice.Label, int) { opts.Metrics.AddScheduleBumps(1) })
+	}
+	return m, nil
 }
 
 // Memory returns the machine's memory (for setting inputs and reading
@@ -203,6 +218,9 @@ func (k *Machine) finishMitigation(x *mitExit) {
 		k.mits = append(k.mits, events.MitRecord{
 			ID: x.m.MitID, Duration: elapsed, Elapsed: elapsed, Start: x.start,
 		})
+		if k.opts.Metrics != nil {
+			k.opts.Metrics.AddMitigation(false)
+		}
 		return
 	}
 	pred, missed := k.mit.Penalize(x.init, x.m.Level, x.m.MitID, elapsed)
@@ -216,6 +234,12 @@ func (k *Machine) finishMitigation(x *mitExit) {
 		Start:        x.start,
 		Mispredicted: missed,
 	})
+	if k.opts.Metrics != nil {
+		k.opts.Metrics.AddMitigation(missed)
+		if pred > elapsed {
+			k.opts.Metrics.AddPadding(pred - elapsed)
+		}
+	}
 }
 
 // access charges one machine-environment access under the current
@@ -346,15 +370,59 @@ func (k *Machine) Step() bool {
 
 // Run executes to completion or until maxSteps language steps.
 func (k *Machine) Run(maxSteps int) error {
+	return k.RunBudget(context.Background(), Budget{MaxSteps: maxSteps})
+}
+
+// Budget bounds one RunBudget call. Zero fields are unlimited.
+type Budget struct {
+	// MaxSteps bounds language-level steps (ErrStepLimit past it).
+	MaxSteps int
+	// MaxCycles bounds the simulated clock (ErrCycleLimit past it).
+	MaxCycles uint64
+}
+
+// ctxCheckInterval is how many steps elapse between context polls in
+// RunBudget. Polling is observational, so the interval affects only
+// abort latency, never simulated behavior.
+const ctxCheckInterval = 1024
+
+// RunBudget executes to completion, a budget violation (ErrStepLimit /
+// ErrCycleLimit), or context cancellation — in the last case it
+// returns ctx.Err(), so callers can test errors.Is(err,
+// context.DeadlineExceeded). The machine's instrumentation (Options.
+// Metrics) is charged for the steps and cycles consumed, whether or
+// not the run completes.
+func (k *Machine) RunBudget(ctx context.Context, b Budget) (err error) {
+	if k.opts.Metrics != nil {
+		startSteps, startClock := k.steps, k.clock
+		defer func() {
+			k.opts.Metrics.AddSteps(uint64(k.steps - startSteps))
+			k.opts.Metrics.AddCycles(k.clock - startClock)
+		}()
+	}
+	nextPoll := k.steps + ctxCheckInterval
 	for !k.Done() {
-		if k.steps >= maxSteps {
-			return fmt.Errorf("%w (%d steps)", ErrStepLimit, maxSteps)
+		if b.MaxSteps > 0 && k.steps >= b.MaxSteps {
+			return fmt.Errorf("%w (%d steps)", ErrStepLimit, b.MaxSteps)
+		}
+		if b.MaxCycles > 0 && k.clock > b.MaxCycles {
+			return fmt.Errorf("%w (%d cycles > %d)", ErrCycleLimit, k.clock, b.MaxCycles)
+		}
+		if ctx != nil && k.steps >= nextPoll {
+			nextPoll = k.steps + ctxCheckInterval
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
 		}
 		k.Step()
 	}
 	// Drain any trailing mitExit frames (top() handles them; calling it
-	// once more after the last command finishes the bookkeeping).
+	// once more after the last command finishes the bookkeeping). The
+	// drain may pad the clock past the cycle budget; that still counts.
 	k.top()
+	if b.MaxCycles > 0 && k.clock > b.MaxCycles {
+		return fmt.Errorf("%w (%d cycles > %d)", ErrCycleLimit, k.clock, b.MaxCycles)
+	}
 	return nil
 }
 

@@ -1,0 +1,295 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/lang/ast"
+	"repro/internal/machine/hw"
+	"repro/internal/obs"
+	"repro/internal/types"
+)
+
+// PoolOptions configure a Pool. The embedded Options configure every
+// worker; Options.Env is a prototype that is cloned once per worker,
+// so each shard owns its own partitioned hardware state and the
+// prototype itself is never mutated.
+type PoolOptions struct {
+	Options
+	// Workers is the number of shards; default GOMAXPROCS.
+	Workers int
+	// QueueDepth is the per-worker bounded submission queue; Submit
+	// blocks (backpressure) once a shard has QueueDepth pending
+	// requests. Default 2.
+	QueueDepth int
+	// Shard maps a submission index to a worker. The default is
+	// round-robin (index % Workers). The result is reduced modulo
+	// Workers, so any total function is safe. For a FIXED shard
+	// function the pool is deterministic: shard i's responses are
+	// identical, trace for trace, to a serial Server over shard i's
+	// subsequence on a clone of the same environment.
+	Shard func(index int) int
+}
+
+func (o PoolOptions) withDefaults() PoolOptions {
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 2
+	}
+	if o.Shard == nil {
+		workers := o.Workers
+		o.Shard = func(index int) int { return index % workers }
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewMetrics()
+	}
+	return o
+}
+
+func (o PoolOptions) validate() error {
+	if err := o.Options.validate(); err != nil {
+		return err
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("%w: Workers must be ≥ 0", ErrBadOptions)
+	}
+	if o.QueueDepth < 0 {
+		return fmt.Errorf("%w: QueueDepth must be ≥ 0", ErrBadOptions)
+	}
+	return nil
+}
+
+// job is one queued request.
+type job struct {
+	ctx   context.Context
+	req   Request
+	index int
+	out   chan result
+}
+
+type result struct {
+	resp *Response
+	err  error
+}
+
+// worker owns one shard: a serial Server over a private clone of the
+// machine environment and private persistent mitigation state.
+type worker struct {
+	shard int
+	srv   *Server
+	jobs  chan job
+}
+
+// Pool shards requests across workers. Each worker owns its own
+// machine environment and persistent mitigation state, so the
+// per-shard leakage bound is exactly the serial Server's bound — the
+// per-domain state partitioning that makes concurrent sharing safe.
+// Submission is bounded (backpressure via QueueDepth) and shutdown is
+// graceful: Close drains in-flight work before returning.
+//
+// Submit/Handle/HandleAll are safe for concurrent use.
+type Pool struct {
+	opts    PoolOptions
+	workers []*worker
+	wg      sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed; held (R) across queue sends
+	nMu    sync.Mutex   // guards n
+	n      int
+	closed bool
+}
+
+// NewPool constructs a pool over a type-checked program. Errors are
+// sentinel-typed like New's.
+func NewPool(prog *ast.Program, res *types.Result, opts PoolOptions) (*Pool, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	p := &Pool{opts: opts}
+	for i := 0; i < opts.Workers; i++ {
+		wopts := opts.Options
+		wopts.Env = opts.Env.Clone()
+		srv, err := New(prog, res, wopts)
+		if err != nil {
+			return nil, err
+		}
+		w := &worker{shard: i, srv: srv, jobs: make(chan job, opts.QueueDepth)}
+		p.workers = append(p.workers, w)
+		p.wg.Add(1)
+		go p.run(w)
+	}
+	return p, nil
+}
+
+// run is one worker's loop: drain the shard queue in order, preserving
+// the serial per-shard semantics.
+func (p *Pool) run(w *worker) {
+	defer p.wg.Done()
+	for j := range w.jobs {
+		resp, err := w.srv.Handle(j.ctx, j.req)
+		if resp != nil {
+			resp.ShardIndex = resp.Index
+			resp.Index = j.index
+			resp.Shard = w.shard
+		}
+		if re, ok := err.(*RequestError); ok {
+			re.Index = j.index
+			re.Shard = w.shard
+		}
+		j.out <- result{resp, err}
+	}
+}
+
+// Future is a pending response.
+type Future struct {
+	out  chan result
+	done result
+	got  bool
+}
+
+// Wait blocks until the response is ready or the context is done.
+func (f *Future) Wait(ctx context.Context) (*Response, error) {
+	if f.got {
+		return f.done.resp, f.done.err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case r := <-f.out:
+		f.done, f.got = r, true
+		return r.resp, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Submit enqueues a request on its shard's bounded queue, blocking for
+// backpressure when the shard is saturated (or until ctx is done). The
+// request's context is ctx as well: it bounds both queue wait and
+// execution.
+func (p *Pool) Submit(ctx context.Context, req Request) (*Future, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	p.nMu.Lock()
+	index := p.n
+	p.n++
+	p.nMu.Unlock()
+	w := p.workers[mod(p.opts.Shard(index), len(p.workers))]
+	j := job{ctx: ctx, req: req, index: index, out: make(chan result, 1)}
+	select {
+	case w.jobs <- j:
+		return &Future{out: j.out}, nil
+	case <-ctx.Done():
+		return nil, &RequestError{Index: index, Shard: w.shard, Err: ctx.Err()}
+	}
+}
+
+// Handle submits a request and waits for its response.
+func (p *Pool) Handle(ctx context.Context, req Request) (*Response, error) {
+	f, err := p.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return f.Wait(ctx)
+}
+
+// HandleAll submits a request sequence and waits for every response,
+// returned in submission order. The first error (by submission order)
+// is returned; entries whose requests failed are nil. Unlike the
+// serial Server, later requests still run — shards are independent.
+func (p *Pool) HandleAll(ctx context.Context, reqs []Request) ([]*Response, error) {
+	futures := make([]*Future, len(reqs))
+	var firstErr error
+	for i, r := range reqs {
+		f, err := p.Submit(ctx, r)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
+		futures[i] = f
+	}
+	out := make([]*Response, len(reqs))
+	for i, f := range futures {
+		if f == nil {
+			continue
+		}
+		resp, err := f.Wait(ctx)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		out[i] = resp
+	}
+	return out, firstErr
+}
+
+// Workers returns the number of shards.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Served returns the number of requests completed across all shards.
+func (p *Pool) Served() int {
+	total := 0
+	for _, w := range p.workers {
+		total += w.srv.Served()
+	}
+	return total
+}
+
+// Shard exposes one shard's serial server (for inspection — e.g.
+// comparing per-shard mitigation state against a serial reference).
+func (p *Pool) Shard(i int) *Server { return p.workers[i].srv }
+
+// Metrics returns the shared instrumentation accumulator.
+func (p *Pool) Metrics() *obs.Metrics { return p.opts.Metrics }
+
+// Snapshot returns the pooled instrumentation, with hardware counters
+// summed across every shard's environment. Call after Close (or while
+// quiescent) for exact numbers; concurrent snapshots are approximate.
+func (p *Pool) Snapshot() obs.Snapshot {
+	snap := p.opts.Metrics.Snapshot()
+	var hwStats hw.Stats
+	for _, w := range p.workers {
+		hwStats = hwStats.Add(w.srv.Env().Stats())
+	}
+	snap.HW = hwStats
+	return snap
+}
+
+// Close gracefully shuts the pool down: it stops accepting new
+// requests, drains every shard's queue, and waits for in-flight
+// requests to finish. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	for _, w := range p.workers {
+		close(w.jobs)
+	}
+	p.wg.Wait()
+}
+
+// mod reduces i into [0, n), tolerating negative shard results.
+func mod(i, n int) int {
+	m := i % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}

@@ -8,19 +8,71 @@
 // requests may mispredict and inflate the schedule; the system then
 // settles, and total leakage across a whole request sequence stays
 // within the log-bound.
+//
+// Two service surfaces share one request API:
+//
+//   - Server processes requests strictly sequentially — the reference
+//     semantics, and the per-shard engine.
+//   - Pool shards requests across workers, each owning its own
+//     partitioned machine environment and persistent mitigation state,
+//     so per-shard leakage bounds still hold and a fixed shard
+//     assignment reproduces the serial per-request traces shard by
+//     shard (see pool.go).
+//
+// Both take a context.Context: cancellation and deadlines abort the
+// in-flight request cleanly with a *RequestError wrapping ctx.Err(),
+// and per-request step/cycle budgets abort with ErrBudgetExceeded.
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/lang/ast"
 	"repro/internal/machine/hw"
 	"repro/internal/mitigation"
+	"repro/internal/obs"
 	"repro/internal/sem/events"
 	"repro/internal/sem/full"
 	"repro/internal/sem/mem"
 	"repro/internal/types"
 )
+
+// Sentinel errors returned by the service layer. Test with errors.Is.
+var (
+	// ErrNoEnv is returned by New/NewPool when Options.Env is missing.
+	ErrNoEnv = errors.New("server: machine environment required")
+	// ErrBadOptions is returned by New/NewPool on invalid options.
+	ErrBadOptions = errors.New("server: invalid options")
+	// ErrBudgetExceeded is returned (wrapped in a *RequestError) when a
+	// request exhausts its step or cycle budget.
+	ErrBudgetExceeded = errors.New("server: request budget exceeded")
+	// ErrPoolClosed is returned when submitting to a closed pool.
+	ErrPoolClosed = errors.New("server: pool closed")
+)
+
+// RequestError identifies which request failed and why. Unwrap exposes
+// the cause, so errors.Is(err, ErrBudgetExceeded) and errors.Is(err,
+// context.DeadlineExceeded) work as expected.
+type RequestError struct {
+	// Index is the request's position in the sequence (the submission
+	// index under a Pool).
+	Index int
+	// Shard is the worker that processed the request (0 for a serial
+	// Server).
+	Shard int
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("server: request %d (shard %d): %v", e.Index, e.Shard, e.Err)
+}
+
+// Unwrap exposes the cause.
+func (e *RequestError) Unwrap() error { return e.Err }
 
 // Request sets the per-request public inputs (and, for simulation
 // purposes, the secrets) in the program memory before a run.
@@ -28,8 +80,13 @@ type Request func(*mem.Memory)
 
 // Response summarizes one processed request.
 type Response struct {
-	// Index is the request's position in the sequence.
+	// Index is the request's position in the submission sequence.
 	Index int
+	// Shard is the worker that served the request (always 0 for a
+	// serial Server); ShardIndex is its position within that shard's
+	// sequence. For a serial server ShardIndex == Index.
+	Shard      int
+	ShardIndex int
 	// Time is the request's total processing time in cycles.
 	Time uint64
 	// Trace holds the request's observable events (times are
@@ -42,21 +99,58 @@ type Response struct {
 	Mispredictions int
 }
 
-// Options configure a Server.
+// Options configure a Server (and, via PoolOptions, each pool worker).
+// Construction is validated: New returns ErrNoEnv / ErrBadOptions
+// rather than accepting a half-configured service.
 type Options struct {
-	// Env is the shared machine environment; required.
+	// Env is the machine environment; required. A Server uses it in
+	// place (caches stay warm across requests); a Pool clones it once
+	// per worker so every shard owns partitioned hardware state.
 	Env hw.Env
 	// Scheme and Policy configure the persistent mitigation state.
 	Scheme mitigation.Scheme
 	Policy mitigation.Policy
 	// DisableMitigation runs the program unmitigated.
 	DisableMitigation bool
-	// MaxStepsPerRequest bounds each request; default 10_000_000.
+	// MaxStepsPerRequest bounds each request's language steps; default
+	// 10_000_000. Exceeding it fails the request with
+	// ErrBudgetExceeded.
 	MaxStepsPerRequest int
+	// MaxCyclesPerRequest, when non-zero, bounds each request's
+	// simulated cycles; exceeding it fails the request with
+	// ErrBudgetExceeded.
+	MaxCyclesPerRequest uint64
+	// Metrics receives instrumentation. Leave nil to have the server
+	// allocate its own; a Pool installs one shared accumulator across
+	// its workers.
+	Metrics *obs.Metrics
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.MaxStepsPerRequest == 0 {
+		o.MaxStepsPerRequest = 10_000_000
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewMetrics()
+	}
+	return o
+}
+
+// validate reports the first configuration error.
+func (o Options) validate() error {
+	if o.Env == nil {
+		return ErrNoEnv
+	}
+	if o.MaxStepsPerRequest < 0 {
+		return fmt.Errorf("%w: MaxStepsPerRequest must be ≥ 0", ErrBadOptions)
+	}
+	return nil
 }
 
 // Server processes requests against one program with persistent
-// hardware and mitigation state.
+// hardware and mitigation state, strictly sequentially. It is not safe
+// for concurrent use; wrap it in a Pool for that.
 type Server struct {
 	prog *ast.Program
 	res  *types.Result
@@ -65,14 +159,14 @@ type Server struct {
 	n    int
 }
 
-// New constructs a server. The program must be type-checked.
+// New constructs a server. The program must be type-checked. Errors
+// are sentinel-typed: errors.Is(err, ErrNoEnv) when the environment is
+// missing, errors.Is(err, ErrBadOptions) for other bad configuration.
 func New(prog *ast.Program, res *types.Result, opts Options) (*Server, error) {
-	if opts.Env == nil {
-		return nil, fmt.Errorf("server: Env is required")
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
-	if opts.MaxStepsPerRequest == 0 {
-		opts.MaxStepsPerRequest = 10_000_000
-	}
+	opts = opts.withDefaults()
 	return &Server{
 		prog: prog,
 		res:  res,
@@ -87,29 +181,60 @@ func (s *Server) MitigationState() *mitigation.State { return s.mit }
 // Served returns the number of requests processed.
 func (s *Server) Served() int { return s.n }
 
-// Handle processes one request and returns its response.
-func (s *Server) Handle(req Request) (*Response, error) {
+// Env returns the server's machine environment.
+func (s *Server) Env() hw.Env { return s.opts.Env }
+
+// Metrics returns the server's instrumentation accumulator.
+func (s *Server) Metrics() *obs.Metrics { return s.opts.Metrics }
+
+// Snapshot returns the current instrumentation, including the machine
+// environment's cache/TLB/branch-predictor counters.
+func (s *Server) Snapshot() obs.Snapshot {
+	snap := s.opts.Metrics.Snapshot()
+	snap.HW = s.opts.Env.Stats()
+	return snap
+}
+
+// Handle processes one request and returns its response. The context
+// bounds the request: cancellation or a deadline aborts the in-flight
+// machine cleanly (persistent mitigation state is NOT updated by an
+// aborted request), returning a *RequestError wrapping ctx.Err().
+// Exhausting the step or cycle budget returns a *RequestError wrapping
+// ErrBudgetExceeded.
+func (s *Server) Handle(ctx context.Context, req Request) (*Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, s.fail(err)
+	}
 	m, err := full.New(s.prog, s.res, s.opts.Env, full.Options{
 		Scheme:            s.opts.Scheme,
 		Policy:            s.opts.Policy,
 		DisableMitigation: s.opts.DisableMitigation,
+		Metrics:           s.opts.Metrics,
 	})
 	if err != nil {
-		return nil, err
+		return nil, s.fail(err)
 	}
 	// Splice the persistent mitigation state into the fresh machine.
 	s.mit.CopyInto(m.MitigationState())
 	if req != nil {
 		req(m.Memory())
 	}
-	if err := m.Run(s.opts.MaxStepsPerRequest); err != nil {
-		return nil, fmt.Errorf("server: request %d: %w", s.n, err)
+	budget := full.Budget{MaxSteps: s.opts.MaxStepsPerRequest, MaxCycles: s.opts.MaxCyclesPerRequest}
+	if err := m.RunBudget(ctx, budget); err != nil {
+		if errors.Is(err, full.ErrStepLimit) || errors.Is(err, full.ErrCycleLimit) {
+			err = fmt.Errorf("%w: %v", ErrBudgetExceeded, err)
+		}
+		return nil, s.fail(err)
 	}
 	// Persist the (possibly inflated) counters for the next request.
 	m.MitigationState().CopyInto(s.mit)
 
 	resp := &Response{
 		Index:       s.n,
+		ShardIndex:  s.n,
 		Time:        m.Clock(),
 		Trace:       m.Trace(),
 		Mitigations: m.Mitigations(),
@@ -120,14 +245,23 @@ func (s *Server) Handle(req Request) (*Response, error) {
 		}
 	}
 	s.n++
+	s.opts.Metrics.AddRequest(resp.Time)
 	return resp, nil
 }
 
-// HandleAll processes a sequence of requests.
-func (s *Server) HandleAll(reqs []Request) ([]*Response, error) {
+// fail records a failure and wraps the cause with the request index.
+func (s *Server) fail(err error) error {
+	s.opts.Metrics.AddFailure()
+	return &RequestError{Index: s.n, Err: err}
+}
+
+// HandleAll processes a sequence of requests, stopping at the first
+// failure (returning the responses completed so far alongside the
+// error).
+func (s *Server) HandleAll(ctx context.Context, reqs []Request) ([]*Response, error) {
 	out := make([]*Response, 0, len(reqs))
 	for _, r := range reqs {
-		resp, err := s.Handle(r)
+		resp, err := s.Handle(ctx, r)
 		if err != nil {
 			return out, err
 		}

@@ -1,7 +1,10 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/lang/ast"
 	"repro/internal/lang/parser"
@@ -38,10 +41,22 @@ func setH(h int64) Request {
 	return func(m *mem.Memory) { m.Set("h", h) }
 }
 
+func ctxb() context.Context { return context.Background() }
+
 func TestServerRequiresEnv(t *testing.T) {
 	p, r := buildProg(t, echoSrc)
-	if _, err := New(p, r, Options{}); err == nil {
-		t.Error("expected error without Env")
+	_, err := New(p, r, Options{})
+	if !errors.Is(err, ErrNoEnv) {
+		t.Errorf("New without Env = %v, want ErrNoEnv", err)
+	}
+}
+
+func TestServerRejectsBadOptions(t *testing.T) {
+	p, r := buildProg(t, echoSrc)
+	lat := r.Lat
+	_, err := New(p, r, Options{Env: hw.NewFlat(lat, 2), MaxStepsPerRequest: -1})
+	if !errors.Is(err, ErrBadOptions) {
+		t.Errorf("New with negative step budget = %v, want ErrBadOptions", err)
 	}
 }
 
@@ -56,7 +71,7 @@ func TestServerSettlesAndStaysConstant(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		reqs = append(reqs, setH(int64(i*13)%64))
 	}
-	resps, err := srv.HandleAll(reqs)
+	resps, err := srv.HandleAll(ctxb(), reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +104,7 @@ func TestServerMissCountersPersist(t *testing.T) {
 		t.Fatal(err)
 	}
 	// First request with a big secret inflates the schedule...
-	first, err := srv.Handle(setH(63))
+	first, err := srv.Handle(ctxb(), setH(63))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +113,7 @@ func TestServerMissCountersPersist(t *testing.T) {
 	}
 	missesAfterFirst := srv.MitigationState().TotalMisses()
 	// ...so an identical later request does not mispredict at all.
-	second, err := srv.Handle(setH(63))
+	second, err := srv.Handle(ctxb(), setH(63))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +137,7 @@ func TestServerTotalLeakageBounded(t *testing.T) {
 	}
 	distinct := map[uint64]bool{}
 	for i := 0; i < 64; i++ {
-		resp, err := srv.Handle(setH(int64(i)))
+		resp, err := srv.Handle(ctxb(), setH(int64(i)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -144,7 +159,7 @@ func TestServerUnmitigatedLeaksEachSecret(t *testing.T) {
 	}
 	distinct := map[uint64]bool{}
 	for i := 0; i < 16; i++ {
-		resp, err := srv.Handle(setH(int64(i * 3)))
+		resp, err := srv.Handle(ctxb(), setH(int64(i*3)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -166,7 +181,7 @@ func TestServerPerSitePolicy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.Handle(setH(40)); err != nil {
+	if _, err := srv.Handle(ctxb(), setH(40)); err != nil {
 		t.Fatal(err)
 	}
 	if srv.MitigationState().TotalMisses() == 0 {
@@ -174,9 +189,151 @@ func TestServerPerSitePolicy(t *testing.T) {
 	}
 }
 
+func TestServerStepBudgetExceeded(t *testing.T) {
+	p, r := buildProg(t, `
+var i : L;
+i := 0;
+while (i < 100000) {
+    i := i + 1;
+}
+`)
+	lat := r.Lat
+	srv, err := New(p, r, Options{Env: hw.NewFlat(lat, 2), MaxStepsPerRequest: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = srv.Handle(ctxb(), nil)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Handle over step budget = %v, want ErrBudgetExceeded", err)
+	}
+	var re *RequestError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %T is not a *RequestError", err)
+	}
+	if re.Index != 0 {
+		t.Errorf("RequestError.Index = %d, want 0", re.Index)
+	}
+	if srv.Served() != 0 {
+		t.Errorf("failed request counted as served: %d", srv.Served())
+	}
+}
+
+func TestServerCycleBudgetExceeded(t *testing.T) {
+	p, r := buildProg(t, echoSrc)
+	lat := r.Lat
+	srv, err := New(p, r, Options{Env: hw.NewFlat(lat, 2), MaxCyclesPerRequest: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Handle(ctxb(), setH(63)); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Handle over cycle budget = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestServerContextDeadline(t *testing.T) {
+	// A long-running request aborts cleanly at the deadline with a
+	// typed error, and the aborted run does not perturb the persistent
+	// mitigation state.
+	p, r := buildProg(t, `
+var i : L;
+i := 0;
+while (i < 100000000) {
+    i := i + 1;
+}
+`)
+	lat := r.Lat
+	srv, err := New(p, r, Options{Env: hw.NewFlat(lat, 2), MaxStepsPerRequest: 1 << 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := srv.MitigationState().Clone()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err = srv.Handle(ctx, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Handle past deadline = %v, want context.DeadlineExceeded", err)
+	}
+	var re *RequestError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %T is not a *RequestError", err)
+	}
+	if !srv.MitigationState().Equal(before) {
+		t.Error("aborted request mutated persistent mitigation state")
+	}
+}
+
+func TestServerContextAlreadyCanceled(t *testing.T) {
+	p, r := buildProg(t, echoSrc)
+	lat := r.Lat
+	srv, err := New(p, r, Options{Env: hw.NewFlat(lat, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.Handle(ctx, setH(1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Handle with canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestServerSnapshotMetrics(t *testing.T) {
+	p, r := buildProg(t, echoSrc)
+	lat := r.Lat
+	srv, err := New(p, r, Options{Env: hw.NewPartitioned(lat, hw.Table1Config())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := srv.Handle(ctxb(), setH(int64(i*7)%64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := srv.Snapshot()
+	if snap.Requests != 8 {
+		t.Errorf("snapshot requests = %d, want 8", snap.Requests)
+	}
+	if snap.Mitigations != 8 {
+		t.Errorf("snapshot mitigations = %d, want 8", snap.Mitigations)
+	}
+	if snap.Mispredictions == 0 {
+		t.Error("expected at least one misprediction while settling")
+	}
+	if snap.PaddingCycles == 0 {
+		t.Error("expected padding cycles under mitigation")
+	}
+	if snap.UsefulCycles() == 0 || snap.UsefulCycles() >= snap.Cycles {
+		t.Errorf("useful cycles = %d of %d, want a proper share", snap.UsefulCycles(), snap.Cycles)
+	}
+	if snap.Steps == 0 {
+		t.Error("expected steps to be recorded")
+	}
+	if snap.Latency.Count != 8 {
+		t.Errorf("latency count = %d, want 8", snap.Latency.Count)
+	}
+	if snap.HW.L1DHits+snap.HW.L1DMisses == 0 {
+		t.Error("expected data-cache traffic in hardware stats")
+	}
+	if rate := snap.HW.L1DHitRate(); rate < 0 || rate > 1 {
+		t.Errorf("L1D hit rate = %f out of range", rate)
+	}
+	if snap.String() == "" {
+		t.Error("snapshot rendering is empty")
+	}
+}
+
 func TestSettledAfterEdgeCases(t *testing.T) {
 	if got := SettledAfter(nil); got != 0 {
 		t.Errorf("empty = %d", got)
+	}
+	if got := SettledAfter([]*Response{}); got != 0 {
+		t.Errorf("empty non-nil = %d", got)
+	}
+	// Single request.
+	if got := SettledAfter([]*Response{{}}); got != 0 {
+		t.Errorf("single clean = %d", got)
+	}
+	if got := SettledAfter([]*Response{{Mispredictions: 1}}); got != -1 {
+		t.Errorf("single miss = %d", got)
 	}
 	clean := []*Response{{}, {}}
 	if got := SettledAfter(clean); got != 0 {
@@ -185,6 +342,11 @@ func TestSettledAfterEdgeCases(t *testing.T) {
 	tailMiss := []*Response{{}, {Mispredictions: 1}}
 	if got := SettledAfter(tailMiss); got != -1 {
 		t.Errorf("tail miss = %d", got)
+	}
+	// Every request mispredicts: the tail never settles.
+	allMiss := []*Response{{Mispredictions: 1}, {Mispredictions: 2}, {Mispredictions: 1}}
+	if got := SettledAfter(allMiss); got != -1 {
+		t.Errorf("all missing = %d", got)
 	}
 	midMiss := []*Response{{Mispredictions: 2}, {}}
 	if got := SettledAfter(midMiss); got != 1 {
