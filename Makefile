@@ -1,12 +1,20 @@
 GO ?= go
 
-.PHONY: all ci vet build test race bench harness quick clean
+.PHONY: all ci vet build test race bench bench-engines engines harness quick clean
 
 all: ci
 
-# ci is the gate every change must pass: vet, build, and the race-
-# enabled test suite (the pool's concurrency is exercised under -race).
-ci: vet build race
+# ci is the gate every change must pass: vet, build, the race-enabled
+# test suite (the pool's concurrency is exercised under -race), and the
+# engine differential suite, named explicitly so an engine-equivalence
+# regression is called out even though the race run also covers it.
+ci: vet build race engines
+
+# engines runs the tree/VM differential tests: identical traces,
+# clocks, mitigation records, and final memories across engines on the
+# testdata corpus and generated programs.
+engines:
+	$(GO) test -run 'TestEngine|TestEngines' ./internal/exec ./internal/server
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +30,18 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
+
+# bench-engines records the engine comparison into BENCH_engines.json:
+# the sharded-server throughput matrix (3 runs for benchstat-style
+# aggregation) plus the per-engine microbenchmarks, parsed by the
+# benchjson tool (raw lines are kept verbatim in the JSON for
+# benchstat).
+bench-engines:
+	{ $(GO) test -run '^$$' -bench BenchmarkServerPool -benchtime 2s -count 3 . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkProgramCache' -benchtime 1s ./internal/exec ; } \
+	  | tee bench_engines.txt | $(GO) run ./internal/tools/benchjson -o BENCH_engines.json
+	@rm -f bench_engines.txt
+	@echo wrote BENCH_engines.json
 
 harness:
 	$(GO) run ./cmd/harness -quick

@@ -25,6 +25,7 @@ func main() {
 	format := flag.String("format", "text", "output format: text, json, csv")
 	parallel := flag.Bool("parallel", true, "fan independent figure7 probes across goroutines")
 	plot := flag.Bool("plot", false, "render figures as ASCII charts (text format only)")
+	engine := flag.String("engine", "tree", "execution engine for the service experiment: tree, vm")
 	flag.Parse()
 
 	switch *format {
@@ -144,6 +145,7 @@ func main() {
 		if *quick {
 			cfg = cfg.Quick()
 		}
+		cfg.Engine = *engine
 		d, err := experiments.Service(cfg)
 		if err != nil {
 			fail("service", err)

@@ -17,14 +17,22 @@ func Compile(prog *ast.Program, res *types.Result) (*Program, error) {
 		scalars: make(map[string]int64),
 		arrays:  make(map[string]int64),
 	}
+	// Assign data offsets in declaration order, mirroring mem.NewLayout,
+	// so the VM's tree-compatible timing model touches the same data
+	// addresses as the tree-walking semantics.
+	var off uint64
 	for _, d := range prog.Decls {
 		if d.IsArray {
 			c.arrays[d.Name] = int64(len(c.out.ArrayNames))
 			c.out.ArrayNames = append(c.out.ArrayNames, d.Name)
 			c.out.ArraySizes = append(c.out.ArraySizes, d.Size)
+			c.out.ArrayOffsets = append(c.out.ArrayOffsets, off)
+			off += 8 * uint64(d.Size)
 		} else {
 			c.scalars[d.Name] = int64(len(c.out.ScalarNames))
 			c.out.ScalarNames = append(c.out.ScalarNames, d.Name)
+			c.out.ScalarOffsets = append(c.out.ScalarOffsets, off)
+			off += 8
 		}
 	}
 	if err := c.cmd(prog.Body); err != nil {
@@ -53,11 +61,14 @@ func (c *compiler) patch(at int, target int) {
 func (c *compiler) here() int { return len(c.out.Code) }
 
 // setlbl emits the timing-label register write for a labeled command.
-func (c *compiler) setlbl(lab *ast.Labels) error {
+// The command's AST node ID rides along in C so the tree-compatible
+// timing model can charge the command fetch at the same code address as
+// the tree-walking semantics (mem.Layout.CodeAddr).
+func (c *compiler) setlbl(cmd ast.Cmd, lab *ast.Labels) error {
 	if !lab.Resolved() {
 		return fmt.Errorf("bytecode: unresolved labels (run types.Check first)")
 	}
-	c.emit(Instr{Op: OpSetLbl, A: int64(lab.RL.ID()), B: int64(lab.WL.ID())})
+	c.emit(Instr{Op: OpSetLbl, A: int64(lab.RL.ID()), B: int64(lab.WL.ID()), C: int64(cmd.ID())})
 	return nil
 }
 
@@ -70,14 +81,14 @@ func (c *compiler) cmd(cmd ast.Cmd) error {
 		return c.cmd(cm.Second)
 
 	case *ast.Skip:
-		if err := c.setlbl(&cm.Lab); err != nil {
+		if err := c.setlbl(cm, &cm.Lab); err != nil {
 			return err
 		}
 		c.emit(Instr{Op: OpNop})
 		return nil
 
 	case *ast.Assign:
-		if err := c.setlbl(&cm.Lab); err != nil {
+		if err := c.setlbl(cm, &cm.Lab); err != nil {
 			return err
 		}
 		if err := c.expr(cm.X); err != nil {
@@ -91,7 +102,7 @@ func (c *compiler) cmd(cmd ast.Cmd) error {
 		return nil
 
 	case *ast.Store:
-		if err := c.setlbl(&cm.Lab); err != nil {
+		if err := c.setlbl(cm, &cm.Lab); err != nil {
 			return err
 		}
 		if err := c.expr(cm.Idx); err != nil {
@@ -108,7 +119,7 @@ func (c *compiler) cmd(cmd ast.Cmd) error {
 		return nil
 
 	case *ast.Sleep:
-		if err := c.setlbl(&cm.Lab); err != nil {
+		if err := c.setlbl(cm, &cm.Lab); err != nil {
 			return err
 		}
 		if err := c.expr(cm.X); err != nil {
@@ -118,7 +129,7 @@ func (c *compiler) cmd(cmd ast.Cmd) error {
 		return nil
 
 	case *ast.If:
-		if err := c.setlbl(&cm.Lab); err != nil {
+		if err := c.setlbl(cm, &cm.Lab); err != nil {
 			return err
 		}
 		if err := c.expr(cm.Cond); err != nil {
@@ -138,7 +149,7 @@ func (c *compiler) cmd(cmd ast.Cmd) error {
 
 	case *ast.While:
 		top := c.here()
-		if err := c.setlbl(&cm.Lab); err != nil {
+		if err := c.setlbl(cm, &cm.Lab); err != nil {
 			return err
 		}
 		if err := c.expr(cm.Cond); err != nil {
@@ -153,7 +164,7 @@ func (c *compiler) cmd(cmd ast.Cmd) error {
 		return nil
 
 	case *ast.Mitigate:
-		if err := c.setlbl(&cm.Lab); err != nil {
+		if err := c.setlbl(cm, &cm.Lab); err != nil {
 			return err
 		}
 		if err := c.expr(cm.Init); err != nil {

@@ -14,16 +14,23 @@ import (
 // workflows). The format is a small tagged container:
 //
 //	magic "TCBC" | version u8 | lattice name | mitigates uvarint
-//	scalars: count + names | arrays: count + (name, size) pairs
+//	scalars: count + names (v2: + offset uvarint each)
+//	arrays: count + (name, size) pairs (v2: + offset uvarint each)
 //	code: count + (op u8, A varint, B varint) triples
+//	      (v2: SETLBL additionally carries C varint, the AST node ID)
 //
 // Strings are uvarint-length-prefixed UTF-8. Labels inside SETLBL and
 // MITENTER operands are lattice element IDs; Decode therefore needs the
 // same lattice, which is recorded by name and validated.
+//
+// Version 2 added the declaration-order data offsets and SETLBL node
+// IDs that the VM's tree-compatible timing model needs; Decode still
+// accepts version 1, yielding a program that runs under TimingMicro
+// with the legacy address assignment.
 
 const (
 	encodeMagic   = "TCBC"
-	encodeVersion = 1
+	encodeVersion = 2
 )
 
 // Encode writes the program to w.
@@ -54,21 +61,48 @@ func (p *Program) Encode(w io.Writer) error {
 	writeString(p.Lat.Name())
 	writeUvarint(uint64(p.NumMitigates))
 	writeUvarint(uint64(len(p.ScalarNames)))
-	for _, s := range p.ScalarNames {
+	for i, s := range p.ScalarNames {
 		writeString(s)
+		writeUvarint(p.scalarOffset(i))
 	}
 	writeUvarint(uint64(len(p.ArrayNames)))
 	for i, s := range p.ArrayNames {
 		writeString(s)
 		writeUvarint(uint64(p.ArraySizes[i]))
+		writeUvarint(p.arrayOffset(i))
 	}
 	writeUvarint(uint64(len(p.Code)))
 	for _, ins := range p.Code {
 		bw.WriteByte(byte(ins.Op))
 		writeVarint(ins.A)
 		writeVarint(ins.B)
+		if ins.Op == OpSetLbl {
+			writeVarint(ins.C)
+		}
 	}
 	return bw.Flush()
+}
+
+// scalarOffset and arrayOffset reconstruct legacy scalars-then-arrays
+// offsets when a program has none, so every v2 image round-trips with
+// offsets and re-decoding preserves the addresses the program would
+// have used.
+func (p *Program) scalarOffset(i int) uint64 {
+	if len(p.ScalarOffsets) == len(p.ScalarNames) {
+		return p.ScalarOffsets[i]
+	}
+	return 8 * uint64(i)
+}
+
+func (p *Program) arrayOffset(i int) uint64 {
+	if len(p.ArrayOffsets) == len(p.ArrayNames) {
+		return p.ArrayOffsets[i]
+	}
+	off := 8 * uint64(len(p.ScalarNames))
+	for j := 0; j < i; j++ {
+		off += 8 * uint64(p.ArraySizes[j])
+	}
+	return off
 }
 
 // Decode reads a program from r. The caller supplies the lattice the
@@ -86,7 +120,7 @@ func Decode(r io.Reader, lat lattice.Lattice) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != encodeVersion {
+	if ver != 1 && ver != encodeVersion {
 		return nil, fmt.Errorf("bytecode: unsupported version %d", ver)
 	}
 	readString := func() (string, error) {
@@ -129,6 +163,13 @@ func Decode(r io.Reader, lat lattice.Lattice) (*Program, error) {
 			return nil, err
 		}
 		p.ScalarNames = append(p.ScalarNames, s)
+		if ver >= 2 {
+			off, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			p.ScalarOffsets = append(p.ScalarOffsets, off)
+		}
 	}
 	nArrays, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -151,6 +192,13 @@ func Decode(r io.Reader, lat lattice.Lattice) (*Program, error) {
 		}
 		p.ArrayNames = append(p.ArrayNames, s)
 		p.ArraySizes = append(p.ArraySizes, int64(size))
+		if ver >= 2 {
+			off, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			p.ArrayOffsets = append(p.ArrayOffsets, off)
+		}
 	}
 	nCode, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -172,7 +220,14 @@ func Decode(r io.Reader, lat lattice.Lattice) (*Program, error) {
 		if err != nil {
 			return nil, err
 		}
-		p.Code = append(p.Code, Instr{Op: Op(op), A: a, B: b})
+		var c int64
+		if ver >= 2 && Op(op) == OpSetLbl {
+			c, err = binary.ReadVarint(br)
+			if err != nil {
+				return nil, err
+			}
+		}
+		p.Code = append(p.Code, Instr{Op: Op(op), A: a, B: b, C: c})
 	}
 	if err := p.validate(); err != nil {
 		return nil, err
@@ -202,6 +257,9 @@ func (p *Program) validate() error {
 		case OpSetLbl:
 			if ins.A < 0 || ins.A >= levels || ins.B < 0 || ins.B >= levels {
 				return fmt.Errorf("bytecode: instr %d: label id out of range", i)
+			}
+			if ins.C < 0 {
+				return fmt.Errorf("bytecode: instr %d: negative node id %d", i, ins.C)
 			}
 		case OpMitEnter:
 			if ins.B < 0 || ins.B >= levels {

@@ -83,6 +83,12 @@ type Instr struct {
 	Op Op
 	A  int64
 	B  int64
+	// C is instruction metadata: for OpSetLbl it records the AST node
+	// ID of the source command the label write belongs to, which the
+	// tree-compatible timing model uses to charge the command's fetch
+	// and branch costs at the same code address as the tree-walking
+	// semantics. It is not shown in disassembly.
+	C int64
 }
 
 // String disassembles one instruction.
@@ -109,6 +115,15 @@ type Program struct {
 	// ArraySizes gives each array's element count, parallel to
 	// ArrayNames.
 	ArraySizes []int64
+	// ScalarOffsets and ArrayOffsets give each variable's byte offset
+	// from the VM's DataBase, parallel to ScalarNames/ArrayNames. The
+	// compiler assigns them in declaration order, matching
+	// mem.NewLayout, so the VM's data accesses hit the same addresses
+	// as the tree-walking semantics. Programs without offsets (hand
+	// built, or decoded from the v1 wire format) fall back to the VM's
+	// legacy scalars-then-arrays assignment.
+	ScalarOffsets []uint64
+	ArrayOffsets  []uint64
 	// Lat is the lattice the label IDs in SETLBL/MITENTER refer to.
 	Lat lattice.Lattice
 	// NumMitigates is one past the largest mitigate identifier.

@@ -1,48 +1,106 @@
 package bytecode
 
 import (
-	"errors"
+	"context"
 	"fmt"
 
+	"repro/internal/exec/budget"
 	"repro/internal/lang/token"
 	"repro/internal/lattice"
 	"repro/internal/machine/hw"
 	"repro/internal/mitigation"
+	"repro/internal/obs"
 	"repro/internal/sem/core"
 	"repro/internal/sem/events"
+	"repro/internal/sem/mem"
 )
 
 // ErrStepLimit is returned by Run when the instruction budget runs out.
-var ErrStepLimit = errors.New("bytecode: instruction limit exceeded")
+//
+// Deprecated: it is now an alias for the engine-shared
+// budget.ErrStepLimit, so errors.Is matches across engines; match that
+// sentinel directly in new code.
+var ErrStepLimit = budget.ErrStepLimit
+
+// ErrCycleLimit is returned by RunBudget when the cycle budget runs
+// out. It is an alias for the engine-shared budget.ErrCycleLimit.
+var ErrCycleLimit = budget.ErrCycleLimit
+
+// TimingModel selects the VM's cost model.
+type TimingModel int
+
+const (
+	// TimingMicro charges BaseCost plus an instruction fetch for every
+	// bytecode instruction — the finer-grained model described in the
+	// package comment, demonstrating that the label contract admits
+	// implementations with different timing.
+	TimingMicro TimingModel = iota
+	// TimingTree reproduces the tree-walking semantics' cost model
+	// exactly: one BaseCost plus a command fetch per SETLBL (one per
+	// language-level step, at mem.Layout's code address for the
+	// command's AST node), OpCost per operator, and the branch charge
+	// at the command's code address with full's taken polarity
+	// (condition true). Run on the same environment with a program
+	// compiled by this package (which records layout-compatible data
+	// offsets), traces are identical to sem/full's, times included.
+	TimingTree
+)
 
 // VMOptions configure the virtual machine's timing model.
 type VMOptions struct {
-	// BaseCost is the fixed per-instruction cost; default 1.
+	// BaseCost is the fixed per-instruction cost (per-command under
+	// TimingTree); default 1 unless CostSet.
 	BaseCost uint64
+	// OpCost is the per-operator cost charged by TimingTree for unary
+	// and binary operators, matching full.Options.OpCost; default 1
+	// unless CostSet. TimingMicro folds operator cost into the
+	// per-instruction BaseCost and ignores it.
+	OpCost uint64
+	// CostSet, when true, takes BaseCost and OpCost literally — an
+	// explicit zero is honored instead of selecting the default of 1.
+	CostSet bool
 	// CodeBase is the address of instruction 0; default 0x400000.
 	CodeBase uint64
 	// InstrSize is the encoded size of one instruction in bytes
 	// (controls instruction-cache behaviour); default 4.
 	InstrSize uint64
+	// CodeStride is the code-address stride per AST node used by
+	// TimingTree, matching mem.LayoutConfig.CodeStride; default 16.
+	CodeStride uint64
 	// DataBase is the address of the data segment; default 0x10000.
 	DataBase uint64
+	// Timing selects the cost model; default TimingMicro.
+	Timing TimingModel
 	// Scheme and Policy configure predictive mitigation; defaults are
 	// FastDoubling and PerLevel.
 	Scheme mitigation.Scheme
 	Policy mitigation.Policy
 	// DisableMitigation makes MITENTER/MITEXIT record but not pad.
 	DisableMitigation bool
+	// Metrics, when non-nil, receives instrumentation (instructions,
+	// cycles, padding, mitigation outcomes). Recording is
+	// observational only and never changes execution or simulated
+	// time.
+	Metrics *obs.Metrics
 }
 
 func (o VMOptions) withDefaults() VMOptions {
-	if o.BaseCost == 0 {
-		o.BaseCost = 1
+	if !o.CostSet {
+		if o.BaseCost == 0 {
+			o.BaseCost = 1
+		}
+		if o.OpCost == 0 {
+			o.OpCost = 1
+		}
 	}
 	if o.CodeBase == 0 {
 		o.CodeBase = 0x400000
 	}
 	if o.InstrSize == 0 {
 		o.InstrSize = 4
+	}
+	if o.CodeStride == 0 {
+		o.CodeStride = 16
 	}
 	if o.DataBase == 0 {
 		o.DataBase = 0x10000
@@ -61,10 +119,15 @@ type mitFrame struct {
 	start uint64
 }
 
-// VM executes a bytecode program against a machine environment. It is
-// an alternative language implementation: same observable values as the
-// tree-walking semantics (value adequacy), different — finer-grained —
-// timing, still governed by the same label contract.
+// VM executes a bytecode program against a machine environment. Under
+// the default TimingMicro model it is an alternative language
+// implementation: same observable values as the tree-walking semantics
+// (value adequacy), different — finer-grained — timing, still governed
+// by the same label contract. Under TimingTree it reproduces the
+// tree-walker's timing exactly (see TimingModel).
+//
+// A VM is not safe for concurrent use; like server.Server, each
+// goroutine owns its own.
 type VM struct {
 	prog *Program
 	opts VMOptions
@@ -80,6 +143,9 @@ type VM struct {
 
 	// er/ew mirror the timing-label register.
 	er, ew lattice.Label
+	// curNode is the AST node ID carried by the last SETLBL; TimingTree
+	// charges branch costs at its code address.
+	curNode int64
 
 	clock  uint64
 	steps  int
@@ -87,6 +153,9 @@ type VM struct {
 	mits   events.MitTrace
 	mstate *mitigation.State
 	open   []mitFrame
+
+	// labels maps label ID -> Label for O(1) SETLBL/MITENTER decoding.
+	labels []lattice.Label
 }
 
 // NewVM creates a VM for a compiled program.
@@ -102,19 +171,86 @@ func NewVM(prog *Program, env hw.Env, opts VMOptions) *VM {
 		ew:      prog.Lat.Bot(),
 		mstate:  mitigation.NewState(prog.Lat, opts.Scheme, opts.Policy),
 	}
+	vm.labels = make([]lattice.Label, prog.Lat.Size())
+	for _, l := range prog.Lat.Levels() {
+		vm.labels[l.ID()] = l
+	}
+	vm.wireMetrics()
+	// Use the compiler's declaration-order offsets when present (they
+	// make data addresses match mem.NewLayout's); fall back to the
+	// legacy scalars-then-arrays assignment for hand-built programs and
+	// v1-decoded images.
+	useOffsets := len(prog.ScalarOffsets) == len(prog.ScalarNames) &&
+		len(prog.ArrayOffsets) == len(prog.ArrayNames)
 	next := opts.DataBase
 	vm.scalarAddr = make([]uint64, len(prog.ScalarNames))
 	for i := range prog.ScalarNames {
-		vm.scalarAddr[i] = next
-		next += 8
+		if useOffsets {
+			vm.scalarAddr[i] = opts.DataBase + prog.ScalarOffsets[i]
+		} else {
+			vm.scalarAddr[i] = next
+			next += 8
+		}
 	}
 	vm.arrayBase = make([]uint64, len(prog.ArrayNames))
 	for i, n := range prog.ArraySizes {
 		vm.arrays[i] = make([]int64, n)
-		vm.arrayBase[i] = next
-		next += 8 * uint64(n)
+		if useOffsets {
+			vm.arrayBase[i] = opts.DataBase + prog.ArrayOffsets[i]
+		} else {
+			vm.arrayBase[i] = next
+			next += 8 * uint64(n)
+		}
 	}
 	return vm
+}
+
+func (vm *VM) wireMetrics() {
+	if vm.opts.Metrics != nil {
+		m := vm.opts.Metrics
+		vm.mstate.SetOnMiss(func(lattice.Label, int) { m.AddScheduleBumps(1) })
+	}
+}
+
+// Reset rewinds the VM to its initial state — program counter, stack,
+// data, labels, clock, traces, and a fresh mitigation state — so a
+// service can reuse one VM (and its compiled program) across requests.
+// The machine environment is NOT reset; the caller owns it (a service
+// deliberately keeps cache/predictor state warm across requests, and
+// resets it only between experiment arms).
+func (vm *VM) Reset() {
+	vm.pc = 0
+	vm.stack = vm.stack[:0]
+	for i := range vm.scalars {
+		vm.scalars[i] = 0
+	}
+	for _, a := range vm.arrays {
+		for j := range a {
+			a[j] = 0
+		}
+	}
+	vm.er = vm.prog.Lat.Bot()
+	vm.ew = vm.prog.Lat.Bot()
+	vm.curNode = 0
+	vm.clock = 0
+	vm.steps = 0
+	// Trace storage is handed out to the caller (Trace/Mitigations), so
+	// it can never be reused — but the last run's lengths are a good
+	// capacity hint for a service replaying the same program, turning
+	// O(log n) append regrowth into one right-sized allocation. Empty
+	// traces stay nil (see Trace) so they compare equal to a fresh run.
+	if n := len(vm.trace); n > 0 {
+		vm.trace = make(events.Trace, 0, n)
+	} else {
+		vm.trace = nil
+	}
+	if n := len(vm.mits); n > 0 {
+		vm.mits = make(events.MitTrace, 0, n)
+	} else {
+		vm.mits = nil
+	}
+	vm.open = vm.open[:0]
+	vm.mstate.Reset()
 }
 
 // SetScalar sets an input variable by source name.
@@ -149,17 +285,88 @@ func (vm *VM) SetArrayEl(name string, idx, v int64) error {
 	return fmt.Errorf("bytecode: no array %q", name)
 }
 
+// LoadFrom copies every variable the program declares out of m into
+// the VM's registers. Variables missing from m are left at zero.
+func (vm *VM) LoadFrom(m *mem.Memory) {
+	for i, n := range vm.prog.ScalarNames {
+		if m.HasScalar(n) {
+			vm.scalars[i] = m.Get(n)
+		}
+	}
+	for i, n := range vm.prog.ArrayNames {
+		if !m.HasArray(n) {
+			continue
+		}
+		for j := range vm.arrays[i] {
+			vm.arrays[i][j] = m.GetEl(n, int64(j))
+		}
+	}
+}
+
+// LoadScalarsFrom copies only the scalar variables from m. Engines
+// that alias m's arrays onto this VM's array storage (mem.AliasArray)
+// use this: array writes already landed in place, so only scalars need
+// the copy pass.
+func (vm *VM) LoadScalarsFrom(m *mem.Memory) {
+	for i, n := range vm.prog.ScalarNames {
+		if m.HasScalar(n) {
+			vm.scalars[i] = m.Get(n)
+		}
+	}
+}
+
+// ArrayStorage exposes the backing slice of array i (by declaration
+// order), for engines that alias a scratch memory onto VM storage.
+func (vm *VM) ArrayStorage(i int) []int64 { return vm.arrays[i] }
+
+// ScalarStorage exposes the scalar value slice (indexed like
+// Program.ScalarNames), for the same aliasing purpose.
+func (vm *VM) ScalarStorage() []int64 { return vm.scalars }
+
+// StoreTo copies the VM's variables into m (which must declare them —
+// typically a mem.New of the same program).
+func (vm *VM) StoreTo(m *mem.Memory) {
+	for i, n := range vm.prog.ScalarNames {
+		m.Set(n, vm.scalars[i])
+	}
+	for i, n := range vm.prog.ArrayNames {
+		for j, v := range vm.arrays[i] {
+			m.SetEl(n, int64(j), v)
+		}
+	}
+}
+
 // Clock returns the global time in cycles.
 func (vm *VM) Clock() uint64 { return vm.clock }
 
 // Steps returns the number of instructions executed.
 func (vm *VM) Steps() int { return vm.steps }
 
-// Trace returns the observable assignment events.
-func (vm *VM) Trace() events.Trace { return vm.trace }
+// Trace returns the observable assignment events. An empty trace is
+// nil, even when Reset preallocated capacity, so traces from reused
+// and single-use VMs compare equal structurally.
+func (vm *VM) Trace() events.Trace {
+	if len(vm.trace) == 0 {
+		return nil
+	}
+	return vm.trace
+}
 
-// Mitigations returns the completed mitigation records.
-func (vm *VM) Mitigations() events.MitTrace { return vm.mits }
+// Mitigations returns the completed mitigation records (nil when
+// empty, like Trace).
+func (vm *VM) Mitigations() events.MitTrace {
+	if len(vm.mits) == 0 {
+		return nil
+	}
+	return vm.mits
+}
+
+// MitigationState exposes the Miss counters (for reporting, and for
+// services that splice persistent mitigation state across requests).
+func (vm *VM) MitigationState() *mitigation.State { return vm.mstate }
+
+// Env returns the machine environment.
+func (vm *VM) Env() hw.Env { return vm.env }
 
 func wrap(i int64, n int) int64 {
 	if n <= 0 {
@@ -183,113 +390,207 @@ func (vm *VM) pop() int64 {
 	return v
 }
 
-// Run executes until HALT or the instruction budget is exhausted.
-func (vm *VM) Run(maxInstrs int) error {
-	for vm.steps < maxInstrs {
-		if vm.pc < 0 || vm.pc >= len(vm.prog.Code) {
-			return fmt.Errorf("bytecode: pc %d out of range", vm.pc)
-		}
-		ins := vm.prog.Code[vm.pc]
-		vm.steps++
-		cost := vm.opts.BaseCost
-		cost += vm.env.Access(hw.Fetch, vm.opts.CodeBase+uint64(vm.pc)*vm.opts.InstrSize, vm.er, vm.ew)
-		vm.pc++
+// cmdAddr is the command's code address under the tree-walker's layout.
+func (vm *VM) cmdAddr(node int64) uint64 {
+	return vm.opts.CodeBase + vm.opts.CodeStride*uint64(node)
+}
 
-		switch ins.Op {
-		case OpNop:
-		case OpHalt:
-			vm.clock += cost
-			// Close any regions left open by a miscompiled program.
-			for len(vm.open) > 0 {
-				vm.exitMitigation()
+// Run executes until HALT or the instruction budget is exhausted.
+//
+// Deprecated: use RunBudget, which adds context cancellation and cycle
+// budgets. Note one semantic difference: Run(0) is now an unlimited
+// run, where it used to fail immediately.
+func (vm *VM) Run(maxInstrs int) error {
+	return vm.RunBudget(context.Background(), budget.Budget{MaxSteps: maxInstrs})
+}
+
+// ctxCheckInterval is how many instructions elapse between context
+// polls in RunBudget. Polling is observational, so the interval affects
+// only abort latency, never simulated behavior.
+const ctxCheckInterval = 1024
+
+// RunBudget executes to completion, a budget violation
+// (budget.ErrStepLimit / budget.ErrCycleLimit — for this engine
+// MaxSteps counts instructions), or context cancellation — in the last
+// case it returns ctx.Err(), so callers can test errors.Is(err,
+// context.DeadlineExceeded). The VM's instrumentation
+// (VMOptions.Metrics) is charged for the instructions and cycles
+// consumed, whether or not the run completes.
+func (vm *VM) RunBudget(ctx context.Context, b budget.Budget) error {
+	// Metrics are recorded on every exit path without a deferred
+	// closure: the capture would heap-allocate per call, which matters
+	// on the service hot path.
+	startSteps, startClock := vm.steps, vm.clock
+	err := vm.runLoop(ctx, b)
+	if vm.opts.Metrics != nil {
+		vm.opts.Metrics.AddSteps(uint64(vm.steps - startSteps))
+		vm.opts.Metrics.AddCycles(vm.clock - startClock)
+	}
+	return err
+}
+
+func (vm *VM) runLoop(ctx context.Context, b budget.Budget) error {
+	nextPoll := vm.steps + ctxCheckInterval
+	for {
+		if b.MaxSteps > 0 && vm.steps >= b.MaxSteps {
+			return fmt.Errorf("%w (%d steps)", budget.ErrStepLimit, b.MaxSteps)
+		}
+		if b.MaxCycles > 0 && vm.clock > b.MaxCycles {
+			return fmt.Errorf("%w (%d cycles > %d)", budget.ErrCycleLimit, vm.clock, b.MaxCycles)
+		}
+		if ctx != nil && vm.steps >= nextPoll {
+			nextPoll = vm.steps + ctxCheckInterval
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
 			}
-			return nil
-		case OpSetLbl:
-			vm.er = vm.label(ins.A)
-			vm.ew = vm.label(ins.B)
-		case OpPush:
-			vm.push(ins.A)
-		case OpLoad:
-			cost += vm.env.Access(hw.Read, vm.scalarAddr[ins.A], vm.er, vm.ew)
-			vm.push(vm.scalars[ins.A])
-		case OpLoadIdx:
-			idx := wrap(vm.pop(), len(vm.arrays[ins.A]))
-			cost += vm.env.Access(hw.Read, vm.arrayBase[ins.A]+8*uint64(idx), vm.er, vm.ew)
-			vm.push(vm.arrays[ins.A][idx])
-		case OpStore:
-			v := vm.pop()
-			cost += vm.env.Access(hw.Write, vm.scalarAddr[ins.A], vm.er, vm.ew)
-			vm.scalars[ins.A] = v
-			vm.clock += cost
-			vm.trace = append(vm.trace, events.Event{
-				Var: vm.prog.ScalarNames[ins.A], Value: v, Time: vm.clock})
-			continue
-		case OpStoreIdx:
-			v := vm.pop()
-			idx := wrap(vm.pop(), len(vm.arrays[ins.A]))
-			cost += vm.env.Access(hw.Write, vm.arrayBase[ins.A]+8*uint64(idx), vm.er, vm.ew)
-			vm.arrays[ins.A][idx] = v
-			vm.clock += cost
-			vm.trace = append(vm.trace, events.Event{
-				Var: fmt.Sprintf("%s[%d]", vm.prog.ArrayNames[ins.A], idx), Value: v, Time: vm.clock})
-			continue
-		case OpUnop:
-			v := vm.pop()
-			switch token.Kind(ins.A) {
-			case token.MINUS:
-				vm.push(-v)
-			case token.NOT:
-				if v == 0 {
-					vm.push(1)
-				} else {
-					vm.push(0)
-				}
-			default:
-				return fmt.Errorf("bytecode: bad unary operator %v", token.Kind(ins.A))
+		}
+		halted, err := vm.step()
+		if err != nil {
+			return err
+		}
+		if halted {
+			break
+		}
+	}
+	// HALT drains open mitigation regions; padding may push the clock
+	// past the cycle budget, and that still counts (matching full).
+	if b.MaxCycles > 0 && vm.clock > b.MaxCycles {
+		return fmt.Errorf("%w (%d cycles > %d)", budget.ErrCycleLimit, vm.clock, b.MaxCycles)
+	}
+	return nil
+}
+
+// step executes one instruction, reporting whether the program halted.
+func (vm *VM) step() (bool, error) {
+	if vm.pc < 0 || vm.pc >= len(vm.prog.Code) {
+		return false, fmt.Errorf("bytecode: pc %d out of range", vm.pc)
+	}
+	ins := vm.prog.Code[vm.pc]
+	vm.steps++
+	tree := vm.opts.Timing == TimingTree
+	var cost uint64
+	if !tree {
+		// Micro model: every instruction pays base + fetch, charged
+		// under the labels in force when the fetch happens (i.e. before
+		// SETLBL updates them).
+		cost = vm.opts.BaseCost +
+			vm.env.Access(hw.Fetch, vm.opts.CodeBase+uint64(vm.pc)*vm.opts.InstrSize, vm.er, vm.ew)
+	}
+	vm.pc++
+
+	switch ins.Op {
+	case OpNop:
+	case OpHalt:
+		vm.clock += cost
+		// Close any regions left open by a miscompiled program.
+		for len(vm.open) > 0 {
+			vm.exitMitigation()
+		}
+		return true, nil
+	case OpSetLbl:
+		vm.er = vm.label(ins.A)
+		vm.ew = vm.label(ins.B)
+		vm.curNode = ins.C
+		if tree {
+			// Tree model: the command's single fetch, at the AST
+			// node's code address, under the command's own labels —
+			// exactly full.Machine.Step's first access.
+			cost = vm.opts.BaseCost + vm.env.Access(hw.Fetch, vm.cmdAddr(ins.C), vm.er, vm.ew)
+		}
+	case OpPush:
+		vm.push(ins.A)
+	case OpLoad:
+		cost += vm.env.Access(hw.Read, vm.scalarAddr[ins.A], vm.er, vm.ew)
+		vm.push(vm.scalars[ins.A])
+	case OpLoadIdx:
+		idx := wrap(vm.pop(), len(vm.arrays[ins.A]))
+		cost += vm.env.Access(hw.Read, vm.arrayBase[ins.A]+8*uint64(idx), vm.er, vm.ew)
+		vm.push(vm.arrays[ins.A][idx])
+	case OpStore:
+		v := vm.pop()
+		cost += vm.env.Access(hw.Write, vm.scalarAddr[ins.A], vm.er, vm.ew)
+		vm.scalars[ins.A] = v
+		vm.clock += cost
+		vm.trace = append(vm.trace, events.Event{
+			Var: vm.prog.ScalarNames[ins.A], Value: v, Time: vm.clock})
+		return false, nil
+	case OpStoreIdx:
+		v := vm.pop()
+		idx := wrap(vm.pop(), len(vm.arrays[ins.A]))
+		cost += vm.env.Access(hw.Write, vm.arrayBase[ins.A]+8*uint64(idx), vm.er, vm.ew)
+		vm.arrays[ins.A][idx] = v
+		vm.clock += cost
+		vm.trace = append(vm.trace, events.Event{
+			Var: fmt.Sprintf("%s[%d]", vm.prog.ArrayNames[ins.A], idx), Value: v, Time: vm.clock})
+		return false, nil
+	case OpUnop:
+		v := vm.pop()
+		switch token.Kind(ins.A) {
+		case token.MINUS:
+			vm.push(-v)
+		case token.NOT:
+			if v == 0 {
+				vm.push(1)
+			} else {
+				vm.push(0)
 			}
-		case OpBinop:
-			y := vm.pop()
-			x := vm.pop()
-			vm.push(core.EvalBinop(token.Kind(ins.A), x, y))
-		case OpJmp:
-			vm.pc = int(ins.A)
-		case OpJz:
-			taken := vm.pop() == 0
+		default:
+			return false, fmt.Errorf("bytecode: bad unary operator %v", token.Kind(ins.A))
+		}
+		if tree {
+			cost += vm.opts.OpCost
+		}
+	case OpBinop:
+		y := vm.pop()
+		x := vm.pop()
+		vm.push(core.EvalBinop(token.Kind(ins.A), x, y))
+		if tree {
+			cost += vm.opts.OpCost
+		}
+	case OpJmp:
+		vm.pc = int(ins.A)
+	case OpJz:
+		taken := vm.pop() == 0
+		if tree {
+			// full charges the branch at the command's code address
+			// with taken = condition-true.
+			cost += vm.env.Branch(vm.cmdAddr(vm.curNode), !taken, vm.er, vm.ew)
+		} else {
 			cost += vm.env.Branch(vm.opts.CodeBase+uint64(vm.pc-1)*vm.opts.InstrSize,
 				taken, vm.er, vm.ew)
-			if taken {
-				vm.pc = int(ins.A)
-			}
-		case OpSleep:
-			if n := vm.pop(); n > 0 {
-				cost += uint64(n)
-			}
-		case OpMitEnter:
-			init := vm.pop()
-			vm.clock += cost
-			vm.open = append(vm.open, mitFrame{
-				id:    int(ins.A),
-				level: vm.label(ins.B),
-				init:  init,
-				start: vm.clock,
-			})
-			continue
-		case OpMitExit:
-			vm.clock += cost
-			if len(vm.open) == 0 {
-				return fmt.Errorf("bytecode: MITEXIT with no open region")
-			}
-			if vm.open[len(vm.open)-1].id != int(ins.A) {
-				return fmt.Errorf("bytecode: mismatched MITEXIT %d", ins.A)
-			}
-			vm.exitMitigation()
-			continue
-		default:
-			return fmt.Errorf("bytecode: unknown opcode %v", ins.Op)
 		}
+		if taken {
+			vm.pc = int(ins.A)
+		}
+	case OpSleep:
+		if n := vm.pop(); n > 0 {
+			cost += uint64(n)
+		}
+	case OpMitEnter:
+		init := vm.pop()
 		vm.clock += cost
+		vm.open = append(vm.open, mitFrame{
+			id:    int(ins.A),
+			level: vm.label(ins.B),
+			init:  init,
+			start: vm.clock,
+		})
+		return false, nil
+	case OpMitExit:
+		vm.clock += cost
+		if len(vm.open) == 0 {
+			return false, fmt.Errorf("bytecode: MITEXIT with no open region")
+		}
+		if vm.open[len(vm.open)-1].id != int(ins.A) {
+			return false, fmt.Errorf("bytecode: mismatched MITEXIT %d", ins.A)
+		}
+		vm.exitMitigation()
+		return false, nil
+	default:
+		return false, fmt.Errorf("bytecode: unknown opcode %v", ins.Op)
 	}
-	return fmt.Errorf("%w (%d instructions)", ErrStepLimit, vm.steps)
+	vm.clock += cost
+	return false, nil
 }
 
 // exitMitigation closes the innermost region: penalize and pad exactly
@@ -301,6 +602,9 @@ func (vm *VM) exitMitigation() {
 	if vm.opts.DisableMitigation {
 		vm.mits = append(vm.mits, events.MitRecord{
 			ID: f.id, Duration: elapsed, Elapsed: elapsed, Start: f.start})
+		if vm.opts.Metrics != nil {
+			vm.opts.Metrics.AddMitigation(false)
+		}
 		return
 	}
 	pred, missed := vm.mstate.Penalize(f.init, f.level, f.id, elapsed)
@@ -311,14 +615,17 @@ func (vm *VM) exitMitigation() {
 		ID: f.id, Duration: vm.clock - f.start, Elapsed: elapsed,
 		Start: f.start, Mispredicted: missed,
 	})
+	if vm.opts.Metrics != nil {
+		vm.opts.Metrics.AddMitigation(missed)
+		if pred > elapsed {
+			vm.opts.Metrics.AddPadding(pred - elapsed)
+		}
+	}
 }
 
 func (vm *VM) label(id int64) lattice.Label {
-	levels := vm.prog.Lat.Levels()
-	for _, l := range levels {
-		if int64(l.ID()) == id {
-			return l
-		}
+	if id >= 0 && id < int64(len(vm.labels)) {
+		return vm.labels[id]
 	}
 	panic(fmt.Sprintf("bytecode: bad label id %d", id))
 }

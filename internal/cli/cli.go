@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/bytecode"
+	"repro/internal/exec"
 	"repro/internal/lang/ast"
 	"repro/internal/lang/diag"
 	"repro/internal/lang/parser"
@@ -527,6 +528,8 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	requests := fs.Int("requests", 32, "number of requests to serve")
 	mitigate := fs.Bool("mitigate", true, "enable predictive mitigation")
 	maxSteps := fs.Int("max-steps", 10_000_000, "per-request step budget")
+	engine := fs.String("engine", "tree",
+		fmt.Sprintf("execution engine: one of %v", exec.EngineNames()))
 	var vary rangeFlags
 	fs.Var(&vary, "vary", "vary a variable across requests, e.g. -vary h=0:63:1 (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -550,6 +553,7 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 		QueueDepth: *queue,
 		Options: server.Options{
 			Env:                env,
+			Engine:             *engine,
 			DisableMitigation:  !*mitigate,
 			MaxStepsPerRequest: *maxSteps,
 		},
@@ -578,8 +582,8 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 		distinct[r.Time] = true
 		byShard[r.Shard] = append(byShard[r.Shard], r)
 	}
-	fmt.Fprintf(stdout, "served %d requests across %d shards on %s hardware\n",
-		pool.Served(), pool.Workers(), env.Name())
+	fmt.Fprintf(stdout, "served %d requests across %d shards on %s hardware (%s engine)\n",
+		pool.Served(), pool.Workers(), env.Name(), *engine)
 	fmt.Fprintf(stdout, "distinct response times: %d\n", len(distinct))
 	for shard, rs := range byShard {
 		fmt.Fprintf(stdout, "shard %d: %d requests, settled after %d\n",

@@ -1,0 +1,121 @@
+package exec
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"repro/internal/bytecode"
+	"repro/internal/lang/ast"
+	"repro/internal/lang/printer"
+	"repro/internal/types"
+)
+
+// ProgramCache is a concurrency-safe LRU cache of compiled bytecode
+// programs, keyed by source hash, so many engines (e.g. one per pool
+// shard) serving the same program compile it once and execute many.
+//
+// Compiled programs are immutable after compilation — the VM keeps all
+// mutable state (registers, data, clock) in itself — so one *Program
+// can safely back any number of VMs.
+type ProgramCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key  string
+	prog *bytecode.Program
+}
+
+// NewProgramCache creates a cache holding at most capacity programs
+// (minimum 1).
+func NewProgramCache(capacity int) *ProgramCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ProgramCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// DefaultCache is the process-wide cache used by the "vm" engine
+// factory. Its capacity comfortably exceeds the number of distinct
+// programs any one service deployment runs.
+var DefaultCache = NewProgramCache(128)
+
+// Key returns the cache key for a type-checked program: a hash of the
+// fully-resolved printed source plus the lattice name. Printing with
+// resolved labels makes the key depend on the label assignment, not
+// just the surface syntax, so two checks of the same source under
+// different lattices or inference outcomes never collide.
+func Key(prog *ast.Program, res *types.Result) string {
+	h := sha256.New()
+	h.Write([]byte(printer.Print(prog, printer.Options{ShowResolved: true})))
+	h.Write([]byte{0})
+	h.Write([]byte(res.Lat.Name()))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Get returns the compiled program for (prog, res), compiling and
+// caching it on a miss and evicting the least recently used entry past
+// capacity.
+func (c *ProgramCache) Get(prog *ast.Program, res *types.Result) (*bytecode.Program, error) {
+	key := Key(prog, res)
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		p := el.Value.(*cacheEntry).prog
+		c.mu.Unlock()
+		return p, nil
+	}
+	c.mu.Unlock()
+
+	// Compile outside the lock: compilation is pure, so two shards
+	// racing on the same cold key at worst compile twice and converge
+	// on whichever entry lands first.
+	compiled, err := bytecode.Compile(prog, res)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Lost the race; keep the incumbent so all callers share one
+		// program.
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).prog, nil
+	}
+	c.misses++
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, prog: compiled})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	return compiled, nil
+}
+
+// Len returns the number of cached programs.
+func (c *ProgramCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *ProgramCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,100 @@
+// Package exec defines the execution-engine API that unifies the two
+// language implementations — the tree-walking full semantics and the
+// bytecode VM — behind one interface, so the service layer (and any
+// other caller) can select an engine by name the same way it selects a
+// machine environment from hw's registry.
+//
+// An Engine is constructed once per serial execution context (a
+// server, a pool shard, an experiment arm) for one program, and then
+// runs many requests. Engines are NOT safe for concurrent use; like
+// server.Server, each goroutine owns its own. This is what lets the VM
+// engine compile once (through the shared ProgramCache) and reuse its
+// machine across requests — the service hot path the tree-walker
+// cannot match, because it must rebuild per-request interpreter state.
+//
+// Both engines run against the same hw.Env contract and, because the
+// VM engine uses the tree-compatible timing model
+// (bytecode.TimingTree), they produce identical event traces and
+// leakage bounds — differential tests in this package enforce that.
+package exec
+
+import (
+	"context"
+
+	"repro/internal/exec/budget"
+	"repro/internal/mitigation"
+	"repro/internal/obs"
+	"repro/internal/sem/events"
+	"repro/internal/sem/mem"
+)
+
+// Options carries the knobs shared by every engine: cost model,
+// mitigation configuration, per-run budgets, and instrumentation. It
+// replaces the per-engine option structs (full.Options,
+// bytecode.VMOptions) on the service path; those remain as
+// engine-internal configuration for direct use of the interpreters.
+type Options struct {
+	// BaseCost is the per-step base cost and OpCost the per-operator
+	// cost; both default to 1 unless CostSet honors explicit zeros.
+	BaseCost uint64
+	OpCost   uint64
+	CostSet  bool
+	// Scheme and Policy configure predictive mitigation; defaults are
+	// FastDoubling and PerLevel.
+	Scheme mitigation.Scheme
+	Policy mitigation.Policy
+	// DisableMitigation makes mitigate blocks record but not pad.
+	DisableMitigation bool
+	// Budget bounds every Run. Zero fields are unlimited. MaxSteps is
+	// engine-granular (language steps for the tree engine,
+	// instructions for the VM); MaxCycles means the same simulated
+	// time to every engine.
+	Budget budget.Budget
+	// Metrics, when non-nil, receives instrumentation from every run.
+	Metrics *obs.Metrics
+}
+
+// Request is one unit of work for an engine.
+type Request struct {
+	// Setup sets per-request inputs in the program memory before the
+	// run (the same shape as server.Request).
+	Setup func(*mem.Memory)
+	// Mit, when non-nil, is persistent mitigation state: it is spliced
+	// into the machine before the run, and on success the machine's
+	// (possibly inflated) counters are copied back. A failed or
+	// aborted run leaves it untouched, matching server.Handle.
+	Mit *mitigation.State
+	// KeepMemory asks for the final program memory in Result.Memory.
+	// It is off by default because snapshotting costs an allocation
+	// per request on the VM engine's hot path.
+	KeepMemory bool
+}
+
+// Result is the observable outcome of one run.
+type Result struct {
+	// Clock is the run's total simulated time in cycles.
+	Clock uint64
+	// Steps is engine-granular work: language steps or instructions.
+	Steps int
+	// Trace holds the observable assignment events.
+	Trace events.Trace
+	// Mitigations holds the completed mitigation records.
+	Mitigations events.MitTrace
+	// Memory is the final program memory, when Request.KeepMemory.
+	Memory *mem.Memory
+}
+
+// Engine runs requests for one program against one machine
+// environment. Run returns budget.ErrStepLimit / budget.ErrCycleLimit
+// (wrapped) on budget exhaustion and ctx.Err() on cancellation,
+// whichever engine is behind it.
+type Engine interface {
+	// Name returns the engine's registered name ("tree", "vm").
+	Name() string
+	// Run executes one request. The returned Result struct is owned by
+	// the engine and valid only until the next Run call; callers that
+	// retain it across requests must copy it first. The slices and
+	// memory it points to (Trace, Mitigations, Memory) are freshly
+	// allocated per request and stay valid.
+	Run(ctx context.Context, req Request) (*Result, error)
+}

@@ -21,6 +21,8 @@ import (
 type ServiceData struct {
 	Requests int
 	Workers  int
+	// Engine names the execution engine the servers ran ("tree"/"vm").
+	Engine string
 	// SerialWall and PoolWall are host wall-clock times; their ratio is
 	// the observed speedup (≈1 on a single-CPU host, approaching
 	// Workers on machines with that many cores — the simulated cycle
@@ -44,6 +46,9 @@ type ServiceConfig struct {
 	// HW names the machine environment in the hw registry; default
 	// "partitioned".
 	HW string
+	// Engine names the execution engine in the exec registry; default
+	// "tree". "vm" runs the compiled-bytecode hot path.
+	Engine string
 }
 
 // Defaults fills zero fields with the paper-scale values.
@@ -59,6 +64,9 @@ func (c ServiceConfig) Defaults() ServiceConfig {
 	}
 	if c.HW == "" {
 		c.HW = "partitioned"
+	}
+	if c.Engine == "" {
+		c.Engine = "tree"
 	}
 	return c
 }
@@ -98,7 +106,7 @@ func Service(cfg ServiceConfig) (*ServiceData, error) {
 	if err != nil {
 		return nil, err
 	}
-	serial, err := server.New(app.Prog, app.Res, server.Options{Env: env})
+	serial, err := server.New(app.Prog, app.Res, server.Options{Env: env, Engine: cfg.Engine})
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +123,7 @@ func Service(cfg ServiceConfig) (*ServiceData, error) {
 	}
 	pool, err := server.NewPool(app.Prog, app.Res, server.PoolOptions{
 		Workers: cfg.Workers,
-		Options: server.Options{Env: env},
+		Options: server.Options{Env: env, Engine: cfg.Engine},
 	})
 	if err != nil {
 		return nil, err
@@ -131,6 +139,7 @@ func Service(cfg ServiceConfig) (*ServiceData, error) {
 	data := &ServiceData{
 		Requests:   cfg.Requests,
 		Workers:    cfg.Workers,
+		Engine:     cfg.Engine,
 		SerialWall: serialWall,
 		PoolWall:   poolWall,
 		Snapshot:   pool.Snapshot(),
@@ -148,7 +157,7 @@ func Service(cfg ServiceConfig) (*ServiceData, error) {
 		if err != nil {
 			return nil, err
 		}
-		ref, err := server.New(app.Prog, app.Res, server.Options{Env: env})
+		ref, err := server.New(app.Prog, app.Res, server.Options{Env: env, Engine: cfg.Engine})
 		if err != nil {
 			return nil, err
 		}
@@ -179,7 +188,8 @@ func (d *ServiceData) Speedup() float64 {
 func (d *ServiceData) Render() string {
 	var b strings.Builder
 	b.WriteString("Service layer: sharded mitigation pool\n")
-	fmt.Fprintf(&b, "requests:            %d across %d shards\n", d.Requests, d.Workers)
+	fmt.Fprintf(&b, "requests:            %d across %d shards (%s engine)\n",
+		d.Requests, d.Workers, d.Engine)
 	fmt.Fprintf(&b, "serial wall-clock:   %v\n", d.SerialWall)
 	fmt.Fprintf(&b, "pool wall-clock:     %v (speedup %.2fx; bounded by host cores)\n",
 		d.PoolWall, d.Speedup())
@@ -192,7 +202,7 @@ func (d *ServiceData) Render() string {
 
 // CSVHeader implements CSV for the service experiment.
 func (d *ServiceData) CSVHeader() []string {
-	return []string{"requests", "workers", "serial_wall_ns", "pool_wall_ns", "speedup",
+	return []string{"requests", "workers", "engine", "serial_wall_ns", "pool_wall_ns", "speedup",
 		"deterministic", "mitigations", "mispredictions", "padding_cycles", "useful_cycles"}
 }
 
@@ -201,6 +211,7 @@ func (d *ServiceData) CSVRows() [][]string {
 	return [][]string{{
 		strconv.Itoa(d.Requests),
 		strconv.Itoa(d.Workers),
+		d.Engine,
 		strconv.FormatInt(d.SerialWall.Nanoseconds(), 10),
 		strconv.FormatInt(d.PoolWall.Nanoseconds(), 10),
 		strconv.FormatFloat(d.Speedup(), 'f', 4, 64),

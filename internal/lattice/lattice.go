@@ -81,6 +81,10 @@ type table struct {
 	top    int
 	byName map[string]int
 	order  []int // topological order of element ids
+	// levels caches the Levels() result. Lattices are immutable after
+	// build, and Levels() sits on the hardware-access hot path, so the
+	// slice is computed once and shared; callers must not mutate it.
+	levels []Label
 }
 
 func (t *table) label(id int) Label { return Label{id: id, lat: t} }
@@ -108,11 +112,7 @@ func (t *table) Meet(a, b Label) Label {
 }
 
 func (t *table) Levels() []Label {
-	out := make([]Label, len(t.order))
-	for i, id := range t.order {
-		out[i] = t.label(id)
-	}
-	return out
+	return t.levels
 }
 
 func (t *table) Lookup(name string) (Label, bool) {
@@ -241,6 +241,10 @@ func build(name string, names []string, below func(i, j int) bool) (*table, erro
 		return names[order[a]] < names[order[b]]
 	})
 	t.order = order
+	t.levels = make([]Label, n)
+	for i, id := range order {
+		t.levels[i] = t.label(id)
+	}
 	return t, nil
 }
 

@@ -57,6 +57,12 @@ type line struct {
 type Cache struct {
 	cfg  Config
 	sets [][]line
+	// blockShift/setShift/setMask are the precomputed log2 geometry
+	// (Sets and BlockSize are validated powers of two), so the
+	// per-access index split is shifts and masks, not divisions.
+	blockShift uint
+	setShift   uint
+	setMask    uint64
 	// clock is a monotonically increasing logical timestamp used to
 	// order LRU decisions deterministically.
 	clock uint64
@@ -77,7 +83,23 @@ func New(cfg Config) *Cache {
 	for i := range sets {
 		sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
 	}
-	return &Cache{cfg: cfg, sets: sets}
+	return &Cache{
+		cfg:        cfg,
+		sets:       sets,
+		blockShift: log2(uint64(cfg.BlockSize)),
+		setShift:   log2(uint64(cfg.Sets)),
+		setMask:    uint64(cfg.Sets) - 1,
+	}
+}
+
+// log2 of a power of two.
+func log2(v uint64) uint {
+	var s uint
+	for v > 1 {
+		v >>= 1
+		s++
+	}
+	return s
 }
 
 // Config returns the cache's configuration.
@@ -85,16 +107,17 @@ func (c *Cache) Config() Config { return c.cfg }
 
 // index returns the set index and tag of an address.
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
-	block := addr / uint64(c.cfg.BlockSize)
-	return int(block % uint64(c.cfg.Sets)), block / uint64(c.cfg.Sets)
+	block := addr >> c.blockShift
+	return int(block & c.setMask), block >> c.setShift
 }
 
 // Contains reports whether addr's block is cached, without modifying
 // any state (not even LRU order) — a pure probe.
 func (c *Cache) Contains(addr uint64) bool {
 	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+	ws := c.sets[set]
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
 			return true
 		}
 	}
@@ -107,8 +130,9 @@ func (c *Cache) Contains(addr uint64) bool {
 // according to write labels.
 func (c *Cache) Access(addr uint64) bool {
 	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		ln := &c.sets[set][i]
+	ws := c.sets[set]
+	for i := range ws {
+		ln := &ws[i]
 		if ln.valid && ln.tag == tag {
 			c.clock++
 			ln.used = c.clock
@@ -117,6 +141,29 @@ func (c *Cache) Access(addr uint64) bool {
 		}
 	}
 	c.misses++
+	return false
+}
+
+// Probe is a fused Contains+Access for lookup paths that decide on the
+// refresh separately from the hit test: one scan reports whether addr's
+// block is cached and, when refresh is set, touches it exactly as
+// Access would (LRU refresh, hit counted). With refresh false it is a
+// pure probe like Contains, and a miss never counts against statistics
+// (callers probing many partitions would otherwise skew miss counts).
+func (c *Cache) Probe(addr uint64, refresh bool) bool {
+	set, tag := c.index(addr)
+	ws := c.sets[set]
+	for i := range ws {
+		ln := &ws[i]
+		if ln.valid && ln.tag == tag {
+			if refresh {
+				c.clock++
+				ln.used = c.clock
+				c.hits++
+			}
+			return true
+		}
+	}
 	return false
 }
 
@@ -218,7 +265,7 @@ func (c *Cache) LockedCount() int {
 
 // blockBase reconstructs a block's base address from set and tag.
 func (c *Cache) blockBase(set int, tag uint64) uint64 {
-	return (tag*uint64(c.cfg.Sets) + uint64(set)) * uint64(c.cfg.BlockSize)
+	return (tag<<c.setShift | uint64(set)) << c.blockShift
 }
 
 // Invalidate removes addr's block if present, reporting whether it was.

@@ -304,6 +304,51 @@ type Partitioned struct {
 	instr []*hier // indexed by label ID
 	bps   []*predictor
 	stats Stats
+	// istats/dstats point at the instruction/data counters in stats;
+	// precomputed so the per-access statsFor lookup allocates nothing.
+	istats, dstats hierStats
+	// plans precomputes, for every (er, ew) label pair, which
+	// partitions a lookup searches (and whether a hit refreshes LRU)
+	// and which partitions a fill invalidates. The lattice is immutable,
+	// so this turns the per-access Levels/Leq iteration into a tight
+	// walk over a prebuilt list. Indexed by er.ID()*lat.Size()+ew.ID();
+	// shared (read-only) between clones.
+	plans []accessPlan
+}
+
+// probeStep is one partition to search during a lookup.
+type probeStep struct {
+	id      int
+	refresh bool // ew ⊑ level: a hit may refresh LRU (Property 5)
+}
+
+// accessPlan is the precomputed partition schedule for one (er, ew)
+// label pair: the lookup probes and the fill-time invalidations
+// (partitions ≠ ew with ew ⊑ p', in the same deterministic level order
+// the dynamic loops used).
+type accessPlan struct {
+	probe []probeStep
+	inval []int
+}
+
+// buildPlans computes the per-(er, ew) access plans for a lattice.
+func buildPlans(lat lattice.Lattice) []accessPlan {
+	n := lat.Size()
+	plans := make([]accessPlan, n*n)
+	for _, er := range lat.Levels() {
+		for _, ew := range lat.Levels() {
+			pl := &plans[er.ID()*n+ew.ID()]
+			for _, lv := range lat.Levels() {
+				if lat.Leq(lv, er) {
+					pl.probe = append(pl.probe, probeStep{id: lv.ID(), refresh: lat.Leq(ew, lv)})
+				}
+				if lv != ew && lat.Leq(ew, lv) {
+					pl.inval = append(pl.inval, lv.ID())
+				}
+			}
+		}
+	}
+	return plans
 }
 
 var _ Env = (*Partitioned)(nil)
@@ -314,9 +359,10 @@ func NewPartitioned(lat lattice.Lattice, cfg Config) *Partitioned {
 	mustValidate(cfg)
 	n := lat.Size()
 	p := &Partitioned{
-		lat:  lat,
-		cfg:  cfg,
-		pcfg: Config{Data: splitHierarchy(cfg.Data, n), Instr: splitHierarchy(cfg.Instr, n)},
+		lat:   lat,
+		cfg:   cfg,
+		pcfg:  Config{Data: splitHierarchy(cfg.Data, n), Instr: splitHierarchy(cfg.Instr, n)},
+		plans: buildPlans(lat),
 	}
 	p.data = make([]*hier, n)
 	p.instr = make([]*hier, n)
@@ -331,6 +377,7 @@ func NewPartitioned(lat lattice.Lattice, cfg Config) *Partitioned {
 		p.instr[i] = newHier(p.pcfg.Instr, "ITLB")
 		p.bps[i] = newPredictor(bpSize)
 	}
+	p.wireStats()
 	return p
 }
 
@@ -367,42 +414,52 @@ func (p *Partitioned) Access(kind AccessKind, addr uint64, er, ew lattice.Label)
 	if kind == Fetch {
 		parts, hcfg = p.instr, p.pcfg.Instr
 	}
+	plan := &p.plans[er.ID()*p.lat.Size()+ew.ID()]
+	ewID := ew.ID()
 	st := p.statsFor(kind)
 	var cost uint64
 	// TLB.
-	if hit := p.partLookup(parts, er, ew, addr, tlbSel); hit {
+	if hit := p.partLookup(parts, plan, addr, tlbSel); hit {
 		*st.tlbh++
 	} else {
 		*st.tlbm++
 		cost += hcfg.TLBMissPenalty
-		p.partFill(parts, er, ew, addr, tlbSel)
+		p.partFill(parts, plan, ewID, addr, tlbSel)
 	}
 	// L1.
 	cost += hcfg.L1.HitLatency
-	if p.partLookup(parts, er, ew, addr, l1Sel) {
+	if p.partLookup(parts, plan, addr, l1Sel) {
 		*st.l1h++
 		return cost
 	}
 	*st.l1m++
 	// L2.
 	cost += hcfg.L2.HitLatency
-	if p.partLookup(parts, er, ew, addr, l2Sel) {
+	if p.partLookup(parts, plan, addr, l2Sel) {
 		*st.l2h++
-		p.partFill(parts, er, ew, addr, l1Sel)
+		p.partFill(parts, plan, ewID, addr, l1Sel)
 		return cost
 	}
 	*st.l2m++
 	cost += hcfg.MemLatency
-	p.partFill(parts, er, ew, addr, l2Sel)
-	p.partFill(parts, er, ew, addr, l1Sel)
+	p.partFill(parts, plan, ewID, addr, l2Sel)
+	p.partFill(parts, plan, ewID, addr, l1Sel)
 	return cost
 }
 
 func (p *Partitioned) statsFor(kind AccessKind) *hierStats {
 	if kind == Fetch {
-		return &hierStats{&p.stats.L1IHits, &p.stats.L1IMisses, &p.stats.L2IHits, &p.stats.L2IMisses, &p.stats.ITLBHits, &p.stats.ITLBMisses}
+		return &p.istats
 	}
-	return &hierStats{&p.stats.L1DHits, &p.stats.L1DMisses, &p.stats.L2DHits, &p.stats.L2DMisses, &p.stats.DTLBHits, &p.stats.DTLBMisses}
+	return &p.dstats
+}
+
+// wireStats points istats/dstats at this instance's counters; called
+// after construction and after Clone (the pointers must target the new
+// instance's stats, not the prototype's).
+func (p *Partitioned) wireStats() {
+	p.istats = hierStats{&p.stats.L1IHits, &p.stats.L1IMisses, &p.stats.L2IHits, &p.stats.L2IMisses, &p.stats.ITLBHits, &p.stats.ITLBMisses}
+	p.dstats = hierStats{&p.stats.L1DHits, &p.stats.L1DMisses, &p.stats.L2DHits, &p.stats.L2DMisses, &p.stats.DTLBHits, &p.stats.DTLBMisses}
 }
 
 // sel selects one structure (TLB, L1 or L2) from a partition.
@@ -413,19 +470,13 @@ func l1Sel(h *hier) *cache.Cache  { return h.l1 }
 func l2Sel(h *hier) *cache.Cache  { return h.l2 }
 
 // partLookup searches the partitions at levels ⊑ er for addr. On a hit
-// it refreshes LRU order only in partitions p with ew ⊑ p.
-func (p *Partitioned) partLookup(parts []*hier, er, ew lattice.Label, addr uint64, s sel) bool {
+// it refreshes LRU order only in partitions p with ew ⊑ p (a fused
+// probe+refresh per partition, following the precomputed plan).
+func (p *Partitioned) partLookup(parts []*hier, plan *accessPlan, addr uint64, s sel) bool {
 	hit := false
-	for _, lv := range p.lat.Levels() {
-		if !p.lat.Leq(lv, er) {
-			continue
-		}
-		c := s(parts[lv.ID()])
-		if c.Contains(addr) {
+	for _, step := range plan.probe {
+		if s(parts[step.id]).Probe(addr, step.refresh) {
 			hit = true
-			if p.lat.Leq(ew, lv) {
-				c.Access(addr) // refresh LRU; permitted by Property 5
-			}
 		}
 	}
 	return hit
@@ -433,21 +484,16 @@ func (p *Partitioned) partLookup(parts []*hier, er, ew lattice.Label, addr uint6
 
 // partFill installs addr into partition ew and removes stale copies
 // from any other partition p' that Property 5 lets us modify (ew ⊑ p').
-func (p *Partitioned) partFill(parts []*hier, er, ew lattice.Label, addr uint64, s sel) {
-	for _, lv := range p.lat.Levels() {
-		if lv == ew {
-			continue
-		}
-		if !p.lat.Leq(ew, lv) {
-			continue // may not modify this partition
-		}
-		s(parts[lv.ID()]).Invalidate(addr)
+func (p *Partitioned) partFill(parts []*hier, plan *accessPlan, ewID int, addr uint64, s sel) {
+	for _, id := range plan.inval {
+		s(parts[id]).Invalidate(addr)
 	}
-	s(parts[ew.ID()]).Fill(addr)
+	s(parts[ewID]).Fill(addr)
 }
 
 func (p *Partitioned) Clone() Env {
-	n := &Partitioned{lat: p.lat, cfg: p.cfg, pcfg: p.pcfg}
+	// plans are immutable and lattice-derived: share them.
+	n := &Partitioned{lat: p.lat, cfg: p.cfg, pcfg: p.pcfg, plans: p.plans}
 	n.data = make([]*hier, len(p.data))
 	n.instr = make([]*hier, len(p.instr))
 	n.bps = make([]*predictor, len(p.bps))
@@ -456,6 +502,7 @@ func (p *Partitioned) Clone() Env {
 		n.instr[i] = p.instr[i].clone()
 		n.bps[i] = p.bps[i].clone()
 	}
+	n.wireStats()
 	return n
 }
 

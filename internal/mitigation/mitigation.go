@@ -243,6 +243,19 @@ func (s *State) Clone() *State {
 	return n
 }
 
+// Reset zeroes all miss counters in place, keeping the scheme, policy
+// and observer. It leaves the state exactly as NewState returned it, so
+// a service can reuse one allocation across requests.
+func (s *State) Reset() {
+	for i := range s.byLevel {
+		s.byLevel[i] = 0
+	}
+	s.global = 0
+	if len(s.bySite) > 0 { // clear on an empty map still costs a runtime call
+		clear(s.bySite)
+	}
+}
+
 // CopyInto copies this state's counters into dst, which must have been
 // created over the same lattice. Scheme and policy are not copied (dst
 // keeps its own); this supports splicing persistent counters into fresh
@@ -250,8 +263,8 @@ func (s *State) Clone() *State {
 func (s *State) CopyInto(dst *State) {
 	copy(dst.byLevel, s.byLevel)
 	dst.global = s.global
-	for k := range dst.bySite {
-		delete(dst.bySite, k)
+	if len(dst.bySite) > 0 {
+		clear(dst.bySite)
 	}
 	for k, v := range s.bySite {
 		dst.bySite[k] = v

@@ -21,9 +21,9 @@ package full
 
 import (
 	"context"
-	"errors"
 	"fmt"
 
+	"repro/internal/exec/budget"
 	"repro/internal/lang/ast"
 	"repro/internal/lang/token"
 	"repro/internal/lattice"
@@ -37,12 +37,18 @@ import (
 )
 
 // ErrStepLimit is returned by Run when the program does not terminate
-// within the step budget.
-var ErrStepLimit = errors.New("full: step limit exceeded")
+// within the step budget. It is the shared budget.ErrStepLimit
+// sentinel, so errors.Is matches it regardless of execution engine.
+//
+// Deprecated: match budget.ErrStepLimit directly.
+var ErrStepLimit = budget.ErrStepLimit
 
 // ErrCycleLimit is returned by RunBudget when the program exceeds its
-// simulated-cycle budget.
-var ErrCycleLimit = errors.New("full: cycle limit exceeded")
+// simulated-cycle budget. It is the shared budget.ErrCycleLimit
+// sentinel.
+//
+// Deprecated: match budget.ErrCycleLimit directly.
+var ErrCycleLimit = budget.ErrCycleLimit
 
 // Options configure a Machine. The zero value selects the defaults
 // noted on each field.
@@ -61,6 +67,9 @@ type Options struct {
 	// DisableMitigation makes mitigate behave as in the core semantics
 	// (identity); used for the unmitigated baselines of §8.
 	DisableMitigation bool
+	// CostSet, when true, takes BaseCost and OpCost literally — an
+	// explicit zero is honored instead of selecting the default of 1.
+	CostSet bool
 	// Metrics, when non-nil, receives instrumentation (steps, cycles,
 	// padding, mitigation outcomes). Recording is observational only
 	// and never changes execution or simulated time.
@@ -68,11 +77,13 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.BaseCost == 0 {
-		o.BaseCost = 1
-	}
-	if o.OpCost == 0 {
-		o.OpCost = 1
+	if !o.CostSet {
+		if o.BaseCost == 0 {
+			o.BaseCost = 1
+		}
+		if o.OpCost == 0 {
+			o.OpCost = 1
+		}
 	}
 	if o.Scheme == nil {
 		o.Scheme = mitigation.FastDoubling{}
@@ -373,13 +384,10 @@ func (k *Machine) Run(maxSteps int) error {
 	return k.RunBudget(context.Background(), Budget{MaxSteps: maxSteps})
 }
 
-// Budget bounds one RunBudget call. Zero fields are unlimited.
-type Budget struct {
-	// MaxSteps bounds language-level steps (ErrStepLimit past it).
-	MaxSteps int
-	// MaxCycles bounds the simulated clock (ErrCycleLimit past it).
-	MaxCycles uint64
-}
+// Budget bounds one RunBudget call. Zero fields are unlimited. It is
+// an alias for the engine-shared budget.Budget; for this engine
+// MaxSteps counts language-level steps.
+type Budget = budget.Budget
 
 // ctxCheckInterval is how many steps elapse between context polls in
 // RunBudget. Polling is observational, so the interval affects only

@@ -15,44 +15,115 @@ import (
 	"repro/internal/lattice"
 )
 
-// Memory holds the values of all declared scalars and arrays.
+// Memory holds the values of all declared scalars and arrays. Values
+// live in dense slices; the name→slot index maps are immutable after
+// New and shared between clones, so per-request operations (Zero,
+// Clone) are slice copies, not map rebuilds.
 type Memory struct {
-	scalars map[string]int64
-	arrays  map[string][]int64
+	sidx   map[string]int // scalar name -> index into vals
+	vals   []int64
+	aidx   map[string]int // array name -> index into arrays
+	arrays [][]int64
 }
 
 // New creates a zero-initialized memory for the program's declarations.
 func New(prog *ast.Program) *Memory {
 	m := &Memory{
-		scalars: make(map[string]int64),
-		arrays:  make(map[string][]int64),
+		sidx: make(map[string]int),
+		aidx: make(map[string]int),
 	}
 	for _, d := range prog.Decls {
 		if d.IsArray {
-			m.arrays[d.Name] = make([]int64, d.Size)
+			m.aidx[d.Name] = len(m.arrays)
+			m.arrays = append(m.arrays, make([]int64, d.Size))
 		} else {
-			m.scalars[d.Name] = 0
+			m.sidx[d.Name] = len(m.vals)
+			m.vals = append(m.vals, 0)
 		}
 	}
 	return m
 }
 
+// Zero resets every scalar and array element to zero in place, so a
+// long-lived service can reuse one memory across requests without
+// reallocating the maps.
+func (m *Memory) Zero() {
+	for i := range m.vals {
+		m.vals[i] = 0
+	}
+	for _, a := range m.arrays {
+		for i := range a {
+			a[i] = 0
+		}
+	}
+}
+
+// ZeroScalars resets only the scalar variables, leaving arrays alone.
+// Engines that alias this memory's arrays onto their own storage (see
+// AliasArray) zero that storage themselves and use this for the rest.
+func (m *Memory) ZeroScalars() {
+	for i := range m.vals {
+		m.vals[i] = 0
+	}
+}
+
+// ScalarSlot returns the dense slot index of a declared scalar (slots
+// are assigned in declaration order), or -1 if not declared. Engines
+// use this to verify their own storage order before AliasScalars.
+func (m *Memory) ScalarSlot(name string) int {
+	i, ok := m.sidx[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// AliasScalars rebinds the scalar value storage to the caller's backing
+// slice (declaration-order slots), so scalar writes through this memory
+// land directly in the caller's storage. The backing must have exactly
+// one slot per declared scalar. Like AliasArray, this is an
+// engine-internal zero-copy hook.
+func (m *Memory) AliasScalars(backing []int64) {
+	if len(backing) != len(m.vals) {
+		panic(fmt.Sprintf("mem: alias length %d != %d declared scalars", len(backing), len(m.vals)))
+	}
+	m.vals = backing
+}
+
+// AliasArray rebinds a declared array to the caller's backing slice, so
+// writes through this memory land directly in the caller's storage
+// (and vice versa). The backing must have the declared length. This is
+// an engine-internal zero-copy hook: a service engine aliases its
+// scratch memory onto the machine's arrays once, and request setup
+// then writes machine state with no copy pass.
+func (m *Memory) AliasArray(name string, backing []int64) {
+	i, ok := m.aidx[name]
+	if !ok {
+		panic(fmt.Sprintf("mem: undeclared array %q", name))
+	}
+	if len(m.arrays[i]) != len(backing) {
+		panic(fmt.Sprintf("mem: alias length %d != declared length %d for %q", len(backing), len(m.arrays[i]), name))
+	}
+	m.arrays[i] = backing
+}
+
 // Get returns a scalar's value; it panics on undeclared names (the
 // type checker guarantees declaredness before execution).
 func (m *Memory) Get(name string) int64 {
-	v, ok := m.scalars[name]
+	i, ok := m.sidx[name]
 	if !ok {
 		panic(fmt.Sprintf("mem: undeclared scalar %q", name))
 	}
-	return v
+	return m.vals[i]
 }
 
 // Set assigns a scalar.
 func (m *Memory) Set(name string, v int64) {
-	if _, ok := m.scalars[name]; !ok {
+	i, ok := m.sidx[name]
+	if !ok {
 		panic(fmt.Sprintf("mem: undeclared scalar %q", name))
 	}
-	m.scalars[name] = v
+	m.vals[i] = v
 }
 
 // GetEl returns array element name[i]; out-of-range indices wrap
@@ -60,30 +131,32 @@ func (m *Memory) Set(name string, v int64) {
 // erroneous programs still satisfy the determinism properties rather
 // than trapping).
 func (m *Memory) GetEl(name string, i int64) int64 {
-	a, ok := m.arrays[name]
+	ai, ok := m.aidx[name]
 	if !ok {
 		panic(fmt.Sprintf("mem: undeclared array %q", name))
 	}
+	a := m.arrays[ai]
 	return a[wrap(i, len(a))]
 }
 
 // SetEl assigns array element name[i], with the same wrapping rule.
 func (m *Memory) SetEl(name string, i, v int64) {
-	a, ok := m.arrays[name]
+	ai, ok := m.aidx[name]
 	if !ok {
 		panic(fmt.Sprintf("mem: undeclared array %q", name))
 	}
+	a := m.arrays[ai]
 	a[wrap(i, len(a))] = v
 }
 
 // WrapIndex exposes the index-wrapping rule so the layout and the
 // interpreters agree on which address an out-of-range access touches.
 func (m *Memory) WrapIndex(name string, i int64) int64 {
-	a, ok := m.arrays[name]
+	ai, ok := m.aidx[name]
 	if !ok {
 		panic(fmt.Sprintf("mem: undeclared array %q", name))
 	}
-	return wrap(i, len(a))
+	return wrap(i, len(m.arrays[ai]))
 }
 
 func wrap(i int64, n int) int64 {
@@ -99,54 +172,59 @@ func wrap(i int64, n int) int64 {
 
 // ArrayLen returns the length of an array, or 0 if not declared.
 func (m *Memory) ArrayLen(name string) int {
-	return len(m.arrays[name])
+	i, ok := m.aidx[name]
+	if !ok {
+		return 0
+	}
+	return len(m.arrays[i])
 }
 
 // HasScalar reports whether name is a declared scalar.
 func (m *Memory) HasScalar(name string) bool {
-	_, ok := m.scalars[name]
+	_, ok := m.sidx[name]
 	return ok
 }
 
 // HasArray reports whether name is a declared array.
 func (m *Memory) HasArray(name string) bool {
-	_, ok := m.arrays[name]
+	_, ok := m.aidx[name]
 	return ok
 }
 
-// Clone returns an independent deep copy.
+// Clone returns an independent deep copy of the values. The immutable
+// name→slot index maps are shared with the original.
 func (m *Memory) Clone() *Memory {
 	n := &Memory{
-		scalars: make(map[string]int64, len(m.scalars)),
-		arrays:  make(map[string][]int64, len(m.arrays)),
+		sidx:   m.sidx,
+		aidx:   m.aidx,
+		vals:   append([]int64(nil), m.vals...),
+		arrays: make([][]int64, len(m.arrays)),
 	}
-	for k, v := range m.scalars {
-		n.scalars[k] = v
-	}
-	for k, v := range m.arrays {
-		n.arrays[k] = append([]int64(nil), v...)
+	for i, a := range m.arrays {
+		n.arrays[i] = append([]int64(nil), a...)
 	}
 	return n
 }
 
 // Equal reports full equality of two memories.
 func (m *Memory) Equal(o *Memory) bool {
-	if len(m.scalars) != len(o.scalars) || len(m.arrays) != len(o.arrays) {
+	if len(m.sidx) != len(o.sidx) || len(m.aidx) != len(o.aidx) {
 		return false
 	}
-	for k, v := range m.scalars {
-		ov, ok := o.scalars[k]
-		if !ok || ov != v {
+	for k, i := range m.sidx {
+		oi, ok := o.sidx[k]
+		if !ok || o.vals[oi] != m.vals[i] {
 			return false
 		}
 	}
-	for k, v := range m.arrays {
-		ov, ok := o.arrays[k]
-		if !ok || len(ov) != len(v) {
+	for k, i := range m.aidx {
+		oi, ok := o.aidx[k]
+		if !ok || len(o.arrays[oi]) != len(m.arrays[i]) {
 			return false
 		}
-		for i := range v {
-			if v[i] != ov[i] {
+		ov, v := o.arrays[oi], m.arrays[i]
+		for j := range v {
+			if v[j] != ov[j] {
 				return false
 			}
 		}
@@ -166,26 +244,27 @@ func (m *Memory) LowEquiv(o *Memory, lat lattice.Lattice, gamma map[string]latti
 }
 
 func (m *Memory) equivWhere(o *Memory, gamma map[string]lattice.Label, include func(lattice.Label) bool) bool {
-	for k, v := range m.scalars {
+	for k, i := range m.sidx {
 		l, ok := gamma[k]
 		if !ok || !include(l) {
 			continue
 		}
-		if ov, ok := o.scalars[k]; !ok || ov != v {
+		if oi, ok := o.sidx[k]; !ok || o.vals[oi] != m.vals[i] {
 			return false
 		}
 	}
-	for k, v := range m.arrays {
+	for k, i := range m.aidx {
 		l, ok := gamma[k]
 		if !ok || !include(l) {
 			continue
 		}
-		ov, ok := o.arrays[k]
-		if !ok || len(ov) != len(v) {
+		oi, ok := o.aidx[k]
+		if !ok || len(o.arrays[oi]) != len(m.arrays[i]) {
 			return false
 		}
-		for i := range v {
-			if v[i] != ov[i] {
+		ov, v := o.arrays[oi], m.arrays[i]
+		for j := range v {
+			if v[j] != ov[j] {
 				return false
 			}
 		}
@@ -196,10 +275,10 @@ func (m *Memory) equivWhere(o *Memory, gamma map[string]lattice.Label, include f
 // Names returns all declared names (scalars then arrays), sorted.
 func (m *Memory) Names() []string {
 	var out []string
-	for k := range m.scalars {
+	for k := range m.sidx {
 		out = append(out, k)
 	}
-	for k := range m.arrays {
+	for k := range m.aidx {
 		out = append(out, k)
 	}
 	sort.Strings(out)

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/machine/hw"
+)
+
+// newEchoServer builds a server over fresh partitioned hardware for
+// the shared echo program.
+func newEchoServer(t *testing.T, engine string) *Server {
+	t.Helper()
+	p, r := buildProg(t, echoSrc)
+	env := hw.MustEnv("partitioned", lattice.TwoPoint(), hw.Table1Config())
+	s, err := New(p, r, Options{Env: env, Engine: engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestServerRejectsUnknownEngine(t *testing.T) {
+	p, r := buildProg(t, echoSrc)
+	env := hw.MustEnv("partitioned", lattice.TwoPoint(), hw.Table1Config())
+	_, err := New(p, r, Options{Env: env, Engine: "bogus"})
+	if !errors.Is(err, ErrBadOptions) {
+		t.Errorf("New with unknown engine = %v, want ErrBadOptions", err)
+	}
+}
+
+// TestServerEngineParity runs the same request sequence — including
+// persistent mitigation state evolving across requests — through a
+// tree-engine server and a vm-engine server, and requires identical
+// responses: times, traces, and misprediction counts.
+func TestServerEngineParity(t *testing.T) {
+	tree := newEchoServer(t, "tree")
+	vm := newEchoServer(t, "vm")
+	secrets := []int64{0, 63, 7, 7, 31, 1, 63, 0, 15, 44, 44, 2}
+	for i, h := range secrets {
+		want, err := tree.Handle(ctxb(), setH(h))
+		if err != nil {
+			t.Fatalf("tree request %d: %v", i, err)
+		}
+		got, err := vm.Handle(ctxb(), setH(h))
+		if err != nil {
+			t.Fatalf("vm request %d: %v", i, err)
+		}
+		if got.Time != want.Time {
+			t.Errorf("request %d: time %d (vm) != %d (tree)", i, got.Time, want.Time)
+		}
+		if !got.Trace.Equal(want.Trace) {
+			t.Errorf("request %d: traces differ\nvm:   %v\ntree: %v", i, got.Trace, want.Trace)
+		}
+		if got.Mispredictions != want.Mispredictions {
+			t.Errorf("request %d: mispredictions %d (vm) != %d (tree)",
+				i, got.Mispredictions, want.Mispredictions)
+		}
+	}
+	if tree.Engine() != "tree" || vm.Engine() != "vm" {
+		t.Errorf("engine names: %q, %q", tree.Engine(), vm.Engine())
+	}
+}
+
+// TestPoolEngineParity checks the sharded pool end to end on the vm
+// engine: responses must match the tree pool's for a fixed shard
+// assignment.
+func TestPoolEngineParity(t *testing.T) {
+	p, r := buildProg(t, echoSrc)
+	newPool := func(engine string) *Pool {
+		env := hw.MustEnv("partitioned", lattice.TwoPoint(), hw.Table1Config())
+		pool, err := NewPool(p, r, PoolOptions{
+			Workers: 3,
+			Options: Options{Env: env, Engine: engine},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pool
+	}
+	reqs := make([]Request, 24)
+	for i := range reqs {
+		reqs[i] = setH(int64(i*13) % 64)
+	}
+	treePool := newPool("tree")
+	want, err := treePool.HandleAll(ctxb(), reqs)
+	treePool.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmPool := newPool("vm")
+	got, err := vmPool.HandleAll(ctxb(), reqs)
+	vmPool.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("response counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Shard != want[i].Shard || got[i].Time != want[i].Time ||
+			!got[i].Trace.Equal(want[i].Trace) {
+			t.Errorf("response %d differs between engines", i)
+		}
+	}
+}
+
+// TestServerEngineBudget checks budget enforcement flows through the
+// vm engine with the same ErrBudgetExceeded wrapping as the tree path.
+func TestServerEngineBudget(t *testing.T) {
+	p, r := buildProg(t, `
+var x : L;
+x := 0;
+while (x < 100000) [L,L] {
+    x := x + 1;
+}
+`)
+	for _, engine := range []string{"tree", "vm"} {
+		env := hw.MustEnv("flat", lattice.TwoPoint(), hw.TinyConfig())
+		s, err := New(p, r, Options{Env: env, Engine: engine, MaxStepsPerRequest: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = s.Handle(ctxb(), nil)
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Errorf("%s: got %v, want ErrBudgetExceeded", engine, err)
+		}
+		var re *RequestError
+		if !errors.As(err, &re) {
+			t.Errorf("%s: error is not a *RequestError: %v", engine, err)
+		}
+	}
+}

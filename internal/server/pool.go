@@ -63,12 +63,29 @@ func (o PoolOptions) validate() error {
 	return nil
 }
 
-// job is one queued request.
+// job is one queue entry: either a single request or a batch of
+// same-shard requests (when batch is non-nil, the other fields are
+// unused).
 type job struct {
 	ctx   context.Context
 	req   Request
 	index int
 	out   chan result
+	batch *batch
+}
+
+// batch is a run of same-shard requests processed as one queue entry.
+// HandleAll groups a burst by shard so queue sends, channel receives,
+// and lock acquisitions amortize over the run instead of costing one
+// round-trip per request; within a shard the requests still run
+// serially in submission order, so per-shard determinism is untouched.
+type batch struct {
+	ctx   context.Context
+	reqs  []Request
+	idxs  []int       // global submission indices, parallel to reqs
+	resps []*Response // filled by the worker, parallel to reqs
+	errs  []error     // parallel to reqs
+	done  chan *batch // buffered (1); self-sent when the run finishes
 }
 
 type result struct {
@@ -131,18 +148,44 @@ func NewPool(prog *ast.Program, res *types.Result, opts PoolOptions) (*Pool, err
 func (p *Pool) run(w *worker) {
 	defer p.wg.Done()
 	for j := range w.jobs {
-		resp, err := w.srv.Handle(j.ctx, j.req)
-		if resp != nil {
-			resp.ShardIndex = resp.Index
-			resp.Index = j.index
-			resp.Shard = w.shard
+		if b := j.batch; b != nil {
+			// A failed request does not stop the rest of the batch:
+			// same behavior as independent single-request jobs.
+			for i, req := range b.reqs {
+				b.resps[i], b.errs[i] = p.serve(w, b.ctx, req, b.idxs[i])
+			}
+			b.done <- b
+			continue
 		}
-		if re, ok := err.(*RequestError); ok {
-			re.Index = j.index
-			re.Shard = w.shard
-		}
+		resp, err := p.serve(w, j.ctx, j.req, j.index)
 		j.out <- result{resp, err}
 	}
+}
+
+// serve runs one request on a worker's shard server and rewrites the
+// shard-local index/shard fields to the pool-global view.
+func (p *Pool) serve(w *worker, ctx context.Context, req Request, index int) (*Response, error) {
+	resp, err := w.srv.Handle(ctx, req)
+	if resp != nil {
+		resp.ShardIndex = resp.Index
+		resp.Index = index
+		resp.Shard = w.shard
+	}
+	if re, ok := err.(*RequestError); ok {
+		re.Index = index
+		re.Shard = w.shard
+	}
+	return resp, err
+}
+
+// resultChans recycles the one-shot response channels: every request
+// allocates one, and on the service hot path that was the single
+// largest allocation source. A channel is recycled only after its
+// result has been received (it is then provably empty); a Wait aborted
+// by context cancellation leaves the channel to the garbage collector,
+// since the worker's send may still be in flight.
+var resultChans = sync.Pool{
+	New: func() any { return make(chan result, 1) },
 }
 
 // Future is a pending response.
@@ -160,9 +203,22 @@ func (f *Future) Wait(ctx context.Context) (*Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Fast path: the result is usually already buffered by the time the
+	// submitter waits (HandleAll submits ahead of waiting), and a plain
+	// receive is much cheaper than a select.
 	select {
 	case r := <-f.out:
 		f.done, f.got = r, true
+		resultChans.Put(f.out)
+		f.out = nil
+		return r.resp, r.err
+	default:
+	}
+	select {
+	case r := <-f.out:
+		f.done, f.got = r, true
+		resultChans.Put(f.out)
+		f.out = nil
 		return r.resp, r.err
 	case <-ctx.Done():
 		return nil, ctx.Err()
@@ -187,11 +243,20 @@ func (p *Pool) Submit(ctx context.Context, req Request) (*Future, error) {
 	p.n++
 	p.nMu.Unlock()
 	w := p.workers[mod(p.opts.Shard(index), len(p.workers))]
-	j := job{ctx: ctx, req: req, index: index, out: make(chan result, 1)}
+	j := job{ctx: ctx, req: req, index: index, out: resultChans.Get().(chan result)}
+	// Fast path: queue has room, skip the select.
+	select {
+	case w.jobs <- j:
+		return &Future{out: j.out}, nil
+	default:
+	}
 	select {
 	case w.jobs <- j:
 		return &Future{out: j.out}, nil
 	case <-ctx.Done():
+		// The job never reached a worker, so its channel is still empty
+		// and safe to recycle.
+		resultChans.Put(j.out)
 		return nil, &RequestError{Index: index, Shard: w.shard, Err: ctx.Err()}
 	}
 }
@@ -208,30 +273,93 @@ func (p *Pool) Handle(ctx context.Context, req Request) (*Response, error) {
 // HandleAll submits a request sequence and waits for every response,
 // returned in submission order. The first error (by submission order)
 // is returned; entries whose requests failed are nil. Unlike the
-// serial Server, later requests still run — shards are independent.
+// serial Server, later requests still run — both across shards and
+// within one, mirroring independent Submit calls.
+//
+// The burst is grouped into one batch per shard (each a single queue
+// entry), so the per-request queue/channel round-trip of Submit+Wait
+// amortizes over the burst. Request execution order within each shard
+// is still submission order, so responses are identical to the
+// Submit-per-request path.
 func (p *Pool) HandleAll(ctx context.Context, reqs []Request) ([]*Response, error) {
-	futures := make([]*Future, len(reqs))
-	var firstErr error
-	for i, r := range reqs {
-		f, err := p.Submit(ctx, r)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			break
-		}
-		futures[i] = f
-	}
 	out := make([]*Response, len(reqs))
-	for i, f := range futures {
-		if f == nil {
+	if len(reqs) == 0 {
+		return out, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return out, ErrPoolClosed
+	}
+	// Reserve a contiguous index block for the burst.
+	p.nMu.Lock()
+	base := p.n
+	p.n += len(reqs)
+	p.nMu.Unlock()
+	// Group into per-shard batches, preserving submission order. Two
+	// passes: shard sizes first, so every batch slice is allocated
+	// exactly once at its final length.
+	batches := make([]*batch, len(p.workers))
+	shards := make([]int, len(reqs))
+	counts := make([]int, len(p.workers))
+	for i := range reqs {
+		shard := mod(p.opts.Shard(base+i), len(p.workers))
+		shards[i] = shard
+		counts[shard]++
+	}
+	for shard, n := range counts {
+		if n > 0 {
+			batches[shard] = &batch{
+				ctx:   ctx,
+				done:  make(chan *batch, 1),
+				reqs:  make([]Request, 0, n),
+				idxs:  make([]int, 0, n),
+				resps: make([]*Response, n),
+				errs:  make([]error, n),
+			}
+		}
+	}
+	for i, r := range reqs {
+		b := batches[shards[i]]
+		b.reqs = append(b.reqs, r)
+		b.idxs = append(b.idxs, base+i)
+	}
+	errs := make([]error, len(reqs))
+	for shard, b := range batches {
+		if b == nil {
 			continue
 		}
-		resp, err := f.Wait(ctx)
-		if err != nil && firstErr == nil {
-			firstErr = err
+		w := p.workers[shard]
+		select {
+		case w.jobs <- job{batch: b}:
+		case <-ctx.Done():
+			// This shard's run never reached its worker.
+			for _, index := range b.idxs {
+				errs[index-base] = &RequestError{Index: index, Shard: shard, Err: ctx.Err()}
+			}
+			batches[shard] = nil
 		}
-		out[i] = resp
+	}
+	p.mu.RUnlock()
+	for _, b := range batches {
+		if b == nil {
+			continue
+		}
+		<-b.done
+		for i, index := range b.idxs {
+			out[index-base] = b.resps[i]
+			errs[index-base] = b.errs[i]
+		}
+	}
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			firstErr = err
+			break
+		}
 	}
 	return out, firstErr
 }

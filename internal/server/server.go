@@ -29,12 +29,13 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/exec"
+	"repro/internal/exec/budget"
 	"repro/internal/lang/ast"
 	"repro/internal/machine/hw"
 	"repro/internal/mitigation"
 	"repro/internal/obs"
 	"repro/internal/sem/events"
-	"repro/internal/sem/full"
 	"repro/internal/sem/mem"
 	"repro/internal/types"
 )
@@ -107,6 +108,12 @@ type Options struct {
 	// place (caches stay warm across requests); a Pool clones it once
 	// per worker so every shard owns partitioned hardware state.
 	Env hw.Env
+	// Engine selects the execution engine by registered name: "tree"
+	// (the default) interprets the AST per request; "vm" compiles the
+	// program to bytecode once (shared across shards via the program
+	// cache) and reuses the machine — the fast path. Both produce
+	// identical traces. Unknown names fail New with ErrBadOptions.
+	Engine string
 	// Scheme and Policy configure the persistent mitigation state.
 	Scheme mitigation.Scheme
 	Policy mitigation.Policy
@@ -152,28 +159,47 @@ func (o Options) validate() error {
 // hardware and mitigation state, strictly sequentially. It is not safe
 // for concurrent use; wrap it in a Pool for that.
 type Server struct {
-	prog *ast.Program
-	res  *types.Result
-	opts Options
-	mit  *mitigation.State
-	n    int
+	prog   *ast.Program
+	res    *types.Result
+	opts   Options
+	engine exec.Engine
+	mit    *mitigation.State
+	n      int
 }
 
 // New constructs a server. The program must be type-checked. Errors
 // are sentinel-typed: errors.Is(err, ErrNoEnv) when the environment is
-// missing, errors.Is(err, ErrBadOptions) for other bad configuration.
+// missing, errors.Is(err, ErrBadOptions) for other bad configuration
+// (including an unknown Options.Engine).
 func New(prog *ast.Program, res *types.Result, opts Options) (*Server, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
 	opts = opts.withDefaults()
+	engine, err := exec.NewEngine(opts.Engine, prog, res, opts.Env, exec.Options{
+		Scheme:            opts.Scheme,
+		Policy:            opts.Policy,
+		DisableMitigation: opts.DisableMitigation,
+		Budget: budget.Budget{
+			MaxSteps:  opts.MaxStepsPerRequest,
+			MaxCycles: opts.MaxCyclesPerRequest,
+		},
+		Metrics: opts.Metrics,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
 	return &Server{
-		prog: prog,
-		res:  res,
-		opts: opts,
-		mit:  mitigation.NewState(res.Lat, opts.Scheme, opts.Policy),
+		prog:   prog,
+		res:    res,
+		opts:   opts,
+		engine: engine,
+		mit:    mitigation.NewState(res.Lat, opts.Scheme, opts.Policy),
 	}, nil
 }
+
+// Engine returns the server's execution engine name.
+func (s *Server) Engine() string { return s.engine.Name() }
 
 // MitigationState exposes the persistent miss counters.
 func (s *Server) MitigationState() *mitigation.State { return s.mit }
@@ -208,38 +234,25 @@ func (s *Server) Handle(ctx context.Context, req Request) (*Response, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, s.fail(err)
 	}
-	m, err := full.New(s.prog, s.res, s.opts.Env, full.Options{
-		Scheme:            s.opts.Scheme,
-		Policy:            s.opts.Policy,
-		DisableMitigation: s.opts.DisableMitigation,
-		Metrics:           s.opts.Metrics,
-	})
+	// The engine splices the persistent mitigation state in before the
+	// run and copies the (possibly inflated) counters back only on
+	// success, so an aborted request never updates it.
+	result, err := s.engine.Run(ctx, exec.Request{Setup: req, Mit: s.mit})
 	if err != nil {
-		return nil, s.fail(err)
-	}
-	// Splice the persistent mitigation state into the fresh machine.
-	s.mit.CopyInto(m.MitigationState())
-	if req != nil {
-		req(m.Memory())
-	}
-	budget := full.Budget{MaxSteps: s.opts.MaxStepsPerRequest, MaxCycles: s.opts.MaxCyclesPerRequest}
-	if err := m.RunBudget(ctx, budget); err != nil {
-		if errors.Is(err, full.ErrStepLimit) || errors.Is(err, full.ErrCycleLimit) {
+		if errors.Is(err, budget.ErrStepLimit) || errors.Is(err, budget.ErrCycleLimit) {
 			err = fmt.Errorf("%w: %v", ErrBudgetExceeded, err)
 		}
 		return nil, s.fail(err)
 	}
-	// Persist the (possibly inflated) counters for the next request.
-	m.MitigationState().CopyInto(s.mit)
 
 	resp := &Response{
 		Index:       s.n,
 		ShardIndex:  s.n,
-		Time:        m.Clock(),
-		Trace:       m.Trace(),
-		Mitigations: m.Mitigations(),
+		Time:        result.Clock,
+		Trace:       result.Trace,
+		Mitigations: result.Mitigations,
 	}
-	for _, r := range m.Mitigations() {
+	for _, r := range result.Mitigations {
 		if r.Mispredicted {
 			resp.Mispredictions++
 		}

@@ -1,0 +1,177 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// report. The raw benchmark lines are preserved verbatim (so benchstat
+// can still consume them after extraction), every metric pair is
+// parsed into a map, and engine-vs-engine throughput ratios are
+// summarized for BenchmarkServerPool, the service-path headline.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . ... | go run ./internal/tools/benchjson -o BENCH_engines.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix trimmed.
+	Name string `json:"name"`
+	// Iterations is b.N for the run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every "value unit" pair on the
+	// line (ns/op, req/s, us/req, B/op, allocs/op, ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the full document written to the output file.
+type Report struct {
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Raw holds the benchmark result lines verbatim, in input order —
+	// feed them to benchstat to compare runs.
+	Raw []string `json:"raw"`
+	// Benchmarks holds the parsed lines, in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Summary maps a derived-statistic name to its value; see
+	// summarize for the engine throughput ratios.
+	Summary map[string]float64 `json:"summary,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep := parse(bufio.NewScanner(os.Stdin))
+	rep.Summary = summarize(rep.Benchmarks)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) *Report {
+	rep := &Report{}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			if rep.Pkg == "" {
+				rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+			}
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       trimProcs(m[1]),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		rep.Raw = append(rep.Raw, line)
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return rep
+}
+
+// trimProcs drops the trailing -N GOMAXPROCS suffix Go appends to
+// benchmark names.
+func trimProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// summarize derives engine throughput ratios: for every
+// BenchmarkServerPool worker count that has both an engine=tree and an
+// engine=vm run, it emits the mean req/s of each and their ratio as
+// vm_vs_tree_req_per_s/workers=N. Multiple -count runs average.
+func summarize(benches []Benchmark) map[string]float64 {
+	type acc struct {
+		sum float64
+		n   int
+	}
+	// key: engine|workers
+	groups := map[string]*acc{}
+	for _, b := range benches {
+		if !strings.HasPrefix(b.Name, "BenchmarkServerPool/") {
+			continue
+		}
+		rps, ok := b.Metrics["req/s"]
+		if !ok {
+			continue
+		}
+		key := strings.TrimPrefix(b.Name, "BenchmarkServerPool/")
+		a := groups[key]
+		if a == nil {
+			a = &acc{}
+			groups[key] = a
+		}
+		a.sum += rps
+		a.n++
+	}
+	sum := map[string]float64{}
+	for key, a := range groups {
+		sum["mean_req_per_s/"+key] = a.sum / float64(a.n)
+	}
+	for key, tree := range groups {
+		if !strings.HasPrefix(key, "engine=tree/") {
+			continue
+		}
+		rest := strings.TrimPrefix(key, "engine=tree/")
+		vm, ok := groups["engine=vm/"+rest]
+		if !ok || tree.sum == 0 {
+			continue
+		}
+		ratio := (vm.sum / float64(vm.n)) / (tree.sum / float64(tree.n))
+		sum["vm_vs_tree_req_per_s/"+rest] = ratio
+	}
+	if len(sum) == 0 {
+		return nil
+	}
+	return sum
+}
