@@ -1,14 +1,16 @@
 GO ?= go
 
-.PHONY: all ci vet build test race bench bench-engines engines harness quick clean
+.PHONY: all ci vet build test race bench bench-smoke bench-engines bench-scaling profile engines harness quick clean
 
 all: ci
 
 # ci is the gate every change must pass: vet, build, the race-enabled
-# test suite (the pool's concurrency is exercised under -race), and the
-# engine differential suite, named explicitly so an engine-equivalence
-# regression is called out even though the race run also covers it.
-ci: vet build race engines
+# test suite (the pool's concurrency is exercised under -race), the
+# engine differential suite (named explicitly so an engine-equivalence
+# regression is called out even though the race run also covers it),
+# and a 1x-benchtime smoke run of every benchmark so benchmark code
+# cannot rot uncompiled or uncovered.
+ci: vet build race engines bench-smoke
 
 # engines runs the tree/VM differential tests: identical traces,
 # clocks, mitigation records, and final memories across engines on the
@@ -29,7 +31,12 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench . -benchtime 1x -run ^$$ .
+	$(GO) test -bench . -benchtime 1x -benchmem -run ^$$ .
+
+# bench-smoke executes every benchmark in the repository exactly once —
+# a compile-and-run check for ci, not a measurement.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -benchmem -run ^$$ ./...
 
 # bench-engines records the engine comparison into BENCH_engines.json:
 # the sharded-server throughput matrix (3 runs for benchstat-style
@@ -43,7 +50,28 @@ bench-engines:
 	@rm -f bench_engines.txt
 	@echo wrote BENCH_engines.json
 
+# bench-scaling records the multi-core scaling matrix (workers 1-8 ×
+# both engines × batch/submit modes, 3 runs each, with -benchmem so
+# allocation regressions are visible) into BENCH_scaling.json, where
+# benchjson derives per-group speedup and scaling efficiency
+# (req/s at N workers ÷ N·req/s at 1).
+bench-scaling:
+	$(GO) test -run '^$$' -bench BenchmarkPoolScaling -benchtime 2s -count 3 -benchmem . \
+	  | tee bench_scaling.txt | $(GO) run ./internal/tools/benchjson -o BENCH_scaling.json
+	@rm -f bench_scaling.txt
+	@echo wrote BENCH_scaling.json
+
+# profile captures a CPU profile of the scaling benchmark's vm-engine
+# hot path; inspect with `go tool pprof repro.test cpu.prof`.
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkPoolScaling/mode=batch/engine=vm/workers=4$$' \
+	  -benchtime 3s -cpuprofile cpu.prof -o repro.test .
+	@echo "wrote cpu.prof; inspect with: $(GO) tool pprof repro.test cpu.prof"
+
 harness:
 	$(GO) run ./cmd/harness -quick
 
 quick: vet build test
+
+clean:
+	rm -f cpu.prof repro.test bench_engines.txt bench_scaling.txt

@@ -6,6 +6,7 @@
 //	timingc check   [-lattice L] file
 //	timingc fmt     [-lattice L] [-resolved] file
 //	timingc run     [-lattice L] [-hw HW] [-mitigate] [-set x=v]... file
+//	timingc serve   [-lattice L] [-hw HW] [-engine E] [-workers N] [-pprof ADDR] file
 //	timingc verify  [-lattice L] [-hw HW] [-trials N] file
 package main
 

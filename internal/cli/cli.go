@@ -15,6 +15,9 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers profiling handlers for serve -pprof
 	"os"
 	"strconv"
 	"strings"
@@ -97,6 +100,7 @@ commands:
   exec     run a saved bytecode file on the VM
   leak     measure leakage over secret ranges (Theorem 2 / §7 bound)
   serve    run a program as a sharded mitigation service over a request sequence
+           (-pprof ADDR exposes net/http/pprof while serving)
   verify   check a hardware model against the software-hardware contract
 `)
 }
@@ -530,10 +534,27 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	maxSteps := fs.Int("max-steps", 10_000_000, "per-request step budget")
 	engine := fs.String("engine", "tree",
 		fmt.Sprintf("execution engine: one of %v", exec.EngineNames()))
+	pprofAddr := fs.String("pprof", "",
+		"serve net/http/pprof on this address (e.g. localhost:6060) while requests run")
 	var vary rangeFlags
 	fs.Var(&vary, "vary", "vary a variable across requests, e.g. -vary h=0:63:1 (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		// Listen synchronously so address errors surface immediately;
+		// the HTTP server then runs for the lifetime of the serve
+		// command (use a large -requests to hold it open while
+		// capturing a profile).
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof: %w", err)
+		}
+		defer ln.Close()
+		hs := &http.Server{Handler: http.DefaultServeMux}
+		go hs.Serve(ln)
+		defer hs.Close()
+		fmt.Fprintf(stderr, "pprof: serving profiles on http://%s/debug/pprof/\n", ln.Addr())
 	}
 	prog, res, lat, err := load(fs, *latName)
 	if err != nil {

@@ -440,6 +440,31 @@ func TestServeSubcommand(t *testing.T) {
 	}
 }
 
+func TestServePprof(t *testing.T) {
+	// A serve run with -pprof announces the profiling endpoint on
+	// stderr and still completes normally.
+	code, out, errOut := run("serve",
+		"-workers", "1", "-requests", "2", "-pprof", "127.0.0.1:0",
+		testdataPath(t, "mitigated.tc"))
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(errOut, "/debug/pprof/") {
+		t.Errorf("missing pprof announcement on stderr: %q", errOut)
+	}
+	if !strings.Contains(out, "served 2 requests") {
+		t.Errorf("missing summary line:\n%s", out)
+	}
+}
+
+func TestServePprofBadAddress(t *testing.T) {
+	code, _, errOut := run("serve", "-pprof", "500.1.2.3:99999",
+		testdataPath(t, "mitigated.tc"))
+	if code != 1 || !strings.Contains(errOut, "-pprof") {
+		t.Errorf("exit=%d stderr=%q", code, errOut)
+	}
+}
+
 func TestServeBadVary(t *testing.T) {
 	code, _, errOut := run("serve", "-vary", "nosuch=0:1:1", testdataPath(t, "mitigated.tc"))
 	if code != 1 || !strings.Contains(errOut, "no such variable") {

@@ -116,3 +116,27 @@ func BenchmarkProgramCache(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkProgramCacheParallel hammers the hit path from concurrent
+// goroutines — the pool-shard pattern. With the copy-on-write map the
+// hit path takes no lock, so this should track the serial benchmark
+// instead of collapsing onto a mutex.
+func BenchmarkProgramCacheParallel(b *testing.B) {
+	lat := lattice.TwoPoint()
+	app, err := login.Build(login.Config{TableSize: 32, WorkFactor: 96, WorkTableSize: 512}, lat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewProgramCache(8)
+	if _, err := c.Get(app.Prog, app.Res); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.Get(app.Prog, app.Res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,10 +1,10 @@
 package exec
 
 import (
-	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bytecode"
 	"repro/internal/lang/ast"
@@ -19,18 +19,32 @@ import (
 // Compiled programs are immutable after compilation — the VM keeps all
 // mutable state (registers, data, clock) in itself — so one *Program
 // can safely back any number of VMs.
+//
+// The hit path is lock-free: the key map is copy-on-write behind an
+// atomic pointer, and recency is a per-entry atomic timestamp from a
+// global logical clock, so concurrent workers compiling-once/
+// running-many never contend. Only misses (compile + map rebuild +
+// eviction) take the writer mutex.
 type ProgramCache struct {
-	mu     sync.Mutex
-	cap    int
-	ll     *list.List // front = most recently used
-	items  map[string]*list.Element
-	hits   uint64
-	misses uint64
+	// entries is the COW key map; Get loads it without locking.
+	entries atomic.Pointer[map[string]*cacheEntry]
+	// mu serializes map rebuilds (insertions and evictions).
+	mu  sync.Mutex
+	cap int
+	// clock is the logical recency clock; every touch stamps its entry.
+	clock  atomic.Uint64
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 type cacheEntry struct {
 	key  string
 	prog *bytecode.Program
+	// used is the entry's last-touch stamp from the cache clock. Two
+	// racing hits may store slightly out of order, which perturbs LRU
+	// by at most the race window — eviction (under mu) sees a settled
+	// view in the single-writer case the tests pin down.
+	used atomic.Uint64
 }
 
 // NewProgramCache creates a cache holding at most capacity programs
@@ -39,11 +53,10 @@ func NewProgramCache(capacity int) *ProgramCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &ProgramCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[string]*list.Element),
-	}
+	c := &ProgramCache{cap: capacity}
+	m := make(map[string]*cacheEntry)
+	c.entries.Store(&m)
+	return c
 }
 
 // DefaultCache is the process-wide cache used by the "vm" engine
@@ -64,20 +77,22 @@ func Key(prog *ast.Program, res *types.Result) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// touch refreshes an entry's recency and counts the hit.
+func (c *ProgramCache) touch(e *cacheEntry) *bytecode.Program {
+	e.used.Store(c.clock.Add(1))
+	c.hits.Add(1)
+	return e.prog
+}
+
 // Get returns the compiled program for (prog, res), compiling and
 // caching it on a miss and evicting the least recently used entry past
-// capacity.
+// capacity. Hits never block: they read the current map snapshot and
+// bump the entry's recency stamp atomically.
 func (c *ProgramCache) Get(prog *ast.Program, res *types.Result) (*bytecode.Program, error) {
 	key := Key(prog, res)
-	c.mu.Lock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		c.hits++
-		p := el.Value.(*cacheEntry).prog
-		c.mu.Unlock()
-		return p, nil
+	if e, ok := (*c.entries.Load())[key]; ok {
+		return c.touch(e), nil
 	}
-	c.mu.Unlock()
 
 	// Compile outside the lock: compilation is pure, so two shards
 	// racing on the same cold key at worst compile twice and converge
@@ -89,33 +104,37 @@ func (c *ProgramCache) Get(prog *ast.Program, res *types.Result) (*bytecode.Prog
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
+	cur := *c.entries.Load()
+	if e, ok := cur[key]; ok {
 		// Lost the race; keep the incumbent so all callers share one
 		// program.
-		c.ll.MoveToFront(el)
-		c.hits++
-		return el.Value.(*cacheEntry).prog, nil
+		return c.touch(e), nil
 	}
-	c.misses++
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, prog: compiled})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+	c.misses.Add(1)
+	next := make(map[string]*cacheEntry, len(cur)+1)
+	for k, e := range cur {
+		next[k] = e
 	}
+	e := &cacheEntry{key: key, prog: compiled}
+	e.used.Store(c.clock.Add(1))
+	next[key] = e
+	for len(next) > c.cap {
+		var oldest *cacheEntry
+		for _, cand := range next {
+			if oldest == nil || cand.used.Load() < oldest.used.Load() {
+				oldest = cand
+			}
+		}
+		delete(next, oldest.key)
+	}
+	c.entries.Store(&next)
 	return compiled, nil
 }
 
 // Len returns the number of cached programs.
-func (c *ProgramCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
-}
+func (c *ProgramCache) Len() int { return len(*c.entries.Load()) }
 
 // Stats returns cumulative hit and miss counts.
 func (c *ProgramCache) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Load(), c.misses.Load()
 }

@@ -11,21 +11,71 @@ func small() *Cache {
 }
 
 func TestValidate(t *testing.T) {
-	bad := []Config{
-		{Name: "a", Sets: 3, Assoc: 1, BlockSize: 16},
-		{Name: "b", Sets: 4, Assoc: 0, BlockSize: 16},
-		{Name: "c", Sets: 4, Assoc: 1, BlockSize: 24},
-		{Name: "d", Sets: 0, Assoc: 1, BlockSize: 16},
-		{Name: "e", Sets: 4, Assoc: 1, BlockSize: 0},
+	tests := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"valid small", Config{Name: "g", Sets: 4, Assoc: 1, BlockSize: 16}, true},
+		{"valid large", Config{Name: "g", Sets: 128, Assoc: 4, BlockSize: 32, HitLatency: 1}, true},
+		{"valid direct-mapped single set", Config{Name: "g", Sets: 1, Assoc: 1, BlockSize: 1}, true},
+		{"sets not a power of two", Config{Name: "a", Sets: 3, Assoc: 1, BlockSize: 16}, false},
+		{"sets not a power of two (large)", Config{Name: "a", Sets: 1000, Assoc: 1, BlockSize: 16}, false},
+		{"sets zero", Config{Name: "d", Sets: 0, Assoc: 1, BlockSize: 16}, false},
+		{"sets negative", Config{Name: "d", Sets: -4, Assoc: 1, BlockSize: 16}, false},
+		{"assoc zero", Config{Name: "b", Sets: 4, Assoc: 0, BlockSize: 16}, false},
+		{"assoc negative", Config{Name: "b", Sets: 4, Assoc: -2, BlockSize: 16}, false},
+		{"block size not a power of two", Config{Name: "c", Sets: 4, Assoc: 1, BlockSize: 24}, false},
+		{"block size zero", Config{Name: "e", Sets: 4, Assoc: 1, BlockSize: 0}, false},
+		{"block size negative", Config{Name: "e", Sets: 4, Assoc: 1, BlockSize: -16}, false},
 	}
-	for _, cfg := range bad {
-		if err := cfg.Validate(); err == nil {
-			t.Errorf("config %+v should be invalid", cfg)
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if tt.ok && err != nil {
+				t.Errorf("config %+v should be valid: %v", tt.cfg, err)
+			}
+			if !tt.ok && err == nil {
+				t.Errorf("config %+v should be invalid", tt.cfg)
+			}
+		})
+	}
+}
+
+// TestLog2 pins the bit-trick log2 against the definition for every
+// power of two a cache geometry can use.
+func TestLog2(t *testing.T) {
+	for s := uint(0); s < 64; s++ {
+		if got := log2(uint64(1) << s); got != s {
+			t.Errorf("log2(1<<%d) = %d, want %d", s, got, s)
 		}
 	}
-	good := Config{Name: "g", Sets: 128, Assoc: 4, BlockSize: 32, HitLatency: 1}
-	if err := good.Validate(); err != nil {
-		t.Errorf("config %+v should be valid: %v", good, err)
+}
+
+// TestIndexGeometry checks the shift/mask address split produced by
+// log2 end to end: filling a block makes every address within it hit
+// and its set/tag round-trip through blockBase.
+func TestIndexGeometry(t *testing.T) {
+	for _, cfg := range []Config{
+		{Name: "g1", Sets: 1, Assoc: 1, BlockSize: 1},
+		{Name: "g2", Sets: 8, Assoc: 2, BlockSize: 4},
+		{Name: "g3", Sets: 64, Assoc: 4, BlockSize: 64},
+	} {
+		c := New(cfg)
+		base := uint64(5) * uint64(cfg.Sets*cfg.BlockSize) // arbitrary tag ≥ 1
+		c.Fill(base)
+		for off := 0; off < cfg.BlockSize; off++ {
+			if !c.Contains(base + uint64(off)) {
+				t.Errorf("%s: offset %d of filled block not contained", cfg.Name, off)
+			}
+		}
+		if c.Contains(base + uint64(cfg.BlockSize)) {
+			t.Errorf("%s: adjacent block unexpectedly contained", cfg.Name)
+		}
+		set, tag := c.index(base)
+		if got := c.blockBase(set, tag); got != base {
+			t.Errorf("%s: blockBase(index(%#x)) = %#x", cfg.Name, base, got)
+		}
 	}
 }
 

@@ -6,20 +6,34 @@
 // changes simulated time or machine state, so instrumented runs remain
 // bit-for-bit deterministic. All mutators are safe for concurrent use;
 // a single Metrics value can be shared by every worker of a pool.
+//
+// Internally the accumulator is striped: Stripe(i) returns a handle
+// whose mutators write to stripe i's cache-line-isolated counters, so
+// concurrent workers never contend on shared cache lines; Snapshot
+// merges every stripe. A handle obtained from NewMetrics writes to
+// stripe 0, so single-writer callers need never know about striping.
 package obs
 
 import (
 	"fmt"
 	"math/bits"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/machine/hw"
 )
 
-// Metrics accumulates service-layer counters. The zero value is ready
-// to use; share one value across goroutines freely.
-type Metrics struct {
+// maxStripes bounds the stripe array; Stripe indices are reduced
+// modulo this bound, which comfortably exceeds any realistic worker
+// count while keeping pathological indices from allocating gigabytes.
+const maxStripes = 256
+
+// stripe holds one writer's private counters. Stripes are allocated
+// individually (each lands in its own size class slot, a multiple of
+// the cache line), so two stripes never share a cache line and
+// cross-core writes never bounce.
+type stripe struct {
 	requests       atomic.Uint64
 	failures       atomic.Uint64
 	steps          atomic.Uint64
@@ -31,61 +45,121 @@ type Metrics struct {
 	latency        Histogram
 }
 
-// NewMetrics returns an empty metrics accumulator.
-func NewMetrics() *Metrics { return &Metrics{} }
+// metricsState is the shared backing of every handle onto one
+// accumulator: a copy-on-write stripe list, grown on demand by Stripe.
+type metricsState struct {
+	mu      sync.Mutex // serializes growth
+	stripes atomic.Pointer[[]*stripe]
+}
+
+// Metrics accumulates service-layer counters. Construct with
+// NewMetrics; handles derived with Stripe share one accumulator and may
+// be used from any number of goroutines (each handle's writes land on
+// its own stripe — point different workers at different stripes for a
+// contention-free hot path).
+type Metrics struct {
+	state *metricsState
+	local *stripe
+}
+
+// NewMetrics returns an empty metrics accumulator whose handle writes
+// to stripe 0.
+func NewMetrics() *Metrics {
+	st := &metricsState{}
+	s := &stripe{}
+	sl := []*stripe{s}
+	st.stripes.Store(&sl)
+	return &Metrics{state: st, local: s}
+}
+
+// Stripe returns a handle onto the same accumulator whose mutators
+// write to stripe i (reduced into range), growing the stripe list as
+// needed. Snapshots taken through any handle see the merged totals.
+// Typical use: a pool gives worker i the handle Stripe(i), so each
+// shard's per-request counter updates stay on core-private cache lines.
+func (m *Metrics) Stripe(i int) *Metrics {
+	if i < 0 {
+		i = -i
+	}
+	i %= maxStripes
+	st := m.state
+	if sl := *st.stripes.Load(); i < len(sl) {
+		return &Metrics{state: st, local: sl[i]}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sl := *st.stripes.Load()
+	if i < len(sl) {
+		return &Metrics{state: st, local: sl[i]}
+	}
+	grown := make([]*stripe, i+1)
+	copy(grown, sl)
+	for k := len(sl); k <= i; k++ {
+		grown[k] = &stripe{}
+	}
+	st.stripes.Store(&grown)
+	return &Metrics{state: st, local: grown[i]}
+}
+
+// Stripes returns the number of allocated stripes (mostly useful in
+// tests and diagnostics).
+func (m *Metrics) Stripes() int { return len(*m.state.stripes.Load()) }
 
 // AddRequest records one served request and its response latency in
 // simulated cycles.
 func (m *Metrics) AddRequest(latency uint64) {
-	m.requests.Add(1)
-	m.latency.Observe(latency)
+	m.local.requests.Add(1)
+	m.local.latency.Observe(latency)
 }
 
 // AddFailure records one failed (aborted, over-budget, or canceled)
 // request.
-func (m *Metrics) AddFailure() { m.failures.Add(1) }
+func (m *Metrics) AddFailure() { m.local.failures.Add(1) }
 
 // AddSteps records language-level steps executed.
-func (m *Metrics) AddSteps(n uint64) { m.steps.Add(n) }
+func (m *Metrics) AddSteps(n uint64) { m.local.steps.Add(n) }
 
 // AddCycles records simulated cycles spent (useful work and padding
 // together; padding is broken out by AddPadding).
-func (m *Metrics) AddCycles(n uint64) { m.cycles.Add(n) }
+func (m *Metrics) AddCycles(n uint64) { m.local.cycles.Add(n) }
 
 // AddPadding records cycles spent idling to a mitigation prediction
 // boundary rather than doing useful work.
-func (m *Metrics) AddPadding(n uint64) { m.paddingCycles.Add(n) }
+func (m *Metrics) AddPadding(n uint64) { m.local.paddingCycles.Add(n) }
 
 // AddMitigation records one completed mitigate command and whether it
 // mispredicted.
 func (m *Metrics) AddMitigation(mispredicted bool) {
-	m.mitigations.Add(1)
+	m.local.mitigations.Add(1)
 	if mispredicted {
-		m.mispredictions.Add(1)
+		m.local.mispredictions.Add(1)
 	}
 }
 
 // AddScheduleBumps records miss-counter increments (schedule
 // inflations); one misprediction may bump the counter several times.
-func (m *Metrics) AddScheduleBumps(n uint64) { m.scheduleBumps.Add(n) }
+func (m *Metrics) AddScheduleBumps(n uint64) { m.local.scheduleBumps.Add(n) }
 
 // Snapshot returns a consistent-enough point-in-time copy of the
-// counters. (Counters are read individually; a snapshot taken while
-// requests are in flight may tear across fields, which is fine for
-// reporting.) The HW field is left zero — the service layer that owns
-// the machine environments fills it in.
+// counters, merged across every stripe. (Counters are read
+// individually; a snapshot taken while requests are in flight may tear
+// across fields, which is fine for reporting.) The HW field is left
+// zero — the service layer that owns the machine environments fills it
+// in.
 func (m *Metrics) Snapshot() Snapshot {
-	return Snapshot{
-		Requests:       m.requests.Load(),
-		Failures:       m.failures.Load(),
-		Steps:          m.steps.Load(),
-		Cycles:         m.cycles.Load(),
-		PaddingCycles:  m.paddingCycles.Load(),
-		Mitigations:    m.mitigations.Load(),
-		Mispredictions: m.mispredictions.Load(),
-		ScheduleBumps:  m.scheduleBumps.Load(),
-		Latency:        m.latency.Snapshot(),
+	var s Snapshot
+	for _, st := range *m.state.stripes.Load() {
+		s.Requests += st.requests.Load()
+		s.Failures += st.failures.Load()
+		s.Steps += st.steps.Load()
+		s.Cycles += st.cycles.Load()
+		s.PaddingCycles += st.paddingCycles.Load()
+		s.Mitigations += st.mitigations.Load()
+		s.Mispredictions += st.mispredictions.Load()
+		s.ScheduleBumps += st.scheduleBumps.Load()
+		s.Latency = s.Latency.Merge(st.latency.Snapshot())
 	}
+	return s
 }
 
 // Snapshot is a plain-value copy of the metrics, suitable for

@@ -138,6 +138,82 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+func TestMetricsStripes(t *testing.T) {
+	m := NewMetrics()
+	if m.Stripes() != 1 {
+		t.Fatalf("fresh accumulator has %d stripes, want 1", m.Stripes())
+	}
+	// Handles share one accumulator: writes through any stripe handle
+	// are visible in every handle's snapshot.
+	s0 := m.Stripe(0)
+	s3 := m.Stripe(3)
+	if m.Stripes() != 4 {
+		t.Fatalf("after Stripe(3): %d stripes, want 4", m.Stripes())
+	}
+	m.AddRequest(8)
+	s0.AddRequest(16)
+	s3.AddRequest(32)
+	s3.AddFailure()
+	for name, h := range map[string]*Metrics{"root": m, "s0": s0, "s3": s3} {
+		s := h.Snapshot()
+		if s.Requests != 3 || s.Failures != 1 {
+			t.Errorf("%s snapshot requests/failures = %d/%d, want 3/1", name, s.Requests, s.Failures)
+		}
+		if s.Latency.Count != 3 || s.Latency.Sum != 56 {
+			t.Errorf("%s latency count/sum = %d/%d, want 3/56", name, s.Latency.Count, s.Latency.Sum)
+		}
+	}
+	// Stripe is stable: the same index maps to the same stripe, and the
+	// root handle writes to stripe 0.
+	if m.Stripe(3) == s3 {
+		t.Error("Stripe should return a fresh handle value")
+	}
+	// Negative and huge indices are reduced into range, not grown
+	// without bound.
+	m.Stripe(-7).AddSteps(5)
+	m.Stripe(maxStripes + 2).AddSteps(7)
+	if m.Stripes() > maxStripes {
+		t.Errorf("stripes grew past bound: %d", m.Stripes())
+	}
+	if s := m.Snapshot(); s.Steps != 12 {
+		t.Errorf("steps = %d, want 12", s.Steps)
+	}
+}
+
+func TestMetricsStripedConcurrent(t *testing.T) {
+	// Each goroutine writes through its own stripe — the pool's usage
+	// pattern — and the merged snapshot must still be exact.
+	m := NewMetrics()
+	const writers, perWriter = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		h := m.Stripe(g)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.AddRequest(uint64(i))
+				h.AddCycles(3)
+				h.AddPadding(1)
+				h.AddMitigation(i%4 == 0)
+				h.AddScheduleBumps(2)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	const n = writers * perWriter
+	if s.Requests != n || s.Cycles != 3*n || s.PaddingCycles != n {
+		t.Errorf("requests/cycles/padding = %d/%d/%d", s.Requests, s.Cycles, s.PaddingCycles)
+	}
+	if s.Mitigations != n || s.Mispredictions != n/4 || s.ScheduleBumps != 2*n {
+		t.Errorf("mitigations/misses/bumps = %d/%d/%d", s.Mitigations, s.Mispredictions, s.ScheduleBumps)
+	}
+	if s.Latency.Count != n {
+		t.Errorf("latency count = %d, want %d", s.Latency.Count, n)
+	}
+}
+
 func TestMetricsConcurrent(t *testing.T) {
 	m := NewMetrics()
 	var wg sync.WaitGroup

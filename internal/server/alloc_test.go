@@ -1,0 +1,97 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/machine/hw"
+)
+
+// Allocation budgets for the vm-engine pool hot path, in allocations
+// per request. These pin the zero-copy and pooling work (recycled
+// result channels, batch structs, and Response values): a change that
+// silently adds per-request allocations fails here rather than rotting
+// until the next benchmark run. The budgets have headroom over the
+// measured steady state (~6 for Submit+Wait, ~2 amortized for bursts)
+// so GC clearing a sync.Pool mid-run does not flake the test, while
+// still catching an O(1)-per-request regression.
+const (
+	handleAllocBudget    = 12
+	handleAllAllocBudget = 6
+)
+
+// newVMPool builds a single-worker vm-engine pool over the echo
+// program, with queue depth covering a whole burst.
+func newVMPool(t *testing.T, depth int) *Pool {
+	t.Helper()
+	p, r := buildProg(t, echoSrc)
+	lat := r.Lat
+	pool, err := NewPool(p, r, PoolOptions{
+		Workers:    1,
+		QueueDepth: depth,
+		Options: Options{
+			Env:    hw.MustEnv("partitioned", lat, hw.Table1Config()),
+			Engine: "vm",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool
+}
+
+func TestPoolHandleAllocBudget(t *testing.T) {
+	pool := newVMPool(t, 4)
+	defer pool.Close()
+	ctx := context.Background()
+	req := setH(7)
+	// Warm the pools (result channels, responses, the VM's scratch).
+	for i := 0; i < 32; i++ {
+		resp, err := pool.Handle(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ReleaseResponse(resp)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		resp, err := pool.Handle(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ReleaseResponse(resp)
+	})
+	t.Logf("Handle: %.2f allocs/request (budget %d)", avg, handleAllocBudget)
+	if avg > handleAllocBudget {
+		t.Errorf("Handle allocates %.2f per request, budget %d — hot-path pooling regressed",
+			avg, handleAllocBudget)
+	}
+}
+
+func TestPoolHandleAllAllocBudget(t *testing.T) {
+	const nreq = 32
+	pool := newVMPool(t, nreq)
+	defer pool.Close()
+	ctx := context.Background()
+	reqs := make([]Request, nreq)
+	for i := range reqs {
+		reqs[i] = setH(int64(i % 64))
+	}
+	burst := func() {
+		resps, err := pool.HandleAll(ctx, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range resps {
+			ReleaseResponse(r)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		burst() // warm batch/scratch pools
+	}
+	avg := testing.AllocsPerRun(50, burst) / nreq
+	t.Logf("HandleAll: %.2f allocs/request (budget %d)", avg, handleAllAllocBudget)
+	if avg > handleAllAllocBudget {
+		t.Errorf("HandleAll allocates %.2f per request, budget %d — batch pooling regressed",
+			avg, handleAllAllocBudget)
+	}
+}

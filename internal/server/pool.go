@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/lang/ast"
 	"repro/internal/machine/hw"
@@ -76,9 +77,11 @@ type job struct {
 
 // batch is a run of same-shard requests processed as one queue entry.
 // HandleAll groups a burst by shard so queue sends, channel receives,
-// and lock acquisitions amortize over the run instead of costing one
+// and atomic operations amortize over the run instead of costing one
 // round-trip per request; within a shard the requests still run
 // serially in submission order, so per-shard determinism is untouched.
+// Batches are recycled through batchPool; the done channel (buffered 1,
+// provably empty after the receive in HandleAll) is reused with them.
 type batch struct {
 	ctx   context.Context
 	reqs  []Request
@@ -86,6 +89,79 @@ type batch struct {
 	resps []*Response // filled by the worker, parallel to reqs
 	errs  []error     // parallel to reqs
 	done  chan *batch // buffered (1); self-sent when the run finishes
+}
+
+// reset prepares a recycled batch for n requests, clearing any stale
+// pointers from its previous burst.
+func (b *batch) reset(ctx context.Context, n int) {
+	b.ctx = ctx
+	b.reqs = b.reqs[:0]
+	b.idxs = b.idxs[:0]
+	if cap(b.resps) < n {
+		b.resps = make([]*Response, n)
+		b.errs = make([]error, n)
+	} else {
+		b.resps = b.resps[:n]
+		b.errs = b.errs[:n]
+		clear(b.resps)
+		clear(b.errs)
+	}
+}
+
+var batchPool = sync.Pool{
+	New: func() any { return &batch{done: make(chan *batch, 1)} },
+}
+
+// releaseBatch returns a drained batch to the pool, dropping references
+// so recycled batches never pin request closures or responses.
+func releaseBatch(b *batch) {
+	b.ctx = nil
+	clear(b.reqs)
+	b.reqs = b.reqs[:0]
+	b.idxs = b.idxs[:0]
+	clear(b.resps)
+	b.resps = b.resps[:0]
+	clear(b.errs)
+	b.errs = b.errs[:0]
+	batchPool.Put(b)
+}
+
+// burstScratch holds HandleAll's per-call bookkeeping slices so a
+// steady stream of bursts allocates nothing but the returned responses.
+type burstScratch struct {
+	batches []*batch
+	shards  []int
+	counts  []int
+	errs    []error
+}
+
+var burstPool = sync.Pool{New: func() any { return new(burstScratch) }}
+
+// grow resizes the scratch for a burst of n requests over w workers.
+func (s *burstScratch) grow(n, w int) {
+	if cap(s.batches) < w {
+		s.batches = make([]*batch, w)
+		s.counts = make([]int, w)
+	} else {
+		s.batches = s.batches[:w]
+		s.counts = s.counts[:w]
+		clear(s.batches)
+		clear(s.counts)
+	}
+	if cap(s.shards) < n {
+		s.shards = make([]int, n)
+		s.errs = make([]error, n)
+	} else {
+		s.shards = s.shards[:n]
+		s.errs = s.errs[:n]
+		clear(s.errs)
+	}
+}
+
+func releaseScratch(s *burstScratch) {
+	clear(s.batches)
+	clear(s.errs)
+	burstPool.Put(s)
 }
 
 type result struct {
@@ -101,36 +177,63 @@ type worker struct {
 	jobs  chan job
 }
 
+// poolClosed is the lifecycle bit of Pool.state; the low bits count
+// in-flight submitters.
+const poolClosed = int64(1) << 62
+
 // Pool shards requests across workers. Each worker owns its own
 // machine environment and persistent mitigation state, so the
 // per-shard leakage bound is exactly the serial Server's bound — the
 // per-domain state partitioning that makes concurrent sharing safe.
 // Submission is bounded (backpressure via QueueDepth) and shutdown is
-// graceful: Close drains in-flight work before returning.
+// graceful: Close drains accepted work before returning.
 //
-// Submit/Handle/HandleAll are safe for concurrent use.
+// Submit/Handle/HandleAll are safe for concurrent use. The submit path
+// is lock-free: the global submission index is an atomic counter and
+// the open/closed lifecycle is a refcounted atomic word, so concurrent
+// submitters never serialize on a mutex and never hold a lock across a
+// blocking queue send.
 type Pool struct {
 	opts    PoolOptions
 	workers []*worker
 	wg      sync.WaitGroup
 
-	mu     sync.RWMutex // guards closed; held (R) across queue sends
-	nMu    sync.Mutex   // guards n
-	n      int
-	closed bool
+	// n is the next global submission index.
+	n atomic.Int64
+	// state is the lifecycle word: poolClosed bit | in-flight submitter
+	// count. acquire/release maintain the count; Close sets the bit.
+	state atomic.Int64
+	// stopc is closed by Close to abort submitters parked on a full
+	// shard queue, so Close never waits for backpressure to clear.
+	stopc chan struct{}
+	// drained is closed by the final in-flight submitter to leave after
+	// Close set the closed bit.
+	drained chan struct{}
+	// donec is closed when shutdown (drain + worker exit) completes;
+	// concurrent Close calls wait on it.
+	donec     chan struct{}
+	closeOnce sync.Once
 }
 
 // NewPool constructs a pool over a type-checked program. Errors are
-// sentinel-typed like New's.
+// sentinel-typed like New's. Worker i's instrumentation is stripe i of
+// the shared metrics accumulator, so per-request counter updates from
+// different shards land on different cache lines.
 func NewPool(prog *ast.Program, res *types.Result, opts PoolOptions) (*Pool, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
 	opts = opts.withDefaults()
-	p := &Pool{opts: opts}
+	p := &Pool{
+		opts:    opts,
+		stopc:   make(chan struct{}),
+		drained: make(chan struct{}),
+		donec:   make(chan struct{}),
+	}
 	for i := 0; i < opts.Workers; i++ {
 		wopts := opts.Options
 		wopts.Env = opts.Env.Clone()
+		wopts.Metrics = opts.Metrics.Stripe(i)
 		srv, err := New(prog, res, wopts)
 		if err != nil {
 			return nil, err
@@ -141,6 +244,28 @@ func NewPool(prog *ast.Program, res *types.Result, opts PoolOptions) (*Pool, err
 		go p.run(w)
 	}
 	return p, nil
+}
+
+// acquire registers an in-flight submitter, failing once the pool is
+// closed.
+func (p *Pool) acquire() bool {
+	for {
+		s := p.state.Load()
+		if s&poolClosed != 0 {
+			return false
+		}
+		if p.state.CompareAndSwap(s, s+1) {
+			return true
+		}
+	}
+}
+
+// release drops an in-flight submitter registration. The submitter
+// whose release leaves a closed pool with no others signals Close.
+func (p *Pool) release() {
+	if p.state.Add(-1) == poolClosed {
+		close(p.drained)
+	}
 }
 
 // run is one worker's loop: drain the shard queue in order, preserving
@@ -226,22 +351,18 @@ func (f *Future) Wait(ctx context.Context) (*Response, error) {
 }
 
 // Submit enqueues a request on its shard's bounded queue, blocking for
-// backpressure when the shard is saturated (or until ctx is done). The
-// request's context is ctx as well: it bounds both queue wait and
-// execution.
+// backpressure when the shard is saturated (or until ctx is done, or
+// the pool is closed). The request's context is ctx as well: it bounds
+// both queue wait and execution.
 func (p *Pool) Submit(ctx context.Context, req Request) (*Future, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if p.closed {
+	if !p.acquire() {
 		return nil, ErrPoolClosed
 	}
-	p.nMu.Lock()
-	index := p.n
-	p.n++
-	p.nMu.Unlock()
+	defer p.release()
+	index := int(p.n.Add(1) - 1)
 	w := p.workers[mod(p.opts.Shard(index), len(p.workers))]
 	j := job{ctx: ctx, req: req, index: index, out: resultChans.Get().(chan result)}
 	// Fast path: queue has room, skip the select.
@@ -258,6 +379,11 @@ func (p *Pool) Submit(ctx context.Context, req Request) (*Future, error) {
 		// and safe to recycle.
 		resultChans.Put(j.out)
 		return nil, &RequestError{Index: index, Shard: w.shard, Err: ctx.Err()}
+	case <-p.stopc:
+		// Close aborts backpressured submitters instead of waiting for
+		// their queue space; the request was never accepted.
+		resultChans.Put(j.out)
+		return nil, &RequestError{Index: index, Shard: w.shard, Err: ErrPoolClosed}
 	}
 }
 
@@ -289,22 +415,17 @@ func (p *Pool) HandleAll(ctx context.Context, reqs []Request) ([]*Response, erro
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	p.mu.RLock()
-	if p.closed {
-		p.mu.RUnlock()
+	if !p.acquire() {
 		return out, ErrPoolClosed
 	}
 	// Reserve a contiguous index block for the burst.
-	p.nMu.Lock()
-	base := p.n
-	p.n += len(reqs)
-	p.nMu.Unlock()
+	base := int(p.n.Add(int64(len(reqs)))) - len(reqs)
 	// Group into per-shard batches, preserving submission order. Two
-	// passes: shard sizes first, so every batch slice is allocated
-	// exactly once at its final length.
-	batches := make([]*batch, len(p.workers))
-	shards := make([]int, len(reqs))
-	counts := make([]int, len(p.workers))
+	// passes: shard sizes first, so every batch slice is sized exactly
+	// once at its final length.
+	sc := burstPool.Get().(*burstScratch)
+	sc.grow(len(reqs), len(p.workers))
+	batches, shards, counts, errs := sc.batches, sc.shards, sc.counts, sc.errs
 	for i := range reqs {
 		shard := mod(p.opts.Shard(base+i), len(p.workers))
 		shards[i] = shard
@@ -312,14 +433,9 @@ func (p *Pool) HandleAll(ctx context.Context, reqs []Request) ([]*Response, erro
 	}
 	for shard, n := range counts {
 		if n > 0 {
-			batches[shard] = &batch{
-				ctx:   ctx,
-				done:  make(chan *batch, 1),
-				reqs:  make([]Request, 0, n),
-				idxs:  make([]int, 0, n),
-				resps: make([]*Response, n),
-				errs:  make([]error, n),
-			}
+			b := batchPool.Get().(*batch)
+			b.reset(ctx, n)
+			batches[shard] = b
 		}
 	}
 	for i, r := range reqs {
@@ -327,7 +443,6 @@ func (p *Pool) HandleAll(ctx context.Context, reqs []Request) ([]*Response, erro
 		b.reqs = append(b.reqs, r)
 		b.idxs = append(b.idxs, base+i)
 	}
-	errs := make([]error, len(reqs))
 	for shard, b := range batches {
 		if b == nil {
 			continue
@@ -340,11 +455,20 @@ func (p *Pool) HandleAll(ctx context.Context, reqs []Request) ([]*Response, erro
 			for _, index := range b.idxs {
 				errs[index-base] = &RequestError{Index: index, Shard: shard, Err: ctx.Err()}
 			}
+			releaseBatch(b)
+			batches[shard] = nil
+		case <-p.stopc:
+			for _, index := range b.idxs {
+				errs[index-base] = &RequestError{Index: index, Shard: shard, Err: ErrPoolClosed}
+			}
+			releaseBatch(b)
 			batches[shard] = nil
 		}
 	}
-	p.mu.RUnlock()
-	for _, b := range batches {
+	// Accepted batches are queued; drop the in-flight registration so a
+	// concurrent Close can proceed to drain them.
+	p.release()
+	for shard, b := range batches {
 		if b == nil {
 			continue
 		}
@@ -353,6 +477,8 @@ func (p *Pool) HandleAll(ctx context.Context, reqs []Request) ([]*Response, erro
 			out[index-base] = b.resps[i]
 			errs[index-base] = b.errs[i]
 		}
+		releaseBatch(b)
+		batches[shard] = nil
 	}
 	var firstErr error
 	for _, err := range errs {
@@ -361,6 +487,7 @@ func (p *Pool) HandleAll(ctx context.Context, reqs []Request) ([]*Response, erro
 			break
 		}
 	}
+	releaseScratch(sc)
 	return out, firstErr
 }
 
@@ -397,20 +524,35 @@ func (p *Pool) Snapshot() obs.Snapshot {
 }
 
 // Close gracefully shuts the pool down: it stops accepting new
-// requests, drains every shard's queue, and waits for in-flight
-// requests to finish. Close is idempotent.
+// requests, aborts submitters parked on backpressure (they get
+// ErrPoolClosed; their requests were never accepted), drains every
+// shard's queue, and waits for accepted in-flight requests to finish.
+// Close is idempotent, and concurrent Close calls all wait for the
+// shutdown to complete.
 func (p *Pool) Close() {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return
-	}
-	p.closed = true
-	p.mu.Unlock()
-	for _, w := range p.workers {
-		close(w.jobs)
-	}
-	p.wg.Wait()
+	p.closeOnce.Do(func() {
+		var inFlight int64
+		for {
+			s := p.state.Load()
+			if p.state.CompareAndSwap(s, s|poolClosed) {
+				inFlight = s
+				break
+			}
+		}
+		// Wake backpressured submitters, then wait for every in-flight
+		// submitter to finish or abort — after that no goroutine can be
+		// sending on a shard queue, so closing the queues is safe.
+		close(p.stopc)
+		if inFlight != 0 {
+			<-p.drained
+		}
+		for _, w := range p.workers {
+			close(w.jobs)
+		}
+		p.wg.Wait()
+		close(p.donec)
+	})
+	<-p.donec
 }
 
 // mod reduces i into [0, n), tolerating negative shard results.

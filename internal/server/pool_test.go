@@ -296,6 +296,129 @@ while (i < 200000) {
 	}
 }
 
+// TestPoolClosePromptWhileBackpressured is the regression test for the
+// old submit path, which held a pool-wide RLock across a blocking queue
+// send: Close had to wait for backpressure to clear before it could
+// even stop accepting work. Now a submitter parked on a full shard
+// queue must be aborted by Close with ErrPoolClosed, and Close must
+// complete as soon as accepted work drains — never waiting on the
+// parked submitter's queue space.
+func TestPoolClosePromptWhileBackpressured(t *testing.T) {
+	// A program slow enough (~hundreds of µs) that the queue stays full
+	// while we close.
+	p, r := buildProg(t, `
+var i : L;
+i := 0;
+while (i < 50000) {
+    i := i + 1;
+}
+`)
+	lat := r.Lat
+	pool, err := NewPool(p, r, PoolOptions{
+		Workers:    1,
+		QueueDepth: 1,
+		Options:    Options{Env: hw.MustEnv("flat", lat, hw.Config{})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the shard: one in flight, one queued.
+	var futures []*Future
+	for i := 0; i < 2; i++ {
+		f, err := pool.Submit(ctxb(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futures = append(futures, f)
+	}
+	// Park a submitter on backpressure.
+	type res struct {
+		f   *Future
+		err error
+	}
+	parked := make(chan res, 1)
+	go func() {
+		f, err := pool.Submit(ctxb(), nil)
+		parked <- res{f, err}
+	}()
+	// Give the submitter a moment to reach the blocking send, then
+	// close; Close must return even though the submitter may still be
+	// parked when it starts.
+	time.Sleep(5 * time.Millisecond)
+	closed := make(chan struct{})
+	go func() {
+		pool.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close did not complete while a submitter was backpressured")
+	}
+	// The parked submitter was either accepted before Close (its queue
+	// slot opened first) or aborted with ErrPoolClosed — never left
+	// hanging.
+	select {
+	case pr := <-parked:
+		if pr.err != nil {
+			if !errors.Is(pr.err, ErrPoolClosed) {
+				t.Errorf("parked Submit = %v, want ErrPoolClosed", pr.err)
+			}
+			var re *RequestError
+			if !errors.As(pr.err, &re) {
+				t.Errorf("parked Submit error %T is not a *RequestError", pr.err)
+			}
+		} else if _, err := pr.f.Wait(ctxb()); err != nil {
+			t.Errorf("accepted parked submission failed: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("backpressured submitter still parked after Close")
+	}
+	// Accepted work drained before Close returned.
+	for _, f := range futures {
+		if _, err := f.Wait(ctxb()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := pool.Served(); got < 2 {
+		t.Errorf("Served = %d, want at least the 2 accepted requests", got)
+	}
+}
+
+// TestPoolCloseConcurrentWithHandleAll closes the pool while bursts are
+// in flight: every request either completes or fails with a typed
+// error, and Close returns.
+func TestPoolCloseConcurrentWithHandleAll(t *testing.T) {
+	pool := poolProg(t)
+	reqs := make([]Request, 16)
+	for i := range reqs {
+		reqs[i] = setH(int64(i % 64))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 8; k++ {
+				resps, err := pool.HandleAll(ctxb(), reqs)
+				if err != nil && !errors.Is(err, ErrPoolClosed) {
+					t.Errorf("HandleAll = %v", err)
+					return
+				}
+				for _, r := range resps {
+					if r == nil && err == nil {
+						t.Error("nil response without error")
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	pool.Close()
+	wg.Wait()
+	pool.Close() // idempotent, and waits for the same shutdown
+}
+
 func TestPoolConcurrentSubmitters(t *testing.T) {
 	// Many goroutines hammering Submit while another closes the pool
 	// must not race (run under -race) or lose accepted work.

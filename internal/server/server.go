@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/exec"
 	"repro/internal/exec/budget"
@@ -78,6 +79,26 @@ func (e *RequestError) Unwrap() error { return e.Err }
 // Request sets the per-request public inputs (and, for simulation
 // purposes, the secrets) in the program memory before a run.
 type Request func(*mem.Memory)
+
+// responsePool recycles Response structs on the service hot path.
+// Handle allocates from it; callers that are done with a response may
+// hand it back with ReleaseResponse to shed per-request GC pressure.
+var responsePool = sync.Pool{New: func() any { return new(Response) }}
+
+// ReleaseResponse returns a response to the internal pool for reuse by
+// a later request. It is optional — responses are ordinary
+// garbage-collected values — but high-throughput callers (benchmarks,
+// load drivers) that release responses keep the hot path allocation
+// profile flat. The response and everything it references (Trace,
+// Mitigations) must not be used after release. ReleaseResponse is
+// safe for concurrent use; a nil response is a no-op.
+func ReleaseResponse(resp *Response) {
+	if resp == nil {
+		return
+	}
+	*resp = Response{}
+	responsePool.Put(resp)
+}
 
 // Response summarizes one processed request.
 type Response struct {
@@ -245,7 +266,8 @@ func (s *Server) Handle(ctx context.Context, req Request) (*Response, error) {
 		return nil, s.fail(err)
 	}
 
-	resp := &Response{
+	resp := responsePool.Get().(*Response)
+	*resp = Response{
 		Index:       s.n,
 		ShardIndex:  s.n,
 		Time:        result.Clock,

@@ -1,8 +1,11 @@
 // Command benchjson converts `go test -bench` output into a JSON
 // report. The raw benchmark lines are preserved verbatim (so benchstat
 // can still consume them after extraction), every metric pair is
-// parsed into a map, and engine-vs-engine throughput ratios are
-// summarized for BenchmarkServerPool, the service-path headline.
+// parsed into a map, and two derived summaries are computed:
+// engine-vs-engine throughput ratios for BenchmarkServerPool (the
+// service-path headline), and per-worker-count speedup plus scaling
+// efficiency (req/s at N workers ÷ N·req/s at 1) for
+// BenchmarkPoolScaling (the multi-core scaling record).
 //
 // Usage:
 //
@@ -37,6 +40,11 @@ type Report struct {
 	Goarch string `json:"goarch,omitempty"`
 	Pkg    string `json:"pkg,omitempty"`
 	CPU    string `json:"cpu,omitempty"`
+	// MaxProcs is GOMAXPROCS for the run, recovered from the -N suffix
+	// Go appends to benchmark names. Scaling numbers are meaningless
+	// without it: worker counts beyond MaxProcs cannot speed up
+	// wall-clock time.
+	MaxProcs int `json:"maxprocs,omitempty"`
 	// Raw holds the benchmark result lines verbatim, in input order —
 	// feed them to benchstat to compare runs.
 	Raw []string `json:"raw"`
@@ -101,6 +109,11 @@ func parse(sc *bufio.Scanner) *Report {
 			Iterations: iters,
 			Metrics:    map[string]float64{},
 		}
+		if rep.MaxProcs == 0 && b.Name != m[1] {
+			if n, err := strconv.Atoi(m[1][strings.LastIndex(m[1], "-")+1:]); err == nil {
+				rep.MaxProcs = n
+			}
+		}
 		fields := strings.Fields(m[3])
 		for i := 0; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -111,6 +124,11 @@ func parse(sc *bufio.Scanner) *Report {
 		}
 		rep.Raw = append(rep.Raw, line)
 		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	// Go only appends the -N suffix when GOMAXPROCS != 1, so absence
+	// of a suffix on parsed lines means the run was single-proc.
+	if rep.MaxProcs == 0 && len(rep.Benchmarks) > 0 {
+		rep.MaxProcs = 1
 	}
 	return rep
 }
@@ -170,8 +188,66 @@ func summarize(benches []Benchmark) map[string]float64 {
 		ratio := (vm.sum / float64(vm.n)) / (tree.sum / float64(tree.n))
 		sum["vm_vs_tree_req_per_s/"+rest] = ratio
 	}
+	scaling(benches, sum)
 	if len(sum) == 0 {
 		return nil
 	}
 	return sum
+}
+
+// scalingName parses "BenchmarkPoolScaling/<group>/workers=N" into the
+// group key and worker count.
+var scalingName = regexp.MustCompile(`^BenchmarkPoolScaling/(.+)/workers=(\d+)$`)
+
+// scaling derives the scaling record from BenchmarkPoolScaling runs:
+// for every mode/engine group it emits the mean req/s per worker
+// count, the speedup over the 1-worker baseline, and the scaling
+// efficiency speedup/N (1.0 = perfectly linear). Multiple -count runs
+// average.
+func scaling(benches []Benchmark, sum map[string]float64) {
+	type acc struct {
+		sum float64
+		n   int
+	}
+	// group ("mode=batch/engine=vm") -> workers -> mean accumulator
+	groups := map[string]map[int]*acc{}
+	for _, b := range benches {
+		m := scalingName.FindStringSubmatch(b.Name)
+		if m == nil {
+			continue
+		}
+		rps, ok := b.Metrics["req/s"]
+		if !ok {
+			continue
+		}
+		workers, err := strconv.Atoi(m[2])
+		if err != nil || workers <= 0 {
+			continue
+		}
+		byWorkers := groups[m[1]]
+		if byWorkers == nil {
+			byWorkers = map[int]*acc{}
+			groups[m[1]] = byWorkers
+		}
+		a := byWorkers[workers]
+		if a == nil {
+			a = &acc{}
+			byWorkers[workers] = a
+		}
+		a.sum += rps
+		a.n++
+	}
+	for group, byWorkers := range groups {
+		base, ok := byWorkers[1]
+		for workers, a := range byWorkers {
+			mean := a.sum / float64(a.n)
+			key := fmt.Sprintf("%s/workers=%d", group, workers)
+			sum["mean_req_per_s/"+key] = mean
+			if ok && base.sum > 0 {
+				speedup := mean / (base.sum / float64(base.n))
+				sum["speedup/"+key] = speedup
+				sum["scaling_efficiency/"+key] = speedup / float64(workers)
+			}
+		}
+	}
 }
