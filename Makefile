@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all ci vet build test race bench bench-smoke bench-engines bench-scaling profile engines harness quick clean
+.PHONY: all ci vet build test race bench bench-smoke bench-engines bench-scaling profile engines chaos fuzz-smoke harness quick clean
 
 all: ci
 
@@ -8,15 +9,29 @@ all: ci
 # test suite (the pool's concurrency is exercised under -race), the
 # engine differential suite (named explicitly so an engine-equivalence
 # regression is called out even though the race run also covers it),
-# and a 1x-benchtime smoke run of every benchmark so benchmark code
-# cannot rot uncompiled or uncovered.
-ci: vet build race engines bench-smoke
+# the chaos suite under randomized fault schedules, a short continuous
+# fuzz of each native fuzz target, and a 1x-benchtime smoke run of
+# every benchmark so benchmark code cannot rot uncompiled or uncovered.
+ci: vet build race engines chaos fuzz-smoke bench-smoke
 
 # engines runs the tree/VM differential tests: identical traces,
 # clocks, mitigation records, and final memories across engines on the
 # testdata corpus and generated programs.
 engines:
 	$(GO) test -run 'TestEngine|TestEngines' ./internal/exec ./internal/server
+
+# chaos runs the fault-injection suite under the race detector: 100
+# randomized fault schedules plus the breaker, deadline, crosstalk, and
+# determinism regressions.
+chaos:
+	$(GO) test -race -count 1 -run 'TestChaos|TestBreaker|TestDeadline|TestCancelled|TestSameSeed|TestInjected' ./internal/server
+
+# fuzz-smoke runs each native fuzz target for FUZZTIME (default 30s) of
+# continuous mutation on top of the checked-in seed corpora
+# (regenerate those with `go run ./internal/tools/genfuzzcorpus`).
+fuzz-smoke:
+	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/lang/parser
+	$(GO) test -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/bytecode
 
 vet:
 	$(GO) vet ./...

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	harness [-experiment all|table1|figure7|table2|figure8|figure9|leakage|service]
+//	harness [-experiment all|table1|figure7|table2|figure8|figure9|leakage|service|faults]
 //	        [-quick] [-format text|json|csv]
 //
 // The text format is the human-readable table; json and csv emit the
@@ -20,7 +20,7 @@ import (
 
 func main() {
 	which := flag.String("experiment", "all",
-		"experiment to run: all, table1, figure7, table2, figure8, figure9, leakage, service")
+		"experiment to run: all, table1, figure7, table2, figure8, figure9, leakage, service, faults")
 	quick := flag.Bool("quick", false, "reduced-scale run (faster)")
 	format := flag.String("format", "text", "output format: text, json, csv")
 	parallel := flag.Bool("parallel", true, "fan independent figure7 probes across goroutines")
@@ -151,6 +151,18 @@ func main() {
 			fail("service", err)
 		}
 		emit("service", d.Render(), d)
+	}
+
+	if want("faults") {
+		cfg := experiments.FaultsConfig{}
+		if *quick {
+			cfg = cfg.Quick()
+		}
+		d, err := experiments.Faults(cfg)
+		if err != nil {
+			fail("faults", err)
+		}
+		emit("faults", d.Render(), d)
 	}
 }
 

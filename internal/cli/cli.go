@@ -11,6 +11,7 @@ package cli
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -21,9 +22,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/bytecode"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/lang/ast"
 	"repro/internal/lang/diag"
 	"repro/internal/lang/parser"
@@ -536,6 +539,19 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 		fmt.Sprintf("execution engine: one of %v", exec.EngineNames()))
 	pprofAddr := fs.String("pprof", "",
 		"serve net/http/pprof on this address (e.g. localhost:6060) while requests run")
+	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = none)")
+	retries := fs.Int("retries", 0, "extra attempts for retryable request failures")
+	retryBackoff := fs.Duration("retry-backoff", time.Millisecond, "initial retry backoff (doubles per attempt)")
+	breakerThreshold := fs.Int("breaker-threshold", 0,
+		"consecutive failures that eject a shard (0 = breaker off)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 10*time.Millisecond,
+		"how long an ejected shard rests before a recovery probe")
+	shed := fs.Bool("shed", false,
+		"fail fast (overloaded) instead of blocking when a shard queue is full")
+	faultSeed := fs.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
+	var faults faultFlags
+	fs.Var(&faults, "fault",
+		fmt.Sprintf("inject faults: point=rate[:count], point one of %v (repeatable)", fault.Points))
 	var vary rangeFlags
 	fs.Var(&vary, "vary", "vary a variable across requests, e.g. -vary h=0:63:1 (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -569,14 +585,26 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var injector *fault.Injector
+	if len(faults.plan) > 0 {
+		injector = fault.New(*faultSeed, faults.plan)
+	}
 	pool, err := server.NewPool(prog, res, server.PoolOptions{
-		Workers:    *workers,
-		QueueDepth: *queue,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		ShedOnSaturation: *shed,
+		MaxRetries:       *retries,
+		RetryBase:        *retryBackoff,
+		RetrySeed:        *faultSeed,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 		Options: server.Options{
 			Env:                env,
 			Engine:             *engine,
 			DisableMitigation:  !*mitigate,
 			MaxStepsPerRequest: *maxSteps,
+			RequestTimeout:     *timeout,
+			Injector:           injector,
 		},
 	})
 	if err != nil {
@@ -592,10 +620,31 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 			}
 		}
 	}
-	resps, err := pool.HandleAll(context.Background(), reqs)
-	pool.Close()
-	if err != nil {
-		return err
+	var resps []*server.Response
+	failed := 0
+	if injector != nil || *retries > 0 || *timeout > 0 || *shed {
+		// Fault-tolerant mode drives requests individually through the
+		// retry/deadline path; typed failures are tallied, not fatal.
+		for _, req := range reqs {
+			resp, err := pool.Handle(context.Background(), req)
+			if err != nil {
+				if server.Retryable(err) || errors.Is(err, context.DeadlineExceeded) ||
+					errors.Is(err, server.ErrBudgetExceeded) {
+					failed++
+					continue
+				}
+				pool.Close()
+				return err
+			}
+			resps = append(resps, resp)
+		}
+		pool.Close()
+	} else {
+		resps, err = pool.HandleAll(context.Background(), reqs)
+		pool.Close()
+		if err != nil {
+			return err
+		}
 	}
 	distinct := map[uint64]bool{}
 	byShard := make([][]*server.Response, pool.Workers())
@@ -605,6 +654,12 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "served %d requests across %d shards on %s hardware (%s engine)\n",
 		pool.Served(), pool.Workers(), env.Name(), *engine)
+	if failed > 0 {
+		fmt.Fprintf(stdout, "failed requests: %d of %d\n", failed, len(reqs))
+	}
+	if injector != nil {
+		fmt.Fprintf(stdout, "%s\n", injector)
+	}
 	fmt.Fprintf(stdout, "distinct response times: %d\n", len(distinct))
 	for shard, rs := range byShard {
 		fmt.Fprintf(stdout, "shard %d: %d requests, settled after %d\n",
@@ -718,6 +773,64 @@ func (s secretRange) values() []int64 {
 		out = append(out, v)
 	}
 	return out
+}
+
+// faultFlags collects repeated -fault point=rate[:count] flags into a
+// fault plan. Points without a natural payload on the command line get
+// a representative one (shard stalls pause 500µs, clock skew adds 100
+// cycles) so the flag is observable without a payload syntax.
+type faultFlags struct {
+	plan fault.Plan
+}
+
+func (f *faultFlags) String() string {
+	var parts []string
+	for p, r := range f.plan {
+		parts = append(parts, fmt.Sprintf("%s=%g", p, r.Rate))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *faultFlags) Set(v string) error {
+	name, spec, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want -fault point=rate[:count], got %q", v)
+	}
+	point := fault.Point(name)
+	known := false
+	for _, p := range fault.Points {
+		if p == point {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("-fault %s: unknown point (one of %v)", name, fault.Points)
+	}
+	rateStr, countStr, hasCount := strings.Cut(spec, ":")
+	rate, err := strconv.ParseFloat(rateStr, 64)
+	if err != nil || rate < 0 || rate > 1 {
+		return fmt.Errorf("-fault %s: rate %q must be in [0, 1]", name, rateStr)
+	}
+	rule := fault.Rule{Rate: rate}
+	if hasCount {
+		count, err := strconv.ParseUint(countStr, 10, 64)
+		if err != nil {
+			return fmt.Errorf("-fault %s: count %q: %v", name, countStr, err)
+		}
+		rule.Count = count
+	}
+	switch point {
+	case fault.ShardStall:
+		rule.Stall = 500 * time.Microsecond
+	case fault.ClockSkew:
+		rule.Skew = 100
+	}
+	if f.plan == nil {
+		f.plan = fault.Plan{}
+	}
+	f.plan[point] = rule
+	return nil
 }
 
 func runLeak(args []string, stdout, stderr io.Writer) error {

@@ -48,6 +48,9 @@ func (e *TreeEngine) Name() string { return "tree" }
 
 // Run implements Engine.
 func (e *TreeEngine) Run(ctx context.Context, req Request) (*Result, error) {
+	if err := e.opts.injectRun(); err != nil {
+		return nil, err
+	}
 	m, err := full.New(e.prog, e.res, e.env, treeOptions(e.opts))
 	if err != nil {
 		return nil, err
@@ -65,7 +68,7 @@ func (e *TreeEngine) Run(ctx context.Context, req Request) (*Result, error) {
 		m.MitigationState().CopyInto(req.Mit)
 	}
 	e.result = Result{
-		Clock:       m.Clock(),
+		Clock:       m.Clock() + e.opts.injectClock(),
 		Steps:       m.Steps(),
 		Trace:       m.Trace(),
 		Mitigations: m.Mitigations(),

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/bytecode"
+	"repro/internal/fault"
 	"repro/internal/lang/ast"
 	"repro/internal/machine/hw"
 	"repro/internal/sem/mem"
@@ -30,6 +31,14 @@ type VMEngine struct {
 
 // newVMEngine is the registered factory for "vm".
 func newVMEngine(prog *ast.Program, res *types.Result, env hw.Env, opts Options) (Engine, error) {
+	if f, ok := opts.Injector.Fire(fault.CacheFactory, opts.Shard); ok {
+		// A failed cache population (corrupt artifact store, racing
+		// deploy) surfaces at construction, before any machine exists.
+		if opts.Metrics != nil {
+			opts.Metrics.AddFault()
+		}
+		return nil, f.Err
+	}
 	bp, err := DefaultCache.Get(prog, res)
 	if err != nil {
 		return nil, err
@@ -74,6 +83,9 @@ func (e *VMEngine) Name() string { return "vm" }
 
 // Run implements Engine.
 func (e *VMEngine) Run(ctx context.Context, req Request) (*Result, error) {
+	if err := e.opts.injectRun(); err != nil {
+		return nil, err
+	}
 	if e.used {
 		// Reset zeroes the VM's scalars and arrays — which IS the
 		// scratch memory's storage (aliased at construction).
@@ -96,7 +108,7 @@ func (e *VMEngine) Run(ctx context.Context, req Request) (*Result, error) {
 	// Reset replaces the VM's trace slices rather than truncating them,
 	// so handing them out does not alias the next request's.
 	e.result = Result{
-		Clock:       e.vm.Clock(),
+		Clock:       e.vm.Clock() + e.opts.injectClock(),
 		Steps:       e.vm.Steps(),
 		Trace:       e.vm.Trace(),
 		Mitigations: e.vm.Mitigations(),

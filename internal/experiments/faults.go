@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/apps/login"
+	"repro/internal/fault"
+	"repro/internal/lattice"
+	"repro/internal/machine/hw"
+	"repro/internal/obs"
+	"repro/internal/sem/mem"
+	"repro/internal/server"
+)
+
+// FaultsData holds the fault-tolerance experiment: the login workload
+// through a sharded pool under a deterministic fault schedule, measured
+// with and without the defensive machinery (retries + circuit breaker),
+// so the experiment quantifies what the robustness layer buys.
+type FaultsData struct {
+	Requests int
+	Workers  int
+	Engine   string
+	Seed     int64
+	// BareSucceeded is how many requests survived with no retries and no
+	// breaker; HardenedSucceeded is the same schedule with them on.
+	BareSucceeded     int
+	HardenedSucceeded int
+	// Snapshot is the hardened pool's instrumentation (fault, retry,
+	// shed, and breaker counters included).
+	Snapshot obs.Snapshot
+}
+
+// FaultsConfig sizes the experiment.
+type FaultsConfig struct {
+	App      login.Config
+	Requests int
+	Workers  int
+	// HW names the machine environment; default "partitioned".
+	HW string
+	// Engine names the execution engine; default "vm" (the service path).
+	Engine string
+	// Seed fixes the fault schedule; both arms replay the same faults.
+	Seed int64
+	// EngineErrorRate and StallRate shape the schedule; defaults 0.25
+	// and 0.15.
+	EngineErrorRate float64
+	StallRate       float64
+	// Retries is the hardened arm's retry budget; default 3.
+	Retries int
+}
+
+// Defaults fills zero fields.
+func (c FaultsConfig) Defaults() FaultsConfig {
+	if c.App.TableSize == 0 {
+		c.App = login.Config{TableSize: 16, WorkFactor: 48, WorkTableSize: 256}
+	}
+	if c.Requests == 0 {
+		c.Requests = 64
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.HW == "" {
+		c.HW = "partitioned"
+	}
+	if c.Engine == "" {
+		c.Engine = "vm"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.EngineErrorRate == 0 {
+		c.EngineErrorRate = 0.25
+	}
+	if c.StallRate == 0 {
+		c.StallRate = 0.15
+	}
+	if c.Retries == 0 {
+		c.Retries = 3
+	}
+	return c
+}
+
+// Quick returns the reduced-scale configuration.
+func (c FaultsConfig) Quick() FaultsConfig {
+	c = c.Defaults()
+	c.Requests = 32
+	c.Workers = 2
+	return c
+}
+
+// Faults runs the same faulty schedule through a bare pool and a
+// hardened pool (retries + breaker) and compares availability.
+func Faults(cfg FaultsConfig) (*FaultsData, error) {
+	cfg = cfg.Defaults()
+	lat := lattice.TwoPoint()
+	app, err := login.Build(cfg.App, lat)
+	if err != nil {
+		return nil, err
+	}
+	creds := login.MakeCredentials(cfg.App.TableSize)
+	reqs := make([]server.Request, cfg.Requests)
+	for i := 0; i < cfg.Requests; i++ {
+		att := login.Attempt{User: creds[i%len(creds)].User, Pass: creds[i%len(creds)].Pass}
+		reqs[i] = func(m *mem.Memory) { app.Setup(m, creds, att, 1, 1) }
+	}
+	plan := fault.Plan{
+		fault.EngineError: {Rate: cfg.EngineErrorRate},
+		fault.ShardStall:  {Rate: cfg.StallRate},
+	}
+	ctx := context.Background()
+
+	run := func(hardened bool) (int, obs.Snapshot, error) {
+		env, err := hw.NewEnv(cfg.HW, lat, hw.Table1Config())
+		if err != nil {
+			return 0, obs.Snapshot{}, err
+		}
+		popts := server.PoolOptions{
+			Workers: cfg.Workers,
+			Options: server.Options{
+				Env:      env,
+				Engine:   cfg.Engine,
+				Injector: fault.New(cfg.Seed, plan),
+			},
+		}
+		if hardened {
+			popts.MaxRetries = cfg.Retries
+			popts.RetrySeed = cfg.Seed
+			popts.BreakerThreshold = 5
+		}
+		pool, err := server.NewPool(app.Prog, app.Res, popts)
+		if err != nil {
+			return 0, obs.Snapshot{}, err
+		}
+		ok := 0
+		for _, req := range reqs {
+			_, err := pool.Handle(ctx, req)
+			switch {
+			case err == nil:
+				ok++
+			case errors.Is(err, fault.ErrInjected) || errors.Is(err, server.ErrOverloaded):
+				// expected casualties of the schedule
+			default:
+				pool.Close()
+				return 0, obs.Snapshot{}, err
+			}
+		}
+		pool.Close()
+		return ok, pool.Snapshot(), nil
+	}
+
+	bare, _, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	hardenedOK, snap, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &FaultsData{
+		Requests:          cfg.Requests,
+		Workers:           cfg.Workers,
+		Engine:            cfg.Engine,
+		Seed:              cfg.Seed,
+		BareSucceeded:     bare,
+		HardenedSucceeded: hardenedOK,
+		Snapshot:          snap,
+	}, nil
+}
+
+// availability formats a success count as a percentage.
+func availability(ok, total int) string {
+	if total == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(ok)/float64(total))
+}
+
+// Render formats the experiment.
+func (d *FaultsData) Render() string {
+	var b strings.Builder
+	b.WriteString("Fault tolerance: injected faults, with and without defenses\n")
+	fmt.Fprintf(&b, "requests:            %d across %d shards (%s engine, seed %d)\n",
+		d.Requests, d.Workers, d.Engine, d.Seed)
+	fmt.Fprintf(&b, "bare availability:   %d/%d (%s) — no retries, no breaker\n",
+		d.BareSucceeded, d.Requests, availability(d.BareSucceeded, d.Requests))
+	fmt.Fprintf(&b, "hardened:            %d/%d (%s) — retries + circuit breaker\n",
+		d.HardenedSucceeded, d.Requests, availability(d.HardenedSucceeded, d.Requests))
+	b.WriteString("\nhardened instrumentation snapshot:\n")
+	b.WriteString(d.Snapshot.String())
+	return b.String()
+}
+
+// CSVHeader implements CSV for the faults experiment.
+func (d *FaultsData) CSVHeader() []string {
+	return []string{"requests", "workers", "engine", "seed",
+		"bare_succeeded", "hardened_succeeded", "faults", "retries", "sheds",
+		"breaker_opens", "breaker_closes"}
+}
+
+// CSVRows implements CSV for the faults experiment.
+func (d *FaultsData) CSVRows() [][]string {
+	return [][]string{{
+		strconv.Itoa(d.Requests),
+		strconv.Itoa(d.Workers),
+		d.Engine,
+		strconv.FormatInt(d.Seed, 10),
+		strconv.Itoa(d.BareSucceeded),
+		strconv.Itoa(d.HardenedSucceeded),
+		u(d.Snapshot.Faults),
+		u(d.Snapshot.Retries),
+		u(d.Snapshot.Sheds),
+		u(d.Snapshot.BreakerOpens),
+		u(d.Snapshot.BreakerCloses),
+	}}
+}

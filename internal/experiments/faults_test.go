@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultsExperiment(t *testing.T) {
+	d, err := Faults(FaultsConfig{}.Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.BareSucceeded > d.Requests || d.HardenedSucceeded > d.Requests {
+		t.Fatalf("success counts exceed requests: bare=%d hardened=%d of %d",
+			d.BareSucceeded, d.HardenedSucceeded, d.Requests)
+	}
+	// The whole point of the robustness layer: same fault schedule,
+	// strictly better availability.
+	if d.HardenedSucceeded < d.BareSucceeded {
+		t.Errorf("hardened pool (%d ok) did worse than bare pool (%d ok)",
+			d.HardenedSucceeded, d.BareSucceeded)
+	}
+	if d.Snapshot.Faults == 0 {
+		t.Error("no faults injected; the schedule did nothing")
+	}
+	if d.Snapshot.Retries == 0 {
+		t.Error("hardened pool never retried despite injected faults")
+	}
+	out := d.Render()
+	for _, want := range []string{"bare availability", "hardened", "fault tolerance:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	if len(d.CSVHeader()) != len(d.CSVRows()[0]) {
+		t.Errorf("CSV header has %d columns, row has %d", len(d.CSVHeader()), len(d.CSVRows()[0]))
+	}
+}
+
+func TestFaultsExperimentDeterministic(t *testing.T) {
+	a, err := Faults(FaultsConfig{}.Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Faults(FaultsConfig{}.Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BareSucceeded != b.BareSucceeded || a.HardenedSucceeded != b.HardenedSucceeded {
+		t.Errorf("same seed, different outcomes: (%d,%d) vs (%d,%d)",
+			a.BareSucceeded, a.HardenedSucceeded, b.BareSucceeded, b.HardenedSucceeded)
+	}
+	if a.Snapshot.Faults != b.Snapshot.Faults {
+		t.Errorf("same seed, different fault counts: %d vs %d", a.Snapshot.Faults, b.Snapshot.Faults)
+	}
+}

@@ -1,0 +1,289 @@
+// Package fault is a deterministic, seedable fault-injection layer for
+// the service runtime. Production code consults named fault points at
+// the places where real deployments fail — a stalled shard, a broken
+// engine, a saturated queue, a skewed clock, a failed compile-cache
+// lookup — and the chaos test suite drives randomized schedules through
+// them to prove the defensive machinery (deadlines, retries, circuit
+// breakers, load shedding) actually holds the service invariants.
+//
+// Determinism: every decision is a pure function of (injector seed,
+// fault point, per-point evaluation index), computed with a splitmix64
+// hash. Concurrent shards may interleave evaluations in any order, but
+// the multiset of decisions for a point is fixed by the seed, so a
+// schedule's total fault load is reproducible run to run — the property
+// the chaos suite's "same seed, same faults" check pins down.
+//
+// A nil *Injector is the production default: every Fire call on it
+// returns false without touching memory, so un-injected hot paths pay
+// one predictable branch.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Point names a fault-injection site in the service runtime.
+type Point string
+
+// The fault points threaded through internal/server and internal/exec.
+const (
+	// ShardStall delays a pool worker before it serves a queue entry,
+	// simulating a slow or descheduled shard. Rule.Stall sets the delay.
+	ShardStall Point = "shard-stall"
+	// EngineError fails an engine Run with a transient injected error,
+	// simulating a poisoned program or flaky backend.
+	EngineError Point = "engine-error"
+	// QueueSaturation makes a pool submission behave as if the shard
+	// queue were full, exercising the load-shedding path (the caller
+	// gets server.ErrOverloaded).
+	QueueSaturation Point = "queue-saturation"
+	// ClockSkew inflates the simulated clock an engine reports by
+	// Rule.Skew cycles, simulating timer drift between shards.
+	ClockSkew Point = "clock-skew"
+	// CacheFactory fails compiled-program cache population at engine
+	// construction, simulating a corrupted artifact store.
+	CacheFactory Point = "cache-factory"
+)
+
+// Points lists every defined fault point in a stable order.
+var Points = []Point{ShardStall, EngineError, QueueSaturation, ClockSkew, CacheFactory}
+
+// ErrInjected is the root of every injected error; errors.Is(err,
+// ErrInjected) distinguishes scheduled faults from organic failures.
+var ErrInjected = errors.New("fault: injected")
+
+// Error is an injected failure, carrying the point and the per-point
+// firing index that produced it.
+type Error struct {
+	Point Point
+	// N is the 1-based firing count at this point when the error fired.
+	N uint64
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected %s failure #%d", e.Point, e.N)
+}
+
+// Unwrap makes errors.Is(err, ErrInjected) true.
+func (e *Error) Unwrap() error { return ErrInjected }
+
+// Transient marks injected failures as retryable (see server.Retryable).
+func (e *Error) Transient() bool { return true }
+
+// IsTransient reports whether err (or anything it wraps) is marked as a
+// transient, retry-worthy failure.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// Rule configures one fault point. The zero rule never fires.
+type Rule struct {
+	// Rate is the per-evaluation firing probability in [0, 1].
+	Rate float64
+	// Count, when positive, caps the total number of firings; after
+	// Count fires the point goes quiet (used to script recoveries).
+	Count uint64
+	// After skips the first After evaluations before Rate applies
+	// (used to script late-onset failures).
+	After uint64
+	// Shards, when non-empty, restricts firing to these shard numbers.
+	Shards []int
+	// Stall is the wall-clock delay delivered by ShardStall firings.
+	Stall time.Duration
+	// Skew is the cycle inflation delivered by ClockSkew firings.
+	Skew uint64
+}
+
+// Plan maps fault points to their rules; points absent from the plan
+// never fire.
+type Plan map[Point]Rule
+
+// Fault describes one firing delivered to a fault point.
+type Fault struct {
+	Point Point
+	// Err is the injected error for error-shaped points (EngineError,
+	// QueueSaturation, CacheFactory); nil for delay/skew points.
+	Err error
+	// Stall and Skew carry the rule's delay and clock inflation.
+	Stall time.Duration
+	Skew  uint64
+}
+
+// pointState holds one rule's concurrency-safe counters.
+type pointState struct {
+	rule  Rule
+	evals atomic.Uint64
+	fired atomic.Uint64
+}
+
+// Injector evaluates fault points against a seeded plan. All methods
+// are safe for concurrent use, and safe on a nil receiver (which never
+// fires).
+type Injector struct {
+	seed   uint64
+	points map[Point]*pointState
+}
+
+// New builds an injector for a plan. Rules are copied; mutating the
+// plan afterwards does not affect the injector.
+func New(seed int64, plan Plan) *Injector {
+	in := &Injector{seed: uint64(seed), points: make(map[Point]*pointState, len(plan))}
+	for p, r := range plan {
+		in.points[p] = &pointState{rule: r}
+	}
+	return in
+}
+
+// Fire evaluates point p for the given shard. It reports whether the
+// point fires, and describes the fault when it does. Decisions are
+// deterministic in (seed, point, evaluation index); see the package
+// comment.
+func (in *Injector) Fire(p Point, shard int) (Fault, bool) {
+	if in == nil {
+		return Fault{}, false
+	}
+	st, ok := in.points[p]
+	if !ok || st.rule.Rate <= 0 {
+		return Fault{}, false
+	}
+	n := st.evals.Add(1)
+	r := st.rule
+	if n <= r.After {
+		return Fault{}, false
+	}
+	if len(r.Shards) > 0 && !containsInt(r.Shards, shard) {
+		return Fault{}, false
+	}
+	// The decision depends only on (seed, point, n): uniform in [0, 1).
+	u := float64(Mix64(in.seed, hashPoint(p), n)>>11) / float64(1<<53)
+	if u >= r.Rate {
+		return Fault{}, false
+	}
+	if r.Count > 0 {
+		// Reserve a firing slot; racing evaluations past the cap lose.
+		for {
+			f := st.fired.Load()
+			if f >= r.Count {
+				return Fault{}, false
+			}
+			if st.fired.CompareAndSwap(f, f+1) {
+				return in.fault(p, r, f+1), true
+			}
+		}
+	}
+	return in.fault(p, r, st.fired.Add(1)), true
+}
+
+// fault materializes the firing description for point p.
+func (in *Injector) fault(p Point, r Rule, n uint64) Fault {
+	f := Fault{Point: p, Stall: r.Stall, Skew: r.Skew}
+	switch p {
+	case EngineError, QueueSaturation, CacheFactory:
+		f.Err = &Error{Point: p, N: n}
+	}
+	return f
+}
+
+// Fired returns how many times point p has fired.
+func (in *Injector) Fired(p Point) uint64 {
+	if in == nil {
+		return 0
+	}
+	st, ok := in.points[p]
+	if !ok {
+		return 0
+	}
+	return st.fired.Load()
+}
+
+// Evals returns how many times point p has been evaluated.
+func (in *Injector) Evals(p Point) uint64 {
+	if in == nil {
+		return 0
+	}
+	st, ok := in.points[p]
+	if !ok {
+		return 0
+	}
+	return st.evals.Load()
+}
+
+// TotalFired sums firings across every point.
+func (in *Injector) TotalFired() uint64 {
+	if in == nil {
+		return 0
+	}
+	var total uint64
+	for _, st := range in.points {
+		total += st.fired.Load()
+	}
+	return total
+}
+
+// String renders the injector's per-point counters, points sorted.
+func (in *Injector) String() string {
+	if in == nil {
+		return "fault: disabled"
+	}
+	names := make([]string, 0, len(in.points))
+	for p := range in.points {
+		names = append(names, string(p))
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("fault:")
+	if len(names) == 0 {
+		b.WriteString(" empty plan")
+	}
+	for _, n := range names {
+		st := in.points[Point(n)]
+		fmt.Fprintf(&b, " %s=%d/%d", n, st.fired.Load(), st.evals.Load())
+	}
+	return b.String()
+}
+
+// Mix64 hashes the given words with splitmix64 finalization — the
+// deterministic randomness source for fault decisions and retry
+// jitter. It is exported so the service layer derives jitter from the
+// same seed discipline instead of global math/rand state.
+func Mix64(vals ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vals {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h = splitmix64(h)
+	}
+	return h
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashPoint gives each point a stable numeric identity.
+func hashPoint(p Point) uint64 {
+	var h uint64 = 14695981039346656037 // FNV-1a
+	for i := 0; i < len(p); i++ {
+		h ^= uint64(p[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,220 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	for _, p := range Points {
+		if _, ok := in.Fire(p, 0); ok {
+			t.Fatalf("nil injector fired %s", p)
+		}
+	}
+	if in.Fired(EngineError) != 0 || in.Evals(EngineError) != 0 || in.TotalFired() != 0 {
+		t.Error("nil injector reported non-zero counters")
+	}
+	if in.String() != "fault: disabled" {
+		t.Errorf("nil injector String = %q", in.String())
+	}
+}
+
+func TestZeroAndAbsentRulesNeverFire(t *testing.T) {
+	in := New(1, Plan{EngineError: {}})
+	for i := 0; i < 100; i++ {
+		if _, ok := in.Fire(EngineError, 0); ok {
+			t.Fatal("zero-rate rule fired")
+		}
+		if _, ok := in.Fire(ShardStall, 0); ok {
+			t.Fatal("absent point fired")
+		}
+	}
+}
+
+func TestRateOneAlwaysFires(t *testing.T) {
+	in := New(7, Plan{EngineError: {Rate: 1}})
+	for i := 0; i < 50; i++ {
+		f, ok := in.Fire(EngineError, i%3)
+		if !ok {
+			t.Fatalf("rate-1 rule did not fire on evaluation %d", i)
+		}
+		if f.Err == nil {
+			t.Fatal("engine-error firing carried no error")
+		}
+		if !errors.Is(f.Err, ErrInjected) {
+			t.Errorf("injected error does not unwrap to ErrInjected: %v", f.Err)
+		}
+		if !IsTransient(f.Err) {
+			t.Errorf("injected error not transient: %v", f.Err)
+		}
+	}
+	if in.Fired(EngineError) != 50 || in.Evals(EngineError) != 50 {
+		t.Errorf("counters = %d/%d, want 50/50", in.Fired(EngineError), in.Evals(EngineError))
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []bool {
+		in := New(42, Plan{EngineError: {Rate: 0.35}})
+		out := make([]bool, 200)
+		for i := range out {
+			_, out[i] = in.Fire(EngineError, 0)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identical runs", i)
+		}
+	}
+	// A different seed must produce a different schedule (with 200
+	// evaluations at rate 0.35 a collision is astronomically unlikely).
+	in := New(43, Plan{EngineError: {Rate: 0.35}})
+	same := true
+	for i := range a {
+		_, ok := in.Fire(EngineError, 0)
+		if ok != a[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+func TestDeterministicUnderConcurrency(t *testing.T) {
+	// The multiset of decisions is fixed by the seed regardless of how
+	// goroutines interleave: total fires must match a serial replay.
+	const evals = 400
+	serial := New(5, Plan{EngineError: {Rate: 0.5}})
+	for i := 0; i < evals; i++ {
+		serial.Fire(EngineError, 0)
+	}
+	conc := New(5, Plan{EngineError: {Rate: 0.5}})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < evals/4; i++ {
+				conc.Fire(EngineError, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if serial.Fired(EngineError) != conc.Fired(EngineError) {
+		t.Errorf("concurrent fires = %d, serial replay = %d",
+			conc.Fired(EngineError), serial.Fired(EngineError))
+	}
+}
+
+func TestRateIsRespected(t *testing.T) {
+	in := New(11, Plan{EngineError: {Rate: 0.25}})
+	const n = 4000
+	fired := 0
+	for i := 0; i < n; i++ {
+		if _, ok := in.Fire(EngineError, 0); ok {
+			fired++
+		}
+	}
+	// 0.25·4000 = 1000 expected; allow generous slop for a fixed seed.
+	if fired < 800 || fired > 1200 {
+		t.Errorf("rate 0.25 fired %d/%d times", fired, n)
+	}
+}
+
+func TestCountCapsFirings(t *testing.T) {
+	in := New(3, Plan{EngineError: {Rate: 1, Count: 5}})
+	fired := 0
+	for i := 0; i < 100; i++ {
+		if _, ok := in.Fire(EngineError, 0); ok {
+			fired++
+		}
+	}
+	if fired != 5 || in.Fired(EngineError) != 5 {
+		t.Errorf("count-capped rule fired %d times, want 5", fired)
+	}
+}
+
+func TestAfterDelaysOnset(t *testing.T) {
+	in := New(3, Plan{EngineError: {Rate: 1, After: 10}})
+	for i := 0; i < 10; i++ {
+		if _, ok := in.Fire(EngineError, 0); ok {
+			t.Fatalf("fired during the After window (evaluation %d)", i)
+		}
+	}
+	if _, ok := in.Fire(EngineError, 0); !ok {
+		t.Error("did not fire after the After window")
+	}
+}
+
+func TestShardFilter(t *testing.T) {
+	in := New(9, Plan{EngineError: {Rate: 1, Shards: []int{1}}})
+	if _, ok := in.Fire(EngineError, 0); ok {
+		t.Error("fired on excluded shard 0")
+	}
+	if _, ok := in.Fire(EngineError, 1); !ok {
+		t.Error("did not fire on included shard 1")
+	}
+}
+
+func TestFaultPayloads(t *testing.T) {
+	in := New(1, Plan{
+		ShardStall: {Rate: 1, Stall: 3 * time.Millisecond},
+		ClockSkew:  {Rate: 1, Skew: 77},
+	})
+	f, ok := in.Fire(ShardStall, 0)
+	if !ok || f.Stall != 3*time.Millisecond || f.Err != nil {
+		t.Errorf("stall fault = %+v, ok=%v", f, ok)
+	}
+	f, ok = in.Fire(ClockSkew, 0)
+	if !ok || f.Skew != 77 || f.Err != nil {
+		t.Errorf("skew fault = %+v, ok=%v", f, ok)
+	}
+}
+
+func TestErrorRendering(t *testing.T) {
+	in := New(1, Plan{CacheFactory: {Rate: 1}})
+	f, _ := in.Fire(CacheFactory, 0)
+	if !strings.Contains(f.Err.Error(), "cache-factory") {
+		t.Errorf("error %q does not name its point", f.Err)
+	}
+	var fe *Error
+	if !errors.As(f.Err, &fe) || fe.Point != CacheFactory || fe.N != 1 {
+		t.Errorf("error %v does not expose point/count", f.Err)
+	}
+	if s := in.String(); !strings.Contains(s, "cache-factory=1/1") {
+		t.Errorf("String = %q, want cache-factory=1/1", s)
+	}
+	if in.TotalFired() != 1 {
+		t.Errorf("TotalFired = %d, want 1", in.TotalFired())
+	}
+}
+
+func TestIsTransientOnOrganicErrors(t *testing.T) {
+	if IsTransient(errors.New("disk on fire")) {
+		t.Error("organic error classified transient")
+	}
+	if IsTransient(fmt.Errorf("wrapped: %w", errors.New("x"))) {
+		t.Error("wrapped organic error classified transient")
+	}
+	if !IsTransient(fmt.Errorf("request: %w", &Error{Point: EngineError, N: 1})) {
+		t.Error("wrapped injected error not classified transient")
+	}
+}
+
+func TestMix64Stability(t *testing.T) {
+	// Jitter and fault decisions depend on Mix64 being a pure function.
+	if Mix64(1, 2, 3) != Mix64(1, 2, 3) {
+		t.Error("Mix64 not deterministic")
+	}
+	if Mix64(1, 2, 3) == Mix64(1, 2, 4) {
+		t.Error("Mix64 collides on adjacent inputs")
+	}
+}

@@ -237,3 +237,33 @@ func TestMetricsConcurrent(t *testing.T) {
 		t.Errorf("latency count = %d", s.Latency.Count)
 	}
 }
+
+func TestFaultToleranceCounters(t *testing.T) {
+	m := NewMetrics()
+	w := m.Stripe(1) // counters merge across stripes like the others
+	m.AddFault()
+	w.AddFault()
+	m.AddRetry()
+	w.AddShed()
+	m.AddBreakerOpen()
+	w.AddBreakerClose()
+	s := m.Snapshot()
+	if s.Faults != 2 || s.Retries != 1 || s.Sheds != 1 {
+		t.Errorf("faults/retries/sheds = %d/%d/%d, want 2/1/1", s.Faults, s.Retries, s.Sheds)
+	}
+	if s.BreakerOpens != 1 || s.BreakerCloses != 1 {
+		t.Errorf("breaker opens/closes = %d/%d, want 1/1", s.BreakerOpens, s.BreakerCloses)
+	}
+	merged := s.Merge(s)
+	if merged.Faults != 4 || merged.Retries != 2 || merged.Sheds != 2 ||
+		merged.BreakerOpens != 2 || merged.BreakerCloses != 2 {
+		t.Errorf("Merge dropped fault-tolerance counters: %+v", merged)
+	}
+	if !strings.Contains(s.String(), "fault tolerance:") {
+		t.Errorf("String omits fault-tolerance line:\n%s", s)
+	}
+	// A fault-free snapshot keeps the report uncluttered.
+	if strings.Contains(NewMetrics().Snapshot().String(), "fault tolerance:") {
+		t.Error("fault-free snapshot renders a fault-tolerance line")
+	}
+}

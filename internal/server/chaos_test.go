@@ -1,0 +1,423 @@
+package server
+
+// Chaos tests: drive the pool under randomized fault schedules and
+// assert the service invariants hold regardless of what the fault layer
+// throws at it — no deadlock (every schedule drains within its
+// watchdog), no lost or duplicated response (successes delivered to
+// callers match Served exactly, submission indices are unique), and
+// every failure is a typed, classified error. All schedules are
+// deterministic functions of their seed, so a failing seed reproduces.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/machine/hw"
+)
+
+// chaosPlan draws a random fault plan. CacheFactory is deliberately
+// excluded: it fires during NewPool, which these schedules want to
+// succeed (construction faults get their own test).
+func chaosPlan(rng *rand.Rand) fault.Plan {
+	plan := fault.Plan{}
+	if rng.Intn(2) == 0 {
+		plan[fault.EngineError] = fault.Rule{Rate: rng.Float64() * 0.3}
+	}
+	if rng.Intn(2) == 0 {
+		plan[fault.ShardStall] = fault.Rule{
+			Rate:  rng.Float64() * 0.3,
+			Stall: time.Duration(rng.Intn(2000)) * time.Microsecond,
+		}
+	}
+	if rng.Intn(3) == 0 {
+		plan[fault.ClockSkew] = fault.Rule{Rate: rng.Float64() * 0.2, Skew: uint64(rng.Intn(1000))}
+	}
+	if rng.Intn(3) == 0 {
+		plan[fault.QueueSaturation] = fault.Rule{Rate: rng.Float64() * 0.2}
+	}
+	return plan
+}
+
+// chaosErrOK reports whether a chaos-schedule failure is one of the
+// typed outcomes the service is allowed to produce.
+func chaosErrOK(err error) bool {
+	var re *RequestError
+	if !errors.As(err, &re) {
+		return false
+	}
+	return errors.Is(err, fault.ErrInjected) ||
+		errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, ErrBudgetExceeded) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+func TestChaosSchedules(t *testing.T) {
+	p, r := buildProg(t, echoSrc)
+	engines := []string{"tree", "vm"}
+	for seed := int64(0); seed < 100; seed++ {
+		t.Run(fmt.Sprintf("seed=%03d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			opts := PoolOptions{
+				Options: Options{
+					Env:      hw.NewFlat(r.Lat, 2),
+					Engine:   engines[rng.Intn(len(engines))],
+					Injector: fault.New(seed, chaosPlan(rng)),
+				},
+				Workers:          1 + rng.Intn(3),
+				QueueDepth:       1 + rng.Intn(2),
+				MaxRetries:       rng.Intn(3),
+				RetryBase:        100 * time.Microsecond,
+				RetrySeed:        seed,
+				ShedOnSaturation: rng.Intn(2) == 0,
+			}
+			if rng.Intn(2) == 0 {
+				opts.BreakerThreshold = 2 + rng.Intn(2)
+				opts.BreakerCooldown = time.Millisecond
+			}
+			pool, err := NewPool(p, r, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var (
+				mu         sync.Mutex
+				successIdx []int
+				violation  error
+			)
+			record := func(resp *Response, err error) {
+				mu.Lock()
+				defer mu.Unlock()
+				switch {
+				case resp != nil && err != nil:
+					violation = fmt.Errorf("request %d returned both response and error %v", resp.Index, err)
+				case resp == nil && err == nil:
+					violation = errors.New("request returned neither response nor error")
+				case resp != nil:
+					successIdx = append(successIdx, resp.Index)
+				case !chaosErrOK(err):
+					violation = fmt.Errorf("untyped failure: %v", err)
+				}
+			}
+
+			nG := 2 + rng.Intn(3)
+			perG := 4 + rng.Intn(4)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				var wg sync.WaitGroup
+				for g := 0; g < nG; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						if g == 0 {
+							// One driver exercises the batched path.
+							reqs := make([]Request, perG)
+							for i := range reqs {
+								reqs[i] = setH(int64(i))
+							}
+							resps, err := pool.HandleAll(ctxb(), reqs)
+							mu.Lock()
+							if err != nil && !chaosErrOK(err) {
+								violation = fmt.Errorf("untyped burst failure: %v", err)
+							}
+							for _, resp := range resps {
+								if resp != nil {
+									successIdx = append(successIdx, resp.Index)
+								}
+							}
+							mu.Unlock()
+							return
+						}
+						for i := 0; i < perG; i++ {
+							record(pool.Handle(ctxb(), setH(int64(g*100+i))))
+						}
+					}(g)
+				}
+				wg.Wait()
+				pool.Close()
+			}()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("chaos schedule deadlocked: pool did not drain within 30s")
+			}
+
+			if violation != nil {
+				t.Fatal(violation)
+			}
+			seen := make(map[int]bool, len(successIdx))
+			for _, idx := range successIdx {
+				if seen[idx] {
+					t.Fatalf("duplicated response for submission index %d", idx)
+				}
+				seen[idx] = true
+			}
+			if served := pool.Served(); served != len(successIdx) {
+				t.Fatalf("lost or phantom responses: workers served %d, callers received %d", served, len(successIdx))
+			}
+		})
+	}
+}
+
+// TestChaosOffPathDeterminism pins that off-path faults — shard stalls,
+// which delay workers but never touch machine state — leave every
+// response bit-identical to an undisturbed pool's.
+func TestChaosOffPathDeterminism(t *testing.T) {
+	p, r := buildProg(t, echoSrc)
+	run := func(inj *fault.Injector) []*Response {
+		pool, err := NewPool(p, r, PoolOptions{
+			Options: Options{Env: hw.NewFlat(r.Lat, 2), Engine: "vm", Injector: inj},
+			Workers: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pool.Close()
+		reqs := make([]Request, 12)
+		for i := range reqs {
+			reqs[i] = setH(int64(i * 7 % 64))
+		}
+		resps, err := pool.HandleAll(ctxb(), reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resps
+	}
+	stalled := run(fault.New(7, fault.Plan{
+		fault.ShardStall: {Rate: 0.8, Stall: 300 * time.Microsecond},
+	}))
+	clean := run(nil)
+	for i := range clean {
+		if stalled[i].Time != clean[i].Time ||
+			stalled[i].Shard != clean[i].Shard ||
+			stalled[i].Mispredictions != clean[i].Mispredictions {
+			t.Fatalf("request %d: stalled response (time=%d shard=%d) differs from clean (time=%d shard=%d)",
+				i, stalled[i].Time, stalled[i].Shard, clean[i].Time, clean[i].Shard)
+		}
+	}
+}
+
+// TestBreakerEjectsAndRecovers drives a shard into persistent failure,
+// watches the breaker eject it (traffic redistributes to the healthy
+// shard), and then watches the half-open probe bring it back once the
+// fault clears.
+func TestBreakerEjectsAndRecovers(t *testing.T) {
+	p, r := buildProg(t, echoSrc)
+	inj := fault.New(3, fault.Plan{
+		fault.EngineError: {Rate: 1, Count: 3, Shards: []int{0}},
+	})
+	pool, err := NewPool(p, r, PoolOptions{
+		Options: Options{Env: hw.NewFlat(r.Lat, 2), Engine: "vm", Injector: inj},
+		Workers: 2,
+		// All traffic homes on shard 0; only the breaker can move it.
+		Shard:            func(int) int { return 0 },
+		BreakerThreshold: 3,
+		BreakerCooldown:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// The first three requests land on shard 0 and fail on the injected
+	// engine error, tripping the breaker.
+	for i := 0; i < 3; i++ {
+		if _, err := pool.Handle(ctxb(), setH(1)); !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("request %d: got %v, want injected engine error", i, err)
+		}
+	}
+	// The breaker is open: traffic redistributes to shard 1 and succeeds.
+	resp, err := pool.Handle(ctxb(), setH(1))
+	if err != nil {
+		t.Fatalf("redistributed request failed: %v", err)
+	}
+	if resp.Shard != 1 {
+		t.Fatalf("redistributed request served by shard %d, want 1", resp.Shard)
+	}
+	// After the cooldown a probe is admitted to shard 0; the fault
+	// budget (Count: 3) is exhausted, so it succeeds and closes the
+	// breaker for good.
+	time.Sleep(5 * time.Millisecond)
+	recovered := false
+	for i := 0; i < 4; i++ {
+		resp, err := pool.Handle(ctxb(), setH(1))
+		if err != nil {
+			t.Fatalf("post-cooldown request failed: %v", err)
+		}
+		if resp.Shard == 0 {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Fatal("shard 0 never recovered after the fault cleared")
+	}
+	snap := pool.Snapshot()
+	if snap.BreakerOpens != 1 || snap.BreakerCloses != 1 {
+		t.Errorf("breaker transitions = %d opens / %d closes, want 1 / 1", snap.BreakerOpens, snap.BreakerCloses)
+	}
+	if snap.Faults != 3 {
+		t.Errorf("faults = %d, want 3", snap.Faults)
+	}
+}
+
+// TestDeadlineStorm floods a pool whose every request times out and
+// checks the pool stays live: all failures are typed deadline errors
+// and shutdown drains cleanly.
+func TestDeadlineStorm(t *testing.T) {
+	// A spin loop long enough that every request is still running at its
+	// deadline (engines poll the context every ~1k instructions).
+	p, r := buildProg(t, `
+var i : L;
+i := 0;
+while (i < 10000000) {
+    i := i + 1;
+}
+`)
+	pool, err := NewPool(p, r, PoolOptions{
+		Options: Options{
+			Env:            hw.NewFlat(r.Lat, 2),
+			Engine:         "vm",
+			RequestTimeout: 200 * time.Microsecond,
+		},
+		Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := pool.Handle(ctxb(), nil); !errors.Is(err, context.DeadlineExceeded) {
+					t.Errorf("got %v, want context.DeadlineExceeded", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	pool.Close()
+	if served := pool.Served(); served != 0 {
+		t.Errorf("served %d requests despite universal deadline expiry", served)
+	}
+}
+
+// TestCancelledWaitNoCrosstalk is the regression test for the response
+// channel lifecycle: a Wait abandoned by context cancellation must not
+// recycle its channel while the stalled worker's late send is still in
+// flight, or a later request would receive the dead request's response.
+func TestCancelledWaitNoCrosstalk(t *testing.T) {
+	p, r := buildProg(t, echoSrc)
+	inj := fault.New(11, fault.Plan{
+		fault.ShardStall: {Rate: 1, Count: 1, Stall: 50 * time.Millisecond},
+	})
+	pool, err := NewPool(p, r, PoolOptions{
+		Options: Options{Env: hw.NewFlat(r.Lat, 2), Engine: "vm", Injector: inj},
+		Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// Submit request 0; the worker stalls before serving it. Cancel and
+	// abandon the Wait while the send is still pending.
+	ctx, cancel := context.WithCancel(context.Background())
+	f, err := pool.Submit(ctx, setH(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := f.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned Wait = %v, want context.Canceled", err)
+	}
+
+	// Hammer the pool. If the abandoned channel had been recycled, some
+	// later request would receive request 0's late result and report the
+	// wrong submission index.
+	for i := 0; i < 200; i++ {
+		resp, err := pool.Handle(ctxb(), setH(int64(i%64)))
+		if err != nil {
+			t.Fatalf("request %d failed: %v", i+1, err)
+		}
+		if resp.Index != i+1 {
+			t.Fatalf("response crosstalk: got index %d, want %d", resp.Index, i+1)
+		}
+	}
+}
+
+// TestSameSeedSameFaults pins end-to-end schedule reproducibility: two
+// pools with identical seeds and plans, driven identically, produce the
+// same per-request outcome sequence.
+func TestSameSeedSameFaults(t *testing.T) {
+	p, r := buildProg(t, echoSrc)
+	type outcome struct {
+		ok   bool
+		time uint64
+	}
+	run := func() []outcome {
+		pool, err := NewPool(p, r, PoolOptions{
+			Options: Options{
+				Env:    hw.NewFlat(r.Lat, 2),
+				Engine: "vm",
+				Injector: fault.New(42, fault.Plan{
+					fault.EngineError: {Rate: 0.4},
+					fault.ClockSkew:   {Rate: 0.3, Skew: 7},
+				}),
+			},
+			Workers: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pool.Close()
+		out := make([]outcome, 30)
+		for i := range out {
+			resp, err := pool.Handle(ctxb(), setH(int64(i%64)))
+			if err != nil {
+				if !errors.Is(err, fault.ErrInjected) {
+					t.Fatalf("request %d: unexpected error %v", i, err)
+				}
+				continue
+			}
+			out[i] = outcome{ok: true, time: resp.Time}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d diverged between identical schedules: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestInjectedConstructionFault pins that a cache-factory fault fails
+// pool construction with a typed, retryable error rather than
+// misconfiguration.
+func TestInjectedConstructionFault(t *testing.T) {
+	p, r := buildProg(t, echoSrc)
+	inj := fault.New(5, fault.Plan{fault.CacheFactory: {Rate: 1, Count: 1}})
+	_, err := NewPool(p, r, PoolOptions{
+		Options: Options{Env: hw.NewFlat(r.Lat, 2), Engine: "vm", Injector: inj},
+		Workers: 1,
+	})
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("NewPool under construction fault = %v, want fault.ErrInjected", err)
+	}
+	if errors.Is(err, ErrBadOptions) {
+		t.Fatal("construction fault misclassified as bad options")
+	}
+	if !Retryable(err) {
+		t.Fatal("construction fault should be retryable")
+	}
+}

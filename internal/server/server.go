@@ -29,9 +29,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/exec/budget"
+	"repro/internal/fault"
 	"repro/internal/lang/ast"
 	"repro/internal/machine/hw"
 	"repro/internal/mitigation"
@@ -52,7 +54,23 @@ var (
 	ErrBudgetExceeded = errors.New("server: request budget exceeded")
 	// ErrPoolClosed is returned when submitting to a closed pool.
 	ErrPoolClosed = errors.New("server: pool closed")
+	// ErrOverloaded is returned (wrapped in a *RequestError) when a
+	// submission is load-shed because its shard queue is saturated,
+	// instead of blocking unboundedly. Shedding happens when
+	// PoolOptions.ShedOnSaturation is set, or when the fault layer
+	// injects queue saturation.
+	ErrOverloaded = errors.New("server: overloaded")
 )
+
+// Retryable reports whether err is worth retrying: load sheds
+// (ErrOverloaded), pool shutdown races (ErrPoolClosed — useful to
+// callers that can re-dial a replacement pool; Pool.Handle itself does
+// not re-submit to a closed pool, which never reopens), and transient
+// injected faults. Budget exhaustion, context errors, and
+// configuration errors are deterministic and not retryable.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrOverloaded) || errors.Is(err, ErrPoolClosed) || fault.IsTransient(err)
+}
 
 // RequestError identifies which request failed and why. Unwrap exposes
 // the cause, so errors.Is(err, ErrBudgetExceeded) and errors.Is(err,
@@ -152,6 +170,19 @@ type Options struct {
 	// allocate its own; a Pool installs one shared accumulator across
 	// its workers.
 	Metrics *obs.Metrics
+	// RequestTimeout, when positive, bounds each request with a
+	// deadline: Handle derives a per-request context, so a stalled or
+	// runaway request fails with context.DeadlineExceeded instead of
+	// holding its shard forever.
+	RequestTimeout time.Duration
+	// Injector, when non-nil, threads scheduled faults through the
+	// engine (and, under a Pool, the submit and serve paths). Nil — the
+	// default — injects nothing.
+	Injector *fault.Injector
+	// shard identifies the pool worker this Options copy configures;
+	// NewPool sets it so shard-filtered fault rules and breaker state
+	// target the right worker. Serial servers leave it 0.
+	shard int
 }
 
 // withDefaults fills zero fields.
@@ -172,6 +203,9 @@ func (o Options) validate() error {
 	}
 	if o.MaxStepsPerRequest < 0 {
 		return fmt.Errorf("%w: MaxStepsPerRequest must be ≥ 0", ErrBadOptions)
+	}
+	if o.RequestTimeout < 0 {
+		return fmt.Errorf("%w: RequestTimeout must be ≥ 0", ErrBadOptions)
 	}
 	return nil
 }
@@ -205,9 +239,16 @@ func New(prog *ast.Program, res *types.Result, opts Options) (*Server, error) {
 			MaxSteps:  opts.MaxStepsPerRequest,
 			MaxCycles: opts.MaxCyclesPerRequest,
 		},
-		Metrics: opts.Metrics,
+		Metrics:  opts.Metrics,
+		Injector: opts.Injector,
+		Shard:    opts.shard,
 	})
 	if err != nil {
+		// An injected construction fault is transient infrastructure
+		// trouble, not misconfiguration; keep it typed for Retryable.
+		if errors.Is(err, fault.ErrInjected) {
+			return nil, fmt.Errorf("server: engine construction: %w", err)
+		}
 		return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
 	}
 	return &Server{
@@ -254,6 +295,11 @@ func (s *Server) Handle(ctx context.Context, req Request) (*Response, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, s.fail(err)
+	}
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
 	}
 	// The engine splices the persistent mitigation state in before the
 	// run and copies the (possibly inflated) counters back only on
