@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all ci vet build test race bench bench-smoke bench-engines bench-scaling profile engines chaos fuzz-smoke harness quick clean
+.PHONY: all ci vet build test race bench bench-smoke bench-engines bench-scaling profile engines chaos fuzz-smoke smoke-serve harness quick clean
 
 all: ci
 
@@ -10,9 +10,10 @@ all: ci
 # engine differential suite (named explicitly so an engine-equivalence
 # regression is called out even though the race run also covers it),
 # the chaos suite under randomized fault schedules, a short continuous
-# fuzz of each native fuzz target, and a 1x-benchtime smoke run of
-# every benchmark so benchmark code cannot rot uncompiled or uncovered.
-ci: vet build race engines chaos fuzz-smoke bench-smoke
+# fuzz of each native fuzz target, a 1x-benchtime smoke run of
+# every benchmark so benchmark code cannot rot uncompiled or uncovered,
+# and an end-to-end drive of the HTTP service through the real binary.
+ci: vet build race engines chaos fuzz-smoke bench-smoke smoke-serve
 
 # engines runs the tree/VM differential tests: identical traces,
 # clocks, mitigation records, and final memories across engines on the
@@ -32,6 +33,13 @@ chaos:
 fuzz-smoke:
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/lang/parser
 	$(GO) test -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/bytecode
+
+# smoke-serve builds the real timingc binary, serves the HTTP/JSON API
+# on an ephemeral port, drives it through the client SDK (health, a
+# 100-request batch, metrics in both formats), and checks that SIGINT
+# drains cleanly.
+smoke-serve:
+	$(GO) run ./internal/tools/smokeserve
 
 vet:
 	$(GO) vet ./...

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	harness [-experiment all|table1|figure7|table2|figure8|figure9|leakage|service|faults]
+//	harness [-experiment all|table1|figure7|table2|figure8|figure9|leakage|service|faults|network]
 //	        [-quick] [-format text|json|csv]
 //
 // The text format is the human-readable table; json and csv emit the
@@ -20,12 +20,12 @@ import (
 
 func main() {
 	which := flag.String("experiment", "all",
-		"experiment to run: all, table1, figure7, table2, figure8, figure9, leakage, service, faults")
+		"experiment to run: all, table1, figure7, table2, figure8, figure9, leakage, service, faults, network")
 	quick := flag.Bool("quick", false, "reduced-scale run (faster)")
 	format := flag.String("format", "text", "output format: text, json, csv")
 	parallel := flag.Bool("parallel", true, "fan independent figure7 probes across goroutines")
 	plot := flag.Bool("plot", false, "render figures as ASCII charts (text format only)")
-	engine := flag.String("engine", "tree", "execution engine for the service experiment: tree, vm")
+	engine := flag.String("engine", "tree", "execution engine for the service and network experiments: tree, vm")
 	flag.Parse()
 
 	switch *format {
@@ -163,6 +163,19 @@ func main() {
 			fail("faults", err)
 		}
 		emit("faults", d.Render(), d)
+	}
+
+	if want("network") {
+		cfg := experiments.NetworkConfig{}
+		if *quick {
+			cfg = cfg.Quick()
+		}
+		cfg.Engine = *engine
+		d, err := experiments.Network(cfg)
+		if err != nil {
+			fail("network", err)
+		}
+		emit("network", d.Render(), d)
 	}
 }
 

@@ -18,10 +18,12 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers profiling handlers for serve -pprof
+	httppprof "net/http/pprof" // profiling handlers for serve -pprof (also registers on DefaultServeMux)
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/bytecode"
@@ -39,6 +41,7 @@ import (
 	"repro/internal/sem/full"
 	"repro/internal/sem/mem"
 	"repro/internal/server"
+	"repro/internal/transport"
 	"repro/internal/types"
 )
 
@@ -103,7 +106,8 @@ commands:
   exec     run a saved bytecode file on the VM
   leak     measure leakage over secret ranges (Theorem 2 / §7 bound)
   serve    run a program as a sharded mitigation service over a request sequence
-           (-pprof ADDR exposes net/http/pprof while serving)
+           (-listen ADDR serves the HTTP/JSON API instead; -pprof ADDR exposes
+           net/http/pprof, sharing -listen's listener when the addresses match)
   verify   check a hardware model against the software-hardware contract
 `)
 }
@@ -537,8 +541,12 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	maxSteps := fs.Int("max-steps", 10_000_000, "per-request step budget")
 	engine := fs.String("engine", "tree",
 		fmt.Sprintf("execution engine: one of %v", exec.EngineNames()))
+	listen := fs.String("listen", "",
+		"serve the HTTP/JSON API on this address (e.g. 127.0.0.1:8080) until interrupted, instead of driving -requests locally")
+	maxInflight := fs.Int("max-inflight", 0,
+		"with -listen, shed (503) beyond this many concurrent requests (0 = unbounded)")
 	pprofAddr := fs.String("pprof", "",
-		"serve net/http/pprof on this address (e.g. localhost:6060) while requests run")
+		"serve net/http/pprof on this address (e.g. localhost:6060) while requests run; with -listen and an equal address the profiles share the API listener")
 	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = none)")
 	retries := fs.Int("retries", 0, "extra attempts for retryable request failures")
 	retryBackoff := fs.Duration("retry-backoff", time.Millisecond, "initial retry backoff (doubles per attempt)")
@@ -557,7 +565,11 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *pprofAddr != "" {
+	if *pprofAddr != "" && *pprofAddr != *listen {
+		// A standalone pprof listener: the historical behavior when only
+		// -pprof is given, and the split-address form alongside -listen.
+		// (When the two addresses are equal the profiles are mounted on
+		// the API listener instead — one port to firewall.)
 		// Listen synchronously so address errors surface immediately;
 		// the HTTP server then runs for the lifetime of the serve
 		// command (use a large -requests to hold it open while
@@ -609,6 +621,9 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *listen != "" {
+		return serveHTTP(pool, prog, *listen, *pprofAddr == *listen, *maxInflight, stdout, stderr)
 	}
 	reqs := make([]server.Request, *requests)
 	for i := range reqs {
@@ -666,6 +681,66 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 			shard, len(rs), server.SettledAfter(rs))
 	}
 	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, pool.Snapshot())
+	return nil
+}
+
+// serveListenHook, when non-nil, is called with the bound address and a
+// stop function once serveHTTP is accepting connections. Production
+// leaves it nil (shutdown then comes from SIGINT/SIGTERM); CLI tests
+// install it to drive a serve run in-process.
+var serveListenHook func(addr string, stop func())
+
+// serveHTTP runs the pool behind the HTTP/JSON transport until
+// interrupted, then drains gracefully: stop admitting, finish in-flight
+// requests, close the pool, print the final snapshot.
+func serveHTTP(pool *server.Pool, prog *ast.Program, addr string, sharePprof bool, maxInflight int, stdout, stderr io.Writer) error {
+	h, err := transport.New(transport.Options{Pool: pool, Prog: prog, MaxInFlight: maxInflight})
+	if err != nil {
+		pool.Close()
+		return err
+	}
+	if sharePprof {
+		mux := h.Mux()
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		pool.Close()
+		return fmt.Errorf("-listen: %w", err)
+	}
+	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
+	if sharePprof {
+		fmt.Fprintf(stderr, "pprof: serving profiles on http://%s/debug/pprof/\n", ln.Addr())
+	}
+	hs := &http.Server{Handler: h}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if serveListenHook != nil {
+		serveListenHook(ln.Addr().String(), stop)
+	}
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		pool.Close()
+		return err
+	}
+	fmt.Fprintln(stdout, "shutting down: draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	drainErr := h.Shutdown(sctx) // drains admissions, then closes the pool
+	_ = hs.Shutdown(sctx)
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	fmt.Fprintf(stdout, "served %d requests across %d shards\n", pool.Served(), pool.Workers())
 	fmt.Fprint(stdout, pool.Snapshot())
 	return nil
 }

@@ -2,6 +2,8 @@ package cli
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -509,6 +511,133 @@ func TestServeBadFaultFlag(t *testing.T) {
 		if code == 0 {
 			t.Errorf("-fault %s accepted; stderr=%q", bad, errOut)
 		}
+	}
+}
+
+// serveListen drives a `serve -listen` run in-process: the hook fires
+// once the listener is bound, probes it, and stops the server, which
+// then drains and prints its final snapshot.
+func serveListen(t *testing.T, hook func(addr string), extra ...string) (int, string, string) {
+	t.Helper()
+	serveListenHook = func(addr string, stop func()) {
+		defer stop()
+		hook(addr)
+	}
+	defer func() { serveListenHook = nil }()
+	args := append([]string{"serve", "-listen", "127.0.0.1:0", "-workers", "2"}, extra...)
+	args = append(args, testdataPath(t, "mitigated.tc"))
+	return run(args...)
+}
+
+// httpGet fetches a URL and returns (status, body).
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestServeListen(t *testing.T) {
+	// -listen alone: the API serves, pprof is NOT mounted.
+	var runStatus, pprofStatus int
+	var runBody string
+	code, out, errOut := serveListen(t, func(addr string) {
+		resp, err := http.Post("http://"+addr+"/v1/run", "application/json",
+			strings.NewReader(`{"inputs":{"h":3}}`))
+		if err != nil {
+			t.Fatalf("POST /v1/run: %v", err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		runStatus, runBody = resp.StatusCode, string(body)
+		pprofStatus, _ = httpGet(t, "http://"+addr+"/debug/pprof/")
+	})
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut)
+	}
+	if runStatus != 200 || !strings.Contains(runBody, `"time"`) {
+		t.Errorf("/v1/run: status=%d body=%q", runStatus, runBody)
+	}
+	if pprofStatus != 404 {
+		t.Errorf("pprof reachable without -pprof: status=%d", pprofStatus)
+	}
+	if !strings.Contains(out, "listening on http://") {
+		t.Errorf("missing listen announcement:\n%s", out)
+	}
+	if !strings.Contains(out, "draining") || !strings.Contains(out, "served 1 requests") {
+		t.Errorf("missing drain summary:\n%s", out)
+	}
+}
+
+func TestServeListenSharedPprof(t *testing.T) {
+	// -pprof equal to -listen: profiles share the API listener.
+	var pprofStatus, healthStatus int
+	code, _, errOut := serveListen(t, func(addr string) {
+		pprofStatus, _ = httpGet(t, "http://"+addr+"/debug/pprof/")
+		healthStatus, _ = httpGet(t, "http://"+addr+"/v1/healthz")
+	}, "-pprof", "127.0.0.1:0")
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut)
+	}
+	if pprofStatus != 200 {
+		t.Errorf("shared pprof: status=%d, want 200", pprofStatus)
+	}
+	if healthStatus != 200 {
+		t.Errorf("healthz on shared mux: status=%d", healthStatus)
+	}
+	if !strings.Contains(errOut, "/debug/pprof/") {
+		t.Errorf("missing pprof announcement on stderr: %q", errOut)
+	}
+}
+
+func TestServeListenSeparatePprof(t *testing.T) {
+	// -pprof on a different address: a standalone pprof listener comes
+	// up, and the API listener does NOT serve profiles.
+	var apiPprofStatus, sepPprofStatus, runStatus int
+	var errBuf *bytes.Buffer
+	serveListenHook = func(addr string, stop func()) {
+		defer stop()
+		apiPprofStatus, _ = httpGet(t, "http://"+addr+"/debug/pprof/")
+		st, _ := httpGet(t, "http://"+addr+"/v1/healthz")
+		runStatus = st
+		// The standalone listener announced itself on stderr before the
+		// pool came up; pull its address from there.
+		line := errBuf.String()
+		i := strings.Index(line, "http://")
+		j := strings.Index(line[i:], "/debug")
+		if i < 0 || j < 0 {
+			t.Fatalf("no pprof announcement in %q", line)
+		}
+		sepPprofStatus, _ = httpGet(t, line[i:i+j]+"/debug/pprof/")
+	}
+	defer func() { serveListenHook = nil }()
+	var out bytes.Buffer
+	errBuf = &bytes.Buffer{}
+	code := Run([]string{"serve", "-listen", "127.0.0.1:0", "-pprof", "localhost:0",
+		"-workers", "1", testdataPath(t, "mitigated.tc")}, &out, errBuf)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errBuf.String())
+	}
+	if apiPprofStatus != 404 {
+		t.Errorf("API listener serves pprof with split addresses: status=%d", apiPprofStatus)
+	}
+	if sepPprofStatus != 200 {
+		t.Errorf("standalone pprof: status=%d, want 200", sepPprofStatus)
+	}
+	if runStatus != 200 {
+		t.Errorf("healthz: status=%d", runStatus)
+	}
+}
+
+func TestServeListenBadAddress(t *testing.T) {
+	code, _, errOut := run("serve", "-listen", "500.1.2.3:99999",
+		testdataPath(t, "mitigated.tc"))
+	if code != 1 || !strings.Contains(errOut, "-listen") {
+		t.Errorf("exit=%d stderr=%q", code, errOut)
 	}
 }
 

@@ -20,6 +20,8 @@ package exec
 
 import (
 	"context"
+	"fmt"
+	"time"
 
 	"repro/internal/exec/budget"
 	"repro/internal/fault"
@@ -28,6 +30,55 @@ import (
 	"repro/internal/sem/events"
 	"repro/internal/sem/mem"
 )
+
+// Limits bounds one request, unifying the budget and timeout knobs
+// that used to be duplicated between server.Options and exec.Options.
+// Zero fields are unlimited. It is embedded in both option structs, so
+// the same field names configure a serial server, a pool shard, and a
+// bare engine — and the wire schema of internal/transport freezes
+// against one vocabulary.
+type Limits struct {
+	// MaxSteps bounds engine-granular work per request: language-level
+	// steps for the tree engine, instructions for the VM. Exceeding it
+	// fails the run with budget.ErrStepLimit.
+	MaxSteps int
+	// MaxCycles, when non-zero, bounds each request's simulated cycles
+	// — the same simulated time to every engine. Exceeding it fails
+	// the run with budget.ErrCycleLimit.
+	MaxCycles uint64
+	// Timeout, when positive, bounds each request's wall-clock time:
+	// Run derives a per-request deadline context, so a stalled or
+	// runaway request fails with context.DeadlineExceeded instead of
+	// holding its execution context forever.
+	Timeout time.Duration
+}
+
+// Validate reports the first configuration error — the single
+// validation point for every option struct that embeds Limits.
+func (l Limits) Validate() error {
+	if l.MaxSteps < 0 {
+		return fmt.Errorf("exec: MaxSteps must be ≥ 0, got %d", l.MaxSteps)
+	}
+	if l.Timeout < 0 {
+		return fmt.Errorf("exec: Timeout must be ≥ 0, got %v", l.Timeout)
+	}
+	return nil
+}
+
+// AsBudget projects the step/cycle bounds into the engine-level budget
+// vocabulary.
+func (l Limits) AsBudget() budget.Budget {
+	return budget.Budget{MaxSteps: l.MaxSteps, MaxCycles: l.MaxCycles}
+}
+
+// Bound derives a context honoring Timeout; the returned cancel must
+// always be called. Without a timeout it returns ctx unchanged.
+func (l Limits) Bound(ctx context.Context) (context.Context, context.CancelFunc) {
+	if l.Timeout > 0 {
+		return context.WithTimeout(ctx, l.Timeout)
+	}
+	return ctx, func() {}
+}
 
 // Options carries the knobs shared by every engine: cost model,
 // mitigation configuration, per-run budgets, and instrumentation. It
@@ -46,10 +97,15 @@ type Options struct {
 	Policy mitigation.Policy
 	// DisableMitigation makes mitigate blocks record but not pad.
 	DisableMitigation bool
-	// Budget bounds every Run. Zero fields are unlimited. MaxSteps is
-	// engine-granular (language steps for the tree engine,
-	// instructions for the VM); MaxCycles means the same simulated
-	// time to every engine.
+	// Limits bounds every Run: engine steps, simulated cycles, and —
+	// when Timeout is set — wall-clock time. Zero fields are
+	// unlimited.
+	Limits
+	// Budget bounds every Run.
+	//
+	// Deprecated: set the embedded Limits fields (MaxSteps, MaxCycles)
+	// instead. A non-zero Budget field still applies when the
+	// corresponding Limits field is zero.
 	Budget budget.Budget
 	// Metrics, when non-nil, receives instrumentation from every run.
 	Metrics *obs.Metrics
@@ -62,6 +118,20 @@ type Options struct {
 	// engine (a pool sets worker i's shard to i), so shard-filtered
 	// fault rules can target one worker. Plain servers leave it 0.
 	Shard int
+}
+
+// EffectiveLimits resolves the limits a run is actually bounded by,
+// honoring the deprecated Budget aliases: an explicit Limits field
+// wins; a zero one falls back to the matching Budget field.
+func (o Options) EffectiveLimits() Limits {
+	l := o.Limits
+	if l.MaxSteps == 0 {
+		l.MaxSteps = o.Budget.MaxSteps
+	}
+	if l.MaxCycles == 0 {
+		l.MaxCycles = o.Budget.MaxCycles
+	}
+	return l
 }
 
 // injectRun evaluates the pre-run engine fault points shared by every

@@ -1,0 +1,76 @@
+package exec
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exec/budget"
+	"repro/internal/lattice"
+	"repro/internal/machine/hw"
+	"repro/internal/progen"
+)
+
+func TestEffectiveLimitsPrefersExplicitFields(t *testing.T) {
+	o := Options{
+		Limits: Limits{MaxSteps: 7, MaxCycles: 11, Timeout: time.Second},
+		Budget: budget.Budget{MaxSteps: 100, MaxCycles: 200},
+	}
+	got := o.EffectiveLimits()
+	if got.MaxSteps != 7 || got.MaxCycles != 11 || got.Timeout != time.Second {
+		t.Errorf("explicit Limits must win over deprecated Budget: %+v", got)
+	}
+}
+
+func TestEffectiveLimitsFallsBackToDeprecatedBudget(t *testing.T) {
+	o := Options{Budget: budget.Budget{MaxSteps: 100, MaxCycles: 200}}
+	got := o.EffectiveLimits()
+	if got.MaxSteps != 100 || got.MaxCycles != 200 {
+		t.Errorf("zero Limits must fall back to Budget: %+v", got)
+	}
+}
+
+func TestLimitsValidate(t *testing.T) {
+	if err := (Limits{MaxSteps: 1, Timeout: time.Millisecond}).Validate(); err != nil {
+		t.Errorf("valid limits rejected: %v", err)
+	}
+	if err := (Limits{MaxSteps: -1}).Validate(); err == nil || !strings.Contains(err.Error(), "MaxSteps") {
+		t.Errorf("negative MaxSteps must fail, got %v", err)
+	}
+	if err := (Limits{Timeout: -time.Second}).Validate(); err == nil || !strings.Contains(err.Error(), "Timeout") {
+		t.Errorf("negative Timeout must fail, got %v", err)
+	}
+}
+
+func TestLimitsAsBudget(t *testing.T) {
+	b := Limits{MaxSteps: 3, MaxCycles: 5}.AsBudget()
+	if b != (budget.Budget{MaxSteps: 3, MaxCycles: 5}) {
+		t.Errorf("AsBudget = %+v", b)
+	}
+}
+
+func TestLimitsBound(t *testing.T) {
+	ctx, cancel := Limits{}.Bound(context.Background())
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("no timeout must not set a deadline")
+	}
+	ctx, cancel = Limits{Timeout: time.Hour}.Bound(context.Background())
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Error("timeout must set a deadline")
+	}
+}
+
+func TestNewEngineRejectsBadLimits(t *testing.T) {
+	lat := lattice.TwoPoint()
+	prog, res, _, err := progen.GenerateTyped(progen.Config{Lat: lat, Seed: 1}, 50)
+	if err != nil {
+		t.Fatalf("no well-typed program: %v", err)
+	}
+	_, err = NewEngine("tree", prog, res, hw.NewFlat(lat, 2), Options{Limits: Limits{MaxSteps: -1}})
+	if err == nil {
+		t.Fatal("negative MaxSteps must fail engine construction")
+	}
+}

@@ -19,6 +19,7 @@ type TreeEngine struct {
 	res    *types.Result
 	env    hw.Env
 	opts   Options
+	lim    Limits // resolved once at construction (see Options.EffectiveLimits)
 	result Result // reused across Run calls (see Engine contract)
 }
 
@@ -28,7 +29,7 @@ func newTreeEngine(prog *ast.Program, res *types.Result, env hw.Env, opts Option
 	if _, err := full.New(prog, res, env, treeOptions(opts)); err != nil {
 		return nil, err
 	}
-	return &TreeEngine{prog: prog, res: res, env: env, opts: opts}, nil
+	return &TreeEngine{prog: prog, res: res, env: env, opts: opts, lim: opts.EffectiveLimits()}, nil
 }
 
 func treeOptions(opts Options) full.Options {
@@ -51,6 +52,11 @@ func (e *TreeEngine) Run(ctx context.Context, req Request) (*Result, error) {
 	if err := e.opts.injectRun(); err != nil {
 		return nil, err
 	}
+	ctx, cancel := e.lim.Bound(ctx)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m, err := full.New(e.prog, e.res, e.env, treeOptions(e.opts))
 	if err != nil {
 		return nil, err
@@ -61,7 +67,7 @@ func (e *TreeEngine) Run(ctx context.Context, req Request) (*Result, error) {
 	if req.Setup != nil {
 		req.Setup(m.Memory())
 	}
-	if err := m.RunBudget(ctx, e.opts.Budget); err != nil {
+	if err := m.RunBudget(ctx, e.lim.AsBudget()); err != nil {
 		return nil, err
 	}
 	if req.Mit != nil {

@@ -24,6 +24,7 @@ type VMEngine struct {
 	src     *ast.Program
 	vm      *bytecode.VM
 	opts    Options
+	lim     Limits // resolved once at construction (see Options.EffectiveLimits)
 	scratch *mem.Memory
 	used    bool
 	result  Result // reused across Run calls (see Engine contract)
@@ -74,6 +75,7 @@ func newVMEngine(prog *ast.Program, res *types.Result, env hw.Env, opts Options)
 		src:     prog,
 		vm:      vm,
 		opts:    opts,
+		lim:     opts.EffectiveLimits(),
 		scratch: scratch,
 	}, nil
 }
@@ -84,6 +86,11 @@ func (e *VMEngine) Name() string { return "vm" }
 // Run implements Engine.
 func (e *VMEngine) Run(ctx context.Context, req Request) (*Result, error) {
 	if err := e.opts.injectRun(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := e.lim.Bound(ctx)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if e.used {
@@ -99,7 +106,7 @@ func (e *VMEngine) Run(ctx context.Context, req Request) (*Result, error) {
 		// Setup writes land directly in VM storage via the aliases.
 		req.Setup(e.scratch)
 	}
-	if err := e.vm.RunBudget(ctx, e.opts.Budget); err != nil {
+	if err := e.vm.RunBudget(ctx, e.lim.AsBudget()); err != nil {
 		return nil, err
 	}
 	if req.Mit != nil {

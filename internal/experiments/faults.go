@@ -30,8 +30,11 @@ type FaultsData struct {
 	BareSucceeded     int
 	HardenedSucceeded int
 	// Snapshot is the hardened pool's instrumentation (fault, retry,
-	// shed, and breaker counters included).
-	Snapshot obs.Snapshot
+	// shed, and breaker counters included). Excluded from JSON in
+	// favor of the stable Export schema below.
+	Snapshot obs.Snapshot `json:"-"`
+	// Export is the versioned, JSON-stable form of Snapshot.
+	Export obs.Export
 }
 
 // FaultsConfig sizes the experiment.
@@ -169,6 +172,7 @@ func Faults(cfg FaultsConfig) (*FaultsData, error) {
 		BareSucceeded:     bare,
 		HardenedSucceeded: hardenedOK,
 		Snapshot:          snap,
+		Export:            snap.Export(),
 	}, nil
 }
 

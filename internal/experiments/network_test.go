@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestNetworkQuick is the transport acceptance check at reduced scale:
+// the HTTP batch must be identical to the in-process pool, the load
+// phase must complete, and the scraped metrics must account for every
+// request the experiment issued (one batch pass + one load pass).
+func TestNetworkQuick(t *testing.T) {
+	cfg := NetworkConfig{}.Quick()
+	d, err := Network(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Identical {
+		t.Error("HTTP batch results diverged from the in-process pool")
+	}
+	if d.Wall <= 0 || d.ReqPerSec <= 0 {
+		t.Errorf("load phase: wall=%v req/s=%.1f", d.Wall, d.ReqPerSec)
+	}
+	if d.P50 <= 0 || d.P99 < d.P50 || d.Max < d.P99 {
+		t.Errorf("latency ordering: p50=%v p99=%v max=%v", d.P50, d.P99, d.Max)
+	}
+	wantServed := uint64(2 * cfg.Requests)
+	if d.Export.Requests != wantServed {
+		t.Errorf("service accounting: %d requests, want %d", d.Export.Requests, wantServed)
+	}
+	if d.Export.Mitigations == 0 || d.Export.PaddingCycles == 0 {
+		t.Errorf("mitigation accounting empty: %+v", d.Export)
+	}
+
+	// The data must survive the harness's JSON path (stable export only).
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -34,8 +34,12 @@ type ServiceData struct {
 	// SettledByShard is each shard's convergence point (see
 	// server.SettledAfter).
 	SettledByShard []int
-	// Snapshot is the pool's pooled instrumentation.
-	Snapshot obs.Snapshot
+	// Snapshot is the pool's pooled instrumentation. It is excluded
+	// from JSON in favor of the stable Export schema below.
+	Snapshot obs.Snapshot `json:"-"`
+	// Export is the versioned, JSON-stable form of Snapshot — the only
+	// shape external consumers of the harness JSON should parse.
+	Export obs.Export
 }
 
 // ServiceConfig sizes the experiment.
@@ -144,6 +148,7 @@ func Service(cfg ServiceConfig) (*ServiceData, error) {
 		PoolWall:   poolWall,
 		Snapshot:   pool.Snapshot(),
 	}
+	data.Export = data.Snapshot.Export()
 
 	// Shard-by-shard determinism: each shard's responses must match a
 	// serial reference run over that shard's round-robin subsequence.

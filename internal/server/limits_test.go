@@ -1,0 +1,96 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/machine/hw"
+)
+
+// The unified exec.Limits and the deprecated per-field aliases must
+// configure identical servers: same budget enforcement, same
+// validation.
+
+func TestLimitsAndDeprecatedAliasesAgree(t *testing.T) {
+	p, r := buildProg(t, echoSrc)
+	lat := r.Lat
+
+	viaLimits, err := New(p, r, Options{
+		Env:    hw.NewPartitioned(lat, hw.Table1Config()),
+		Limits: exec.Limits{MaxSteps: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaAlias, err := New(p, r, Options{
+		Env:                hw.NewPartitioned(lat, hw.Table1Config()),
+		MaxStepsPerRequest: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, srv := range map[string]*Server{"limits": viaLimits, "alias": viaAlias} {
+		_, err := srv.Handle(ctxb(), setH(5))
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Errorf("%s: tiny step budget must exhaust, got %v", name, err)
+		}
+	}
+}
+
+func TestLimitsFieldWinsOverAlias(t *testing.T) {
+	p, r := buildProg(t, echoSrc)
+	lat := r.Lat
+	// A generous explicit limit beats a starvation-level alias.
+	srv, err := New(p, r, Options{
+		Env:                hw.NewPartitioned(lat, hw.Table1Config()),
+		Limits:             exec.Limits{MaxSteps: 1_000_000},
+		MaxStepsPerRequest: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Handle(ctxb(), setH(5)); err != nil {
+		t.Errorf("explicit MaxSteps must win over deprecated alias: %v", err)
+	}
+}
+
+func TestLimitsValidationIsUnified(t *testing.T) {
+	p, r := buildProg(t, echoSrc)
+	lat := r.Lat
+	for name, opts := range map[string]Options{
+		"negative MaxSteps":       {Env: hw.NewFlat(lat, 2), Limits: exec.Limits{MaxSteps: -1}},
+		"negative Timeout":        {Env: hw.NewFlat(lat, 2), Limits: exec.Limits{Timeout: -time.Second}},
+		"negative RequestTimeout": {Env: hw.NewFlat(lat, 2), RequestTimeout: -time.Second},
+	} {
+		if _, err := New(p, r, opts); !errors.Is(err, ErrBadOptions) {
+			t.Errorf("%s: got %v, want ErrBadOptions", name, err)
+		}
+	}
+}
+
+func TestRequestTimeoutAliasStillEnforced(t *testing.T) {
+	// A long-running loop so the engine's periodic context poll is
+	// guaranteed to observe the expired deadline.
+	p, r := buildProg(t, `
+var i : L;
+i := 0;
+while (i < 1000000000) {
+    i := i + 1;
+}
+`)
+	lat := r.Lat
+	srv, err := New(p, r, Options{
+		Env:            hw.NewFlat(lat, 2),
+		RequestTimeout: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = srv.Handle(ctxb(), nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deprecated RequestTimeout must still expire the request, got %v", err)
+	}
+}

@@ -663,6 +663,23 @@ func (p *Pool) backoff(ctx context.Context, attempt int) bool {
 // is still submission order, so responses are identical to the
 // Submit-per-request path.
 func (p *Pool) HandleAll(ctx context.Context, reqs []Request) ([]*Response, error) {
+	return p.handleAll(ctx, reqs, nil)
+}
+
+// HandleAllErrs is HandleAll with per-request error reporting: errs[i]
+// is the outcome of reqs[i] (nil on success), so callers that must
+// account for every item — the batch endpoint of internal/transport —
+// see exactly which requests failed and why, not just the first
+// failure.
+func (p *Pool) HandleAllErrs(ctx context.Context, reqs []Request) ([]*Response, []error) {
+	errs := make([]error, len(reqs))
+	out, _ := p.handleAll(ctx, reqs, errs)
+	return out, errs
+}
+
+// handleAll is the shared burst path; when errsOut is non-nil it is
+// filled with per-request outcomes (it must have len(reqs) entries).
+func (p *Pool) handleAll(ctx context.Context, reqs []Request, errsOut []error) ([]*Response, error) {
 	out := make([]*Response, len(reqs))
 	if len(reqs) == 0 {
 		return out, nil
@@ -671,6 +688,9 @@ func (p *Pool) HandleAll(ctx context.Context, reqs []Request) ([]*Response, erro
 		ctx = context.Background()
 	}
 	if !p.acquire() {
+		for i := range errsOut {
+			errsOut[i] = ErrPoolClosed
+		}
 		return out, ErrPoolClosed
 	}
 	// Reserve a contiguous index block for the burst.
@@ -766,6 +786,7 @@ func (p *Pool) HandleAll(ctx context.Context, reqs []Request) ([]*Response, erro
 			break
 		}
 	}
+	copy(errsOut, errs)
 	releaseScratch(sc)
 	return out, firstErr
 }

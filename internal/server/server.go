@@ -158,22 +158,32 @@ type Options struct {
 	Policy mitigation.Policy
 	// DisableMitigation runs the program unmitigated.
 	DisableMitigation bool
-	// MaxStepsPerRequest bounds each request's language steps; default
-	// 10_000_000. Exceeding it fails the request with
-	// ErrBudgetExceeded.
+	// Limits bounds each request: engine steps (MaxSteps, default
+	// 10_000_000), simulated cycles (MaxCycles), and wall-clock time
+	// (Timeout). Exceeding a step or cycle bound fails the request
+	// with ErrBudgetExceeded; exceeding the timeout fails it with
+	// context.DeadlineExceeded. The same struct configures the
+	// execution engines (exec.Options), so the knobs are no longer
+	// duplicated across the two layers.
+	exec.Limits
+	// MaxStepsPerRequest bounds each request's language steps.
+	//
+	// Deprecated: set Limits.MaxSteps instead. A non-zero value still
+	// applies when MaxSteps is zero.
 	MaxStepsPerRequest int
-	// MaxCyclesPerRequest, when non-zero, bounds each request's
-	// simulated cycles; exceeding it fails the request with
-	// ErrBudgetExceeded.
+	// MaxCyclesPerRequest bounds each request's simulated cycles.
+	//
+	// Deprecated: set Limits.MaxCycles instead. A non-zero value still
+	// applies when MaxCycles is zero.
 	MaxCyclesPerRequest uint64
 	// Metrics receives instrumentation. Leave nil to have the server
 	// allocate its own; a Pool installs one shared accumulator across
 	// its workers.
 	Metrics *obs.Metrics
-	// RequestTimeout, when positive, bounds each request with a
-	// deadline: Handle derives a per-request context, so a stalled or
-	// runaway request fails with context.DeadlineExceeded instead of
-	// holding its shard forever.
+	// RequestTimeout bounds each request with a wall-clock deadline.
+	//
+	// Deprecated: set Limits.Timeout instead. A non-zero value still
+	// applies when Timeout is zero.
 	RequestTimeout time.Duration
 	// Injector, when non-nil, threads scheduled faults through the
 	// engine (and, under a Pool, the submit and serve paths). Nil — the
@@ -185,10 +195,30 @@ type Options struct {
 	shard int
 }
 
-// withDefaults fills zero fields.
+// effectiveLimits folds the deprecated per-field aliases into the
+// embedded Limits: an explicit Limits field wins, a zero one falls
+// back to its alias.
+func (o Options) effectiveLimits() exec.Limits {
+	l := o.Limits
+	if l.MaxSteps == 0 {
+		l.MaxSteps = o.MaxStepsPerRequest
+	}
+	if l.MaxCycles == 0 {
+		l.MaxCycles = o.MaxCyclesPerRequest
+	}
+	if l.Timeout == 0 {
+		l.Timeout = o.RequestTimeout
+	}
+	return l
+}
+
+// withDefaults fills zero fields and resolves the deprecated limit
+// aliases into the embedded Limits, the single source of truth from
+// here on.
 func (o Options) withDefaults() Options {
-	if o.MaxStepsPerRequest == 0 {
-		o.MaxStepsPerRequest = 10_000_000
+	o.Limits = o.effectiveLimits()
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 10_000_000
 	}
 	if o.Metrics == nil {
 		o.Metrics = obs.NewMetrics()
@@ -196,16 +226,14 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// validate reports the first configuration error.
+// validate reports the first configuration error. Limit checking is
+// delegated to the one exec.Limits.Validate.
 func (o Options) validate() error {
 	if o.Env == nil {
 		return ErrNoEnv
 	}
-	if o.MaxStepsPerRequest < 0 {
-		return fmt.Errorf("%w: MaxStepsPerRequest must be ≥ 0", ErrBadOptions)
-	}
-	if o.RequestTimeout < 0 {
-		return fmt.Errorf("%w: RequestTimeout must be ≥ 0", ErrBadOptions)
+	if err := o.effectiveLimits().Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadOptions, err)
 	}
 	return nil
 }
@@ -235,13 +263,10 @@ func New(prog *ast.Program, res *types.Result, opts Options) (*Server, error) {
 		Scheme:            opts.Scheme,
 		Policy:            opts.Policy,
 		DisableMitigation: opts.DisableMitigation,
-		Budget: budget.Budget{
-			MaxSteps:  opts.MaxStepsPerRequest,
-			MaxCycles: opts.MaxCyclesPerRequest,
-		},
-		Metrics:  opts.Metrics,
-		Injector: opts.Injector,
-		Shard:    opts.shard,
+		Limits:            opts.Limits,
+		Metrics:           opts.Metrics,
+		Injector:          opts.Injector,
+		Shard:             opts.shard,
 	})
 	if err != nil {
 		// An injected construction fault is transient infrastructure
@@ -296,11 +321,8 @@ func (s *Server) Handle(ctx context.Context, req Request) (*Response, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, s.fail(err)
 	}
-	if s.opts.RequestTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
-		defer cancel()
-	}
+	// The request's wall-clock bound (Limits.Timeout) is applied by the
+	// engine itself, which derives a deadline context per Run.
 	// The engine splices the persistent mitigation state in before the
 	// run and copies the (possibly inflated) counters back only on
 	// success, so an aborted request never updates it.

@@ -1,0 +1,153 @@
+// Command smokeserve is the end-to-end smoke test for `timingc serve
+// -listen`: it builds the real binary, starts it on an ephemeral
+// loopback port, drives it through the client SDK (health, a
+// 100-request batch, a metrics scrape in both formats), then sends
+// SIGINT and checks for a clean drain. Run via `make smoke-serve`.
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/transport/client"
+	"repro/internal/transport/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "smoke-serve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("smoke-serve: OK")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "smokeserve")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	bin := filepath.Join(tmp, "timingc")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/timingc")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build timingc: %w", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	srv := exec.CommandContext(ctx, bin,
+		"serve", "-listen", "127.0.0.1:0", "-workers", "2",
+		filepath.Join("testdata", "mitigated.tc"))
+	srv.Stderr = os.Stderr
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return fmt.Errorf("start serve: %w", err)
+	}
+	defer srv.Process.Kill()
+
+	// The serve command announces its bound address first; everything
+	// after that is the shutdown transcript, drained in the background
+	// so the final checks can read it.
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "listening on http://"); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		return fmt.Errorf("serve never announced its address (scan err: %v)", sc.Err())
+	}
+	rest := make(chan string, 1)
+	go func() {
+		var b strings.Builder
+		for sc.Scan() {
+			b.WriteString(sc.Text())
+			b.WriteString("\n")
+		}
+		rest <- b.String()
+	}()
+
+	base := "http://" + addr
+	c := client.New(base, client.Options{MaxRetries: 3, RetrySeed: 1})
+
+	health, err := c.Health(ctx)
+	if err != nil {
+		return fmt.Errorf("health: %w", err)
+	}
+	if health.Status != wire.StatusOK || health.Workers != 2 {
+		return fmt.Errorf("health = %+v", health)
+	}
+
+	const n = 100
+	reqs := make([]wire.RunRequest, n)
+	for i := range reqs {
+		reqs[i] = wire.RunRequest{Inputs: map[string]int64{"h": int64(i % 64)}}
+	}
+	batch, err := c.RunBatch(ctx, reqs)
+	if err != nil {
+		return fmt.Errorf("batch: %w", err)
+	}
+	if len(batch.Results) != n {
+		return fmt.Errorf("batch returned %d results, want %d", len(batch.Results), n)
+	}
+	for i, res := range batch.Results {
+		if err := client.Err(res); err != nil {
+			return fmt.Errorf("batch item %d: %w", i, err)
+		}
+		if res.Response.Time == 0 {
+			return fmt.Errorf("batch item %d: zero simulated time", i)
+		}
+	}
+
+	export, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if export.Requests < n {
+		return fmt.Errorf("metrics count %d requests, want >= %d", export.Requests, n)
+	}
+	if export.Mitigations == 0 {
+		return fmt.Errorf("no mitigations recorded: %+v", export)
+	}
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		return fmt.Errorf("prometheus scrape: %w", err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"timingc_requests_total", "timingc_mitigations_total", "timingc_latency_cycles_bucket"} {
+		if !strings.Contains(string(prom), want) {
+			return fmt.Errorf("prometheus exposition missing %s:\n%s", want, prom)
+		}
+	}
+
+	if err := srv.Process.Signal(os.Interrupt); err != nil {
+		return fmt.Errorf("interrupt: %w", err)
+	}
+	if err := srv.Wait(); err != nil {
+		return fmt.Errorf("serve exited uncleanly: %w", err)
+	}
+	tail := <-rest
+	for _, want := range []string{"draining", "served"} {
+		if !strings.Contains(tail, want) {
+			return fmt.Errorf("shutdown transcript missing %q:\n%s", want, tail)
+		}
+	}
+	return nil
+}

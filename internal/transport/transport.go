@@ -1,0 +1,408 @@
+// Package transport is the HTTP/JSON front-end of the mitigation
+// service: a versioned wire API (see internal/transport/wire) over a
+// sharded server.Pool.
+//
+//	POST /v1/run      — one request: scalar inputs in, timing result out
+//	POST /v1/batch    — a burst, served via the pool's batched path
+//	GET  /v1/metrics  — obs.Export as Prometheus text (or JSON)
+//	GET  /v1/healthz  — liveness and drain state
+//
+// The transport owns admission control (queue saturation and drain map
+// to 503 + Retry-After, reusing the pool's load-shedding sentinels) and
+// graceful shutdown (Shutdown stops admitting, waits for in-flight
+// requests, then drains the pool). It converts between wire DTOs and
+// internal structs at the boundary; nothing internal leaks into the
+// network contract.
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/lang/ast"
+	"repro/internal/sem/mem"
+	"repro/internal/server"
+	"repro/internal/transport/wire"
+)
+
+// statusClientClosedRequest is the de-facto status for "client went
+// away" (nginx's 499): the run was canceled by the caller, not failed
+// by the service.
+const statusClientClosedRequest = 499
+
+// Options configure a Handler.
+type Options struct {
+	// Pool serves the requests; required. The handler takes ownership
+	// at Shutdown (which closes it).
+	Pool *server.Pool
+	// Prog is the served program; required. Input names are validated
+	// against its declarations before a request is admitted, because
+	// memory writes trap on undeclared names.
+	Prog *ast.Program
+	// MaxInFlight bounds concurrently admitted HTTP requests; beyond it
+	// the transport sheds with 503 before touching the pool. 0 means no
+	// transport-level bound (the pool's queue backpressure still
+	// applies).
+	MaxInFlight int
+	// RetryAfter is the delay advertised on 503 responses (Retry-After
+	// header and retry_after_ms body field). Default 1s.
+	RetryAfter time.Duration
+}
+
+// Handler is the HTTP front-end. Create with New; it implements
+// http.Handler and is safe for concurrent use.
+type Handler struct {
+	opts Options
+	mux  *http.ServeMux
+	// names is a template memory over the served program, used only for
+	// declaration lookups (never written).
+	names *mem.Memory
+
+	mu       sync.Mutex
+	inFlight int
+	draining bool
+	idle     chan struct{} // closed when draining and inFlight hits 0
+}
+
+// New builds the handler.
+func New(opts Options) (*Handler, error) {
+	if opts.Pool == nil {
+		return nil, errors.New("transport: Options.Pool is required")
+	}
+	if opts.Prog == nil {
+		return nil, errors.New("transport: Options.Prog is required")
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
+	h := &Handler{opts: opts, names: mem.New(opts.Prog)}
+	h.mux = http.NewServeMux()
+	h.mux.HandleFunc("POST /v1/run", h.handleRun)
+	h.mux.HandleFunc("POST /v1/batch", h.handleBatch)
+	h.mux.HandleFunc("GET /v1/metrics", h.handleMetrics)
+	h.mux.HandleFunc("GET /v1/healthz", h.handleHealthz)
+	return h, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// Mux exposes the underlying mux so callers can mount additional
+// routes (the CLI mounts pprof) on the same listener.
+func (h *Handler) Mux() *http.ServeMux { return h.mux }
+
+// begin admits one request, or reports why not. The error, when
+// non-nil, is already wire-shaped.
+func (h *Handler) begin() *wire.Error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.draining {
+		return &wire.Error{
+			Code:         wire.CodeShuttingDown,
+			Message:      "service is draining",
+			RetryAfterMS: h.opts.RetryAfter.Milliseconds(),
+		}
+	}
+	if h.opts.MaxInFlight > 0 && h.inFlight >= h.opts.MaxInFlight {
+		return &wire.Error{
+			Code:         wire.CodeOverloaded,
+			Message:      "too many in-flight requests",
+			RetryAfterMS: h.opts.RetryAfter.Milliseconds(),
+		}
+	}
+	h.inFlight++
+	return nil
+}
+
+// end releases an admission; the last in-flight request out signals a
+// waiting Shutdown.
+func (h *Handler) end() {
+	h.mu.Lock()
+	h.inFlight--
+	if h.draining && h.inFlight == 0 && h.idle != nil {
+		close(h.idle)
+		h.idle = nil
+	}
+	h.mu.Unlock()
+}
+
+// Shutdown drains gracefully: new work is refused with 503
+// shutting_down, in-flight requests run to completion, then the pool is
+// closed. Returns ctx.Err() if the context expires first (the pool is
+// then still closed, aborting whatever remained). Safe to call more
+// than once.
+func (h *Handler) Shutdown(ctx context.Context) error {
+	h.mu.Lock()
+	if !h.draining {
+		h.draining = true
+		if h.inFlight > 0 {
+			h.idle = make(chan struct{})
+		}
+	}
+	idle := h.idle
+	h.mu.Unlock()
+
+	var err error
+	if idle != nil {
+		select {
+		case <-idle:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+	}
+	h.opts.Pool.Close()
+	return err
+}
+
+// Draining reports whether Shutdown has begun.
+func (h *Handler) Draining() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.draining
+}
+
+// ---------------------------------------------------------------------------
+// Endpoints
+
+func (h *Handler) handleRun(w http.ResponseWriter, r *http.Request) {
+	if werr := h.begin(); werr != nil {
+		h.writeError(w, werr)
+		return
+	}
+	defer h.end()
+
+	var req wire.RunRequest
+	if werr := decodeBody(r, &req); werr != nil {
+		h.writeError(w, werr)
+		return
+	}
+	if werr := checkVersion(req.SchemaVersion); werr != nil {
+		h.writeError(w, werr)
+		return
+	}
+	sreq, werr := h.toRequest(req)
+	if werr != nil {
+		h.writeError(w, werr)
+		return
+	}
+	resp, err := h.opts.Pool.Handle(r.Context(), sreq)
+	if err != nil {
+		h.writeError(w, h.toWireError(err))
+		return
+	}
+	out := toRunResponse(resp, req)
+	server.ReleaseResponse(resp)
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if werr := h.begin(); werr != nil {
+		h.writeError(w, werr)
+		return
+	}
+	defer h.end()
+
+	var req wire.BatchRequest
+	if werr := decodeBody(r, &req); werr != nil {
+		h.writeError(w, werr)
+		return
+	}
+	if werr := checkVersion(req.SchemaVersion); werr != nil {
+		h.writeError(w, werr)
+		return
+	}
+	// Validate every item before submitting any: a batch with a typo'd
+	// input name fails fast as one invalid request, not as a half-run
+	// burst.
+	sreqs := make([]server.Request, len(req.Requests))
+	for i, item := range req.Requests {
+		sreq, werr := h.toRequest(item)
+		if werr != nil {
+			werr.Message = fmt.Sprintf("request %d: %s", i, werr.Message)
+			h.writeError(w, werr)
+			return
+		}
+		sreqs[i] = sreq
+	}
+	resps, errs := h.opts.Pool.HandleAllErrs(r.Context(), sreqs)
+	out := wire.BatchResponse{
+		SchemaVersion: wire.SchemaVersion,
+		Results:       make([]wire.BatchResult, len(sreqs)),
+	}
+	for i := range sreqs {
+		if errs[i] != nil {
+			out.Results[i].Error = h.toWireError(errs[i])
+			continue
+		}
+		rr := toRunResponse(resps[i], req.Requests[i])
+		out.Results[i].Response = &rr
+		server.ReleaseResponse(resps[i])
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	export := h.opts.Pool.Snapshot().Export()
+	if r.URL.Query().Get("format") == "json" || r.Header.Get("Accept") == "application/json" {
+		writeJSON(w, http.StatusOK, export)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	writeProm(w, export)
+}
+
+func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := wire.StatusOK
+	if h.Draining() {
+		status = wire.StatusDraining
+	}
+	writeJSON(w, http.StatusOK, wire.Health{
+		SchemaVersion: wire.SchemaVersion,
+		Status:        status,
+		Engine:        h.opts.Pool.Shard(0).Engine(),
+		Workers:       h.opts.Pool.Workers(),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Conversions
+
+// decodeBody parses a JSON body, rejecting unknown fields so typos
+// fail loudly instead of silently defaulting.
+func decodeBody(r *http.Request, dst any) *wire.Error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return &wire.Error{Code: wire.CodeInvalidRequest, Message: err.Error()}
+	}
+	return nil
+}
+
+// checkVersion accepts the current schema version or 0 (meaning
+// "current").
+func checkVersion(v int) *wire.Error {
+	if v != 0 && v != wire.SchemaVersion {
+		return &wire.Error{
+			Code:    wire.CodeInvalidRequest,
+			Message: fmt.Sprintf("unsupported schema_version %d (this server speaks %d)", v, wire.SchemaVersion),
+		}
+	}
+	return nil
+}
+
+// toRequest validates a wire request's input names against the served
+// program and builds the memory-setup closure. Validation happens here,
+// at admission, because mem.Set panics on undeclared names — a malformed
+// request must be a 400, not a worker crash.
+func (h *Handler) toRequest(req wire.RunRequest) (server.Request, *wire.Error) {
+	for name := range req.Inputs {
+		if !h.names.HasScalar(name) {
+			return nil, &wire.Error{
+				Code:    wire.CodeUnknownInput,
+				Message: fmt.Sprintf("input %q is not a declared scalar of the served program", name),
+			}
+		}
+	}
+	inputs := req.Inputs
+	return func(m *mem.Memory) {
+		for name, v := range inputs {
+			m.Set(name, v)
+		}
+	}, nil
+}
+
+// toRunResponse converts a pool response, including the trace and
+// mitigation records only when the request opted in.
+func toRunResponse(resp *server.Response, req wire.RunRequest) wire.RunResponse {
+	out := wire.RunResponse{
+		SchemaVersion:  wire.SchemaVersion,
+		Index:          resp.Index,
+		Shard:          resp.Shard,
+		ShardIndex:     resp.ShardIndex,
+		Time:           resp.Time,
+		Mispredictions: resp.Mispredictions,
+	}
+	if req.Trace {
+		out.Trace = make([]wire.Event, len(resp.Trace))
+		for i, e := range resp.Trace {
+			out.Trace[i] = wire.Event{Var: e.Var, Value: e.Value, Time: e.Time}
+		}
+	}
+	if req.Mitigations {
+		out.Mitigations = make([]wire.MitRecord, len(resp.Mitigations))
+		for i, m := range resp.Mitigations {
+			out.Mitigations[i] = wire.MitRecord{
+				ID: m.ID, Duration: m.Duration, Elapsed: m.Elapsed,
+				Start: m.Start, Mispredicted: m.Mispredicted,
+			}
+		}
+	}
+	return out
+}
+
+// toWireError maps a pool error onto the stable wire vocabulary. The
+// sentinel checks mirror the service's own taxonomy: saturation and
+// shutdown are retryable-with-delay, budget exhaustion is the caller's
+// program being too big, deadline/cancel are timing outcomes.
+func (h *Handler) toWireError(err error) *wire.Error {
+	retryMS := h.opts.RetryAfter.Milliseconds()
+	switch {
+	case errors.Is(err, server.ErrOverloaded):
+		return &wire.Error{Code: wire.CodeOverloaded, Message: err.Error(), RetryAfterMS: retryMS}
+	case errors.Is(err, server.ErrPoolClosed):
+		return &wire.Error{Code: wire.CodeShuttingDown, Message: err.Error(), RetryAfterMS: retryMS}
+	case errors.Is(err, server.ErrBudgetExceeded):
+		return &wire.Error{Code: wire.CodeBudgetExceeded, Message: err.Error()}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &wire.Error{Code: wire.CodeDeadlineExceeded, Message: err.Error()}
+	case errors.Is(err, context.Canceled):
+		return &wire.Error{Code: wire.CodeCanceled, Message: err.Error()}
+	default:
+		return &wire.Error{Code: wire.CodeInternal, Message: err.Error()}
+	}
+}
+
+// statusFor maps a wire error code to its HTTP status.
+func statusFor(code string) int {
+	switch code {
+	case wire.CodeInvalidRequest, wire.CodeUnknownInput:
+		return http.StatusBadRequest
+	case wire.CodeBudgetExceeded:
+		return http.StatusUnprocessableEntity
+	case wire.CodeOverloaded, wire.CodeShuttingDown:
+		return http.StatusServiceUnavailable
+	case wire.CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	case wire.CodeCanceled:
+		return statusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeError emits a wire error with its HTTP status; 503s carry a
+// Retry-After header so well-behaved clients back off.
+func (h *Handler) writeError(w http.ResponseWriter, werr *wire.Error) {
+	status := statusFor(werr.Code)
+	if status == http.StatusServiceUnavailable && werr.RetryAfterMS > 0 {
+		secs := (werr.RetryAfterMS + 999) / 1000 // Retry-After is whole seconds; round up
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, status, struct {
+		Error *wire.Error `json:"error"`
+	}{werr})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden wire fixtures")
+
+// goldenDir is the fixture home; it lives under internal/transport so
+// the transport tests and this package share one set of frozen bytes.
+const goldenDir = "../testdata/wire"
+
+// goldenCases are canonical instances of every wire type. Their JSON
+// renderings are the compatibility contract: if an innocent-looking
+// struct change alters these bytes, the schema changed, and either the
+// change is wrong or SchemaVersion must bump along with the fixtures
+// (go test ./internal/transport/wire -update).
+var goldenCases = []struct {
+	name  string
+	value any
+}{
+	{"run_request", RunRequest{
+		SchemaVersion: SchemaVersion,
+		Inputs:        map[string]int64{"h": 42},
+		Trace:         true,
+		Mitigations:   true,
+	}},
+	{"run_response", RunResponse{
+		SchemaVersion:  SchemaVersion,
+		Index:          7,
+		Shard:          1,
+		ShardIndex:     3,
+		Time:           4096,
+		Mispredictions: 1,
+		Trace:          []Event{{Var: "reply", Value: 1, Time: 4095}},
+		Mitigations:    []MitRecord{{ID: 1, Duration: 4096, Elapsed: 731, Start: 0, Mispredicted: true}},
+	}},
+	{"batch_request", BatchRequest{
+		SchemaVersion: SchemaVersion,
+		Requests: []RunRequest{
+			{Inputs: map[string]int64{"h": 1}},
+			{Inputs: map[string]int64{"h": 2}, Trace: true},
+		},
+	}},
+	{"batch_response", BatchResponse{
+		SchemaVersion: SchemaVersion,
+		Results: []BatchResult{
+			{Response: &RunResponse{SchemaVersion: SchemaVersion, Index: 0, Time: 1024}},
+			{Error: &Error{Code: CodeOverloaded, Message: "queue saturated", RetryAfterMS: 1000}},
+		},
+	}},
+	{"error_budget", Error{Code: CodeBudgetExceeded, Message: "request exceeded step budget"}},
+	{"health", Health{SchemaVersion: SchemaVersion, Status: StatusOK, Engine: "vm", Workers: 4}},
+}
+
+// TestGoldenFixtures freezes the wire schema byte for byte, in both
+// directions: marshaling the canonical values must reproduce the
+// fixtures exactly, and the fixtures must round-trip losslessly.
+func TestGoldenFixtures(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(goldenDir, tc.name+".json")
+			got, err := json.MarshalIndent(tc.value, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			if *update {
+				if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("wire schema for %s changed:\n got:\n%s\n want:\n%s\n"+
+					"If this is intentional, bump SchemaVersion and refresh with -update.",
+					tc.name, got, want)
+			}
+			// Round-trip: the frozen bytes decode back to the canonical
+			// value (marshaling again reproduces them), so old clients'
+			// payloads keep parsing.
+			fresh := newValue(tc.value)
+			if err := json.Unmarshal(want, fresh); err != nil {
+				t.Fatalf("golden fixture no longer parses: %v", err)
+			}
+			again, err := json.MarshalIndent(deref(fresh), "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(append(again, '\n'), want) {
+				t.Errorf("fixture %s does not round-trip:\n%s", tc.name, again)
+			}
+		})
+	}
+}
+
+// newValue allocates a fresh zero value of v's type for unmarshaling.
+func newValue(v any) any {
+	switch v.(type) {
+	case RunRequest:
+		return new(RunRequest)
+	case RunResponse:
+		return new(RunResponse)
+	case BatchRequest:
+		return new(BatchRequest)
+	case BatchResponse:
+		return new(BatchResponse)
+	case Error:
+		return new(Error)
+	case Health:
+		return new(Health)
+	}
+	panic("unknown golden type")
+}
+
+// deref returns the pointee so marshaling matches the value case.
+func deref(v any) any {
+	switch p := v.(type) {
+	case *RunRequest:
+		return *p
+	case *RunResponse:
+		return *p
+	case *BatchRequest:
+		return *p
+	case *BatchResponse:
+		return *p
+	case *Error:
+		return *p
+	case *Health:
+		return *p
+	}
+	return v
+}
