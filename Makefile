@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all ci vet build test race bench bench-smoke bench-engines bench-scaling profile engines chaos fuzz-smoke smoke-serve harness quick clean
+.PHONY: all ci vet build test race bench bench-smoke bench-engines bench-scaling bench-sessions profile engines chaos fuzz-smoke smoke-serve harness quick clean
 
 all: ci
 
@@ -84,6 +84,17 @@ bench-scaling:
 	@rm -f bench_scaling.txt
 	@echo wrote BENCH_scaling.json
 
+# bench-sessions records the tenant-session manager's admission hot
+# path into BENCH_sessions.json: working sets of 1/100/10k tenants,
+# LRU eviction churn, and budget-checked admission, 3 runs each.
+# (ci's bench-smoke already executes these once per run, so the
+# benchmark code cannot rot; this target is the measurement.)
+bench-sessions:
+	$(GO) test -run '^$$' -bench BenchmarkSessionManager -benchtime 2s -count 3 -benchmem ./internal/session \
+	  | tee bench_sessions.txt | $(GO) run ./internal/tools/benchjson -o BENCH_sessions.json
+	@rm -f bench_sessions.txt
+	@echo wrote BENCH_sessions.json
+
 # profile captures a CPU profile of the scaling benchmark's vm-engine
 # hot path; inspect with `go tool pprof repro.test cpu.prof`.
 profile:
@@ -97,4 +108,4 @@ harness:
 quick: vet build test
 
 clean:
-	rm -f cpu.prof repro.test bench_engines.txt bench_scaling.txt
+	rm -f cpu.prof repro.test bench_engines.txt bench_scaling.txt bench_sessions.txt

@@ -1,32 +1,46 @@
 // Command harness regenerates every table and figure of the paper's
-// evaluation section (§8) and the leakage-bound experiment.
+// evaluation section (§8) and the extended experiments (leakage
+// bounds, service, faults, network, sessions).
 //
 // Usage:
 //
-//	harness [-experiment all|table1|figure7|table2|figure8|figure9|leakage|service|faults|network]
-//	        [-quick] [-format text|json|csv]
+//	harness [-experiment all|list|<name>] [-quick] [-format text|json|csv]
+//	        [-parallel] [-plot] [-engine tree|vm] [-seed N]
 //
+// `-experiment list` prints the registered experiments with one-line
+// summaries; the set is open — experiments self-register with
+// experiments.Register, and this command has no per-experiment code.
 // The text format is the human-readable table; json and csv emit the
-// raw data for external plotting (table1 is text-only).
+// raw data for external plotting (text-only experiments, like table1,
+// are skipped with a note under those formats).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
 )
 
 func main() {
 	which := flag.String("experiment", "all",
-		"experiment to run: all, table1, figure7, table2, figure8, figure9, leakage, service, faults, network")
+		"experiment to run: all, list, or one of "+strings.Join(experiments.Names(), ", "))
 	quick := flag.Bool("quick", false, "reduced-scale run (faster)")
 	format := flag.String("format", "text", "output format: text, json, csv")
-	parallel := flag.Bool("parallel", true, "fan independent figure7 probes across goroutines")
+	parallel := flag.Bool("parallel", true, "fan independent probes across goroutines where supported")
 	plot := flag.Bool("plot", false, "render figures as ASCII charts (text format only)")
-	engine := flag.String("engine", "tree", "execution engine for the service and network experiments: tree, vm")
+	engine := flag.String("engine", "tree", "execution engine for service-backed experiments: tree, vm")
+	seed := flag.Int64("seed", 0, "seed for randomized experiments (0 = experiment default)")
 	flag.Parse()
+
+	if *which == "list" {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.Name, e.Summary)
+		}
+		return
+	}
 
 	switch *format {
 	case "text", "json", "csv":
@@ -35,159 +49,54 @@ func main() {
 		os.Exit(2)
 	}
 
-	fail := func(name string, err error) {
-		fmt.Fprintf(os.Stderr, "harness: %s: %v\n", name, err)
-		os.Exit(1)
+	var run []experiments.Experiment
+	if *which == "all" {
+		run = experiments.All()
+	} else {
+		e, ok := experiments.Lookup(*which)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "harness: unknown experiment %q (want all, list, or one of %s)\n",
+				*which, strings.Join(experiments.Names(), ", "))
+			os.Exit(2)
+		}
+		run = []experiments.Experiment{e}
 	}
 
-	emit := func(name, text string, data experiments.CSV) {
+	opts := experiments.RunOptions{
+		Quick:    *quick,
+		Parallel: *parallel,
+		Plot:     *plot,
+		Engine:   *engine,
+		Seed:     *seed,
+	}
+	for _, e := range run {
+		rep, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "harness: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
 		switch *format {
 		case "text":
-			fmt.Print(text)
+			fmt.Print(rep.Text)
 			fmt.Println()
 		case "json":
-			if err := experiments.WriteJSON(os.Stdout, data); err != nil {
-				fail(name, err)
+			if rep.Data == nil {
+				fmt.Fprintf(os.Stderr, "harness: %s is text-only\n", e.Name)
+				continue
+			}
+			if err := experiments.WriteJSON(os.Stdout, rep.Data); err != nil {
+				fmt.Fprintf(os.Stderr, "harness: %s: %v\n", e.Name, err)
+				os.Exit(1)
 			}
 		case "csv":
-			if err := experiments.WriteCSV(os.Stdout, data); err != nil {
-				fail(name, err)
+			if rep.Data == nil {
+				fmt.Fprintf(os.Stderr, "harness: %s is text-only\n", e.Name)
+				continue
+			}
+			if err := experiments.WriteCSV(os.Stdout, rep.Data); err != nil {
+				fmt.Fprintf(os.Stderr, "harness: %s: %v\n", e.Name, err)
+				os.Exit(1)
 			}
 		}
 	}
-
-	want := func(name string) bool { return *which == "all" || *which == name }
-
-	if want("table1") {
-		if *format != "text" {
-			fmt.Fprintln(os.Stderr, "harness: table1 is configuration; text only")
-		} else {
-			fmt.Print(experiments.Table1())
-			fmt.Println()
-		}
-	}
-
-	if want("figure7") {
-		cfg := experiments.Figure7Config{}
-		if *quick {
-			cfg = cfg.Quick()
-		}
-		cfg.Parallel = *parallel
-		d, err := experiments.Figure7(cfg)
-		if err != nil {
-			fail("figure7", err)
-		}
-		text := d.Render() + fig7Summary(d)
-		if *plot {
-			text = d.Plot() + fig7Summary(d)
-		}
-		emit("figure7", text, d)
-	}
-
-	if want("table2") {
-		cfg := experiments.Table2Config{}
-		if *quick {
-			cfg = cfg.Quick()
-		}
-		d, err := experiments.Table2(cfg)
-		if err != nil {
-			fail("table2", err)
-		}
-		emit("table2", d.Render(), d)
-	}
-
-	if want("figure8") {
-		cfg := experiments.Figure8Config{}
-		if *quick {
-			cfg = cfg.Quick()
-		}
-		d, err := experiments.Figure8(cfg)
-		if err != nil {
-			fail("figure8", err)
-		}
-		text := d.Render()
-		if *plot {
-			text = d.Plot()
-		}
-		emit("figure8", text, d)
-	}
-
-	if want("figure9") {
-		cfg := experiments.Figure9Config{}
-		if *quick {
-			cfg = cfg.Quick()
-		}
-		d, err := experiments.Figure9(cfg)
-		if err != nil {
-			fail("figure9", err)
-		}
-		text := d.Render()
-		if *plot {
-			text = d.Plot()
-		}
-		emit("figure9", text, d)
-	}
-
-	if want("leakage") {
-		cfg := experiments.LeakageConfig{}
-		if *quick {
-			cfg = cfg.Quick()
-		}
-		d, err := experiments.LeakageBounds(cfg)
-		if err != nil {
-			fail("leakage", err)
-		}
-		emit("leakage", d.Render(), d)
-	}
-
-	if want("service") {
-		cfg := experiments.ServiceConfig{}
-		if *quick {
-			cfg = cfg.Quick()
-		}
-		cfg.Engine = *engine
-		d, err := experiments.Service(cfg)
-		if err != nil {
-			fail("service", err)
-		}
-		emit("service", d.Render(), d)
-	}
-
-	if want("faults") {
-		cfg := experiments.FaultsConfig{}
-		if *quick {
-			cfg = cfg.Quick()
-		}
-		d, err := experiments.Faults(cfg)
-		if err != nil {
-			fail("faults", err)
-		}
-		emit("faults", d.Render(), d)
-	}
-
-	if want("network") {
-		cfg := experiments.NetworkConfig{}
-		if *quick {
-			cfg = cfg.Quick()
-		}
-		cfg.Engine = *engine
-		d, err := experiments.Network(cfg)
-		if err != nil {
-			fail("network", err)
-		}
-		emit("network", d.Render(), d)
-	}
-}
-
-// fig7Summary appends the qualitative check to the text rendering.
-func fig7Summary(d *experiments.Figure7Data) string {
-	allEqual := true
-	for _, s := range d.Mitigated[1:] {
-		for i := range s.Times {
-			if s.Times[i] != d.Mitigated[0].Times[i] {
-				allEqual = false
-			}
-		}
-	}
-	return fmt.Sprintf("mitigated curves coincide: %v\n", allEqual)
 }

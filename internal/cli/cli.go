@@ -36,11 +36,13 @@ import (
 	"repro/internal/lattice"
 	"repro/internal/leakage"
 	"repro/internal/machine/hw"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/props"
 	"repro/internal/sem/full"
 	"repro/internal/sem/mem"
 	"repro/internal/server"
+	"repro/internal/session"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -545,6 +547,12 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 		"serve the HTTP/JSON API on this address (e.g. 127.0.0.1:8080) until interrupted, instead of driving -requests locally")
 	maxInflight := fs.Int("max-inflight", 0,
 		"with -listen, shed (503) beyond this many concurrent requests (0 = unbounded)")
+	sessionBudget := fs.Float64("session-budget", 0,
+		"with -listen, per-tenant leakage budget in bits before requests are refused with 429 (0 = unlimited)")
+	sessionTTL := fs.Duration("session-ttl", 0,
+		"with -listen, idle lifetime of a tenant session before its leakage account resets (0 = never)")
+	sessionMax := fs.Int("session-max", 0,
+		"with -listen, live tenant sessions kept before LRU eviction (0 = default 65536)")
 	pprofAddr := fs.String("pprof", "",
 		"serve net/http/pprof on this address (e.g. localhost:6060) while requests run; with -listen and an equal address the profiles share the API listener")
 	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = none)")
@@ -601,6 +609,33 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	if len(faults.plan) > 0 {
 		injector = fault.New(*faultSeed, faults.plan)
 	}
+	// Tenant sessions are a transport-layer feature: any -session-* flag
+	// enables the manager, which only the HTTP path consults.
+	sessionsOn := false
+	fs.Visit(func(f *flag.Flag) {
+		if strings.HasPrefix(f.Name, "session-") {
+			sessionsOn = true
+		}
+	})
+	if sessionsOn && *listen == "" {
+		return fmt.Errorf("serve: -session-budget/-session-ttl/-session-max require -listen")
+	}
+	// One metrics accumulator shared by the pool and the session
+	// manager, so /v1/metrics reports both.
+	met := obs.NewMetrics()
+	var sessions *session.Manager
+	if sessionsOn {
+		sessions, err = session.NewManager(session.Options{
+			Lat:         lat,
+			BudgetBits:  *sessionBudget,
+			TTL:         *sessionTTL,
+			MaxSessions: *sessionMax,
+			Metrics:     met,
+		})
+		if err != nil {
+			return err
+		}
+	}
 	pool, err := server.NewPool(prog, res, server.PoolOptions{
 		Workers:          *workers,
 		QueueDepth:       *queue,
@@ -611,19 +646,19 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 		Options: server.Options{
-			Env:                env,
-			Engine:             *engine,
-			DisableMitigation:  !*mitigate,
-			MaxStepsPerRequest: *maxSteps,
-			RequestTimeout:     *timeout,
-			Injector:           injector,
+			Env:               env,
+			Engine:            *engine,
+			DisableMitigation: !*mitigate,
+			Limits:            exec.Limits{MaxSteps: *maxSteps, Timeout: *timeout},
+			Injector:          injector,
+			Metrics:           met,
 		},
 	})
 	if err != nil {
 		return err
 	}
 	if *listen != "" {
-		return serveHTTP(pool, prog, *listen, *pprofAddr == *listen, *maxInflight, stdout, stderr)
+		return serveHTTP(pool, prog, sessions, *listen, *pprofAddr == *listen, *maxInflight, stdout, stderr)
 	}
 	reqs := make([]server.Request, *requests)
 	for i := range reqs {
@@ -694,11 +729,22 @@ var serveListenHook func(addr string, stop func())
 // serveHTTP runs the pool behind the HTTP/JSON transport until
 // interrupted, then drains gracefully: stop admitting, finish in-flight
 // requests, close the pool, print the final snapshot.
-func serveHTTP(pool *server.Pool, prog *ast.Program, addr string, sharePprof bool, maxInflight int, stdout, stderr io.Writer) error {
-	h, err := transport.New(transport.Options{Pool: pool, Prog: prog, MaxInFlight: maxInflight})
+func serveHTTP(pool *server.Pool, prog *ast.Program, sessions *session.Manager, addr string, sharePprof bool, maxInflight int, stdout, stderr io.Writer) error {
+	h, err := transport.New(transport.Options{Pool: pool, Prog: prog, MaxInFlight: maxInflight, Sessions: sessions})
 	if err != nil {
 		pool.Close()
 		return err
+	}
+	if sessions != nil {
+		budget := "unlimited"
+		if sessions.BudgetBits() > 0 {
+			budget = fmt.Sprintf("%.1f bits", sessions.BudgetBits())
+		}
+		ttl := "never expires"
+		if sessions.TTL() > 0 {
+			ttl = fmt.Sprintf("ttl %v", sessions.TTL())
+		}
+		fmt.Fprintf(stdout, "tenant sessions: budget %s per tenant, %s\n", budget, ttl)
 	}
 	if sharePprof {
 		mux := h.Mux()

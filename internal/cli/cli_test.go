@@ -654,3 +654,66 @@ func TestServeDeadlineAndShedFlagsAccepted(t *testing.T) {
 		t.Errorf("missing summary line:\n%s", out)
 	}
 }
+
+func TestServeSessionFlags(t *testing.T) {
+	// -session-budget with -listen: tenant requests carry session
+	// accounting, and the budget is enforced with 429s while the
+	// service keeps serving other tenants.
+	var firstBody, deniedBody, aliceBody, metricsBody string
+	var deniedStatus, aliceStatus int
+	code, out, errOut := serveListen(t, func(addr string) {
+		post := func(body string) (int, string) {
+			resp, err := http.Post("http://"+addr+"/v1/run", "application/json",
+				strings.NewReader(body))
+			if err != nil {
+				t.Fatalf("POST /v1/run: %v", err)
+			}
+			defer resp.Body.Close()
+			raw, _ := io.ReadAll(resp.Body)
+			return resp.StatusCode, string(raw)
+		}
+		var st int
+		st, firstBody = post(`{"tenant":"bob","inputs":{"h":63}}`)
+		if st != 200 {
+			t.Fatalf("first tenant request: status=%d body=%q", st, firstBody)
+		}
+		for i := 0; i < 50; i++ {
+			deniedStatus, deniedBody = post(`{"tenant":"bob","inputs":{"h":63}}`)
+			if deniedStatus != 200 {
+				break
+			}
+		}
+		aliceStatus, aliceBody = post(`{"tenant":"alice","inputs":{"h":1}}`)
+		_, metricsBody = httpGet(t, "http://"+addr+"/v1/metrics")
+	}, "-session-budget", "25", "-session-ttl", "1m", "-session-max", "100")
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "tenant sessions: budget 25.0 bits per tenant, ttl 1m0s") {
+		t.Errorf("missing session announcement:\n%s", out)
+	}
+	if !strings.Contains(firstBody, `"tenant":"bob"`) || !strings.Contains(firstBody, `"epoch":1`) {
+		t.Errorf("first response missing session fields: %q", firstBody)
+	}
+	if deniedStatus != 429 || !strings.Contains(deniedBody, "leakage_budget_exceeded") {
+		t.Errorf("budget denial: status=%d body=%q", deniedStatus, deniedBody)
+	}
+	if !strings.Contains(deniedBody, `"retry_after_ms":60000`) {
+		t.Errorf("denial missing Retry-After from TTL: %q", deniedBody)
+	}
+	if aliceStatus != 200 || !strings.Contains(aliceBody, `"tenant":"alice"`) {
+		t.Errorf("other tenant must be admitted: status=%d body=%q", aliceStatus, aliceBody)
+	}
+	if !strings.Contains(metricsBody, "timingc_sessions_active") ||
+		!strings.Contains(metricsBody, "timingc_budget_denials_total") {
+		t.Errorf("metrics missing session series:\n%s", metricsBody)
+	}
+}
+
+func TestServeSessionFlagsRequireListen(t *testing.T) {
+	code, _, errOut := run("serve", "-session-budget", "10",
+		testdataPath(t, "mitigated.tc"))
+	if code != 1 || !strings.Contains(errOut, "require -listen") {
+		t.Errorf("exit=%d stderr=%q", code, errOut)
+	}
+}

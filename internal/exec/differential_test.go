@@ -227,7 +227,7 @@ while (x < 1000000) [L, L] {
 	for _, engine := range []string{"tree", "vm"} {
 		// Step budget.
 		env := hw.MustEnv("flat", lat, hw.TinyConfig())
-		eng, err := NewEngine(engine, prog, res, env, Options{Budget: budget.Budget{MaxSteps: 50}})
+		eng, err := NewEngine(engine, prog, res, env, Options{Limits: Limits{MaxSteps: 50}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -237,7 +237,7 @@ while (x < 1000000) [L, L] {
 
 		// Cycle budget.
 		env = hw.MustEnv("flat", lat, hw.TinyConfig())
-		eng, err = NewEngine(engine, prog, res, env, Options{Budget: budget.Budget{MaxCycles: 100}})
+		eng, err = NewEngine(engine, prog, res, env, Options{Limits: Limits{MaxCycles: 100}})
 		if err != nil {
 			t.Fatal(err)
 		}

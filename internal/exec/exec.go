@@ -101,12 +101,6 @@ type Options struct {
 	// when Timeout is set — wall-clock time. Zero fields are
 	// unlimited.
 	Limits
-	// Budget bounds every Run.
-	//
-	// Deprecated: set the embedded Limits fields (MaxSteps, MaxCycles)
-	// instead. A non-zero Budget field still applies when the
-	// corresponding Limits field is zero.
-	Budget budget.Budget
 	// Metrics, when non-nil, receives instrumentation from every run.
 	Metrics *obs.Metrics
 	// Injector, when non-nil, delivers scheduled faults at the engine
@@ -118,20 +112,6 @@ type Options struct {
 	// engine (a pool sets worker i's shard to i), so shard-filtered
 	// fault rules can target one worker. Plain servers leave it 0.
 	Shard int
-}
-
-// EffectiveLimits resolves the limits a run is actually bounded by,
-// honoring the deprecated Budget aliases: an explicit Limits field
-// wins; a zero one falls back to the matching Budget field.
-func (o Options) EffectiveLimits() Limits {
-	l := o.Limits
-	if l.MaxSteps == 0 {
-		l.MaxSteps = o.Budget.MaxSteps
-	}
-	if l.MaxCycles == 0 {
-		l.MaxCycles = o.Budget.MaxCycles
-	}
-	return l
 }
 
 // injectRun evaluates the pre-run engine fault points shared by every

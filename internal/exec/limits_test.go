@@ -12,25 +12,6 @@ import (
 	"repro/internal/progen"
 )
 
-func TestEffectiveLimitsPrefersExplicitFields(t *testing.T) {
-	o := Options{
-		Limits: Limits{MaxSteps: 7, MaxCycles: 11, Timeout: time.Second},
-		Budget: budget.Budget{MaxSteps: 100, MaxCycles: 200},
-	}
-	got := o.EffectiveLimits()
-	if got.MaxSteps != 7 || got.MaxCycles != 11 || got.Timeout != time.Second {
-		t.Errorf("explicit Limits must win over deprecated Budget: %+v", got)
-	}
-}
-
-func TestEffectiveLimitsFallsBackToDeprecatedBudget(t *testing.T) {
-	o := Options{Budget: budget.Budget{MaxSteps: 100, MaxCycles: 200}}
-	got := o.EffectiveLimits()
-	if got.MaxSteps != 100 || got.MaxCycles != 200 {
-		t.Errorf("zero Limits must fall back to Budget: %+v", got)
-	}
-}
-
 func TestLimitsValidate(t *testing.T) {
 	if err := (Limits{MaxSteps: 1, Timeout: time.Millisecond}).Validate(); err != nil {
 		t.Errorf("valid limits rejected: %v", err)

@@ -64,7 +64,7 @@ func NewEngine(name string, prog *ast.Program, res *types.Result, env hw.Env, op
 	if !ok {
 		return nil, fmt.Errorf("exec: unknown engine %q (want one of %v)", name, EngineNames())
 	}
-	if err := opts.EffectiveLimits().Validate(); err != nil {
+	if err := opts.Limits.Validate(); err != nil {
 		return nil, err
 	}
 	return f(prog, res, env, opts)

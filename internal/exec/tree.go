@@ -19,7 +19,7 @@ type TreeEngine struct {
 	res    *types.Result
 	env    hw.Env
 	opts   Options
-	lim    Limits // resolved once at construction (see Options.EffectiveLimits)
+	lim    Limits // resolved once at construction from opts.Limits
 	result Result // reused across Run calls (see Engine contract)
 }
 
@@ -29,7 +29,7 @@ func newTreeEngine(prog *ast.Program, res *types.Result, env hw.Env, opts Option
 	if _, err := full.New(prog, res, env, treeOptions(opts)); err != nil {
 		return nil, err
 	}
-	return &TreeEngine{prog: prog, res: res, env: env, opts: opts, lim: opts.EffectiveLimits()}, nil
+	return &TreeEngine{prog: prog, res: res, env: env, opts: opts, lim: opts.Limits}, nil
 }
 
 func treeOptions(opts Options) full.Options {

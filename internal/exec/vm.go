@@ -24,7 +24,7 @@ type VMEngine struct {
 	src     *ast.Program
 	vm      *bytecode.VM
 	opts    Options
-	lim     Limits // resolved once at construction (see Options.EffectiveLimits)
+	lim     Limits // resolved once at construction from opts.Limits
 	scratch *mem.Memory
 	used    bool
 	result  Result // reused across Run calls (see Engine contract)
@@ -75,7 +75,7 @@ func newVMEngine(prog *ast.Program, res *types.Result, env hw.Env, opts Options)
 		src:     prog,
 		vm:      vm,
 		opts:    opts,
-		lim:     opts.EffectiveLimits(),
+		lim:     opts.Limits,
 		scratch: scratch,
 	}, nil
 }

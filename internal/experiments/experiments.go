@@ -26,6 +26,103 @@ import (
 	"repro/internal/machine/hw"
 )
 
+func init() {
+	MustRegister(Experiment{
+		Name: "table1", Order: 10,
+		Summary: "machine environment parameters (§8; text only)",
+		Run: func(RunOptions) (*Report, error) {
+			return &Report{Text: Table1()}, nil
+		},
+	})
+	MustRegister(Experiment{
+		Name: "figure7", Order: 20,
+		Summary: "login time across attempts, ± mitigation (§8.2)",
+		Run: func(o RunOptions) (*Report, error) {
+			cfg := Figure7Config{}
+			if o.Quick {
+				cfg = cfg.Quick()
+			}
+			cfg.Parallel = o.Parallel
+			d, err := Figure7(cfg)
+			if err != nil {
+				return nil, err
+			}
+			text := d.Render()
+			if o.Plot {
+				text = d.Plot()
+			}
+			return &Report{Text: text + fig7Summary(d), Data: d}, nil
+		},
+	})
+	MustRegister(Experiment{
+		Name: "table2", Order: 30,
+		Summary: "login time under {nopar, moff, mon} (§8.2)",
+		Run: func(o RunOptions) (*Report, error) {
+			cfg := Table2Config{}
+			if o.Quick {
+				cfg = cfg.Quick()
+			}
+			d, err := Table2(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return &Report{Text: d.Render(), Data: d}, nil
+		},
+	})
+	MustRegister(Experiment{
+		Name: "figure8", Order: 40,
+		Summary: "RSA decryption time for two keys, ± mitigation (§8.3)",
+		Run: func(o RunOptions) (*Report, error) {
+			cfg := Figure8Config{}
+			if o.Quick {
+				cfg = cfg.Quick()
+			}
+			d, err := Figure8(cfg)
+			if err != nil {
+				return nil, err
+			}
+			text := d.Render()
+			if o.Plot {
+				text = d.Plot()
+			}
+			return &Report{Text: text, Data: d}, nil
+		},
+	})
+	MustRegister(Experiment{
+		Name: "figure9", Order: 50,
+		Summary: "language-level vs system-level mitigation (§8.4)",
+		Run: func(o RunOptions) (*Report, error) {
+			cfg := Figure9Config{}
+			if o.Quick {
+				cfg = cfg.Quick()
+			}
+			d, err := Figure9(cfg)
+			if err != nil {
+				return nil, err
+			}
+			text := d.Render()
+			if o.Plot {
+				text = d.Plot()
+			}
+			return &Report{Text: text, Data: d}, nil
+		},
+	})
+}
+
+// fig7Summary appends the qualitative check — all mitigated curves
+// must coincide — to Figure 7's text rendering.
+func fig7Summary(d *Figure7Data) string {
+	allEqual := true
+	for _, s := range d.Mitigated[1:] {
+		for i := range s.Times {
+			if s.Times[i] != d.Mitigated[0].Times[i] {
+				allEqual = false
+			}
+		}
+	}
+	return fmt.Sprintf("mitigated curves coincide: %v\n", allEqual)
+}
+
 // HWOption names the three configurations of Table 2.
 type HWOption int
 

@@ -16,6 +16,25 @@ import (
 	"repro/internal/server"
 )
 
+func init() {
+	MustRegister(Experiment{
+		Name: "faults", Order: 80,
+		Summary: "fault schedule ± defensive machinery (retries, breaker)",
+		Run: func(o RunOptions) (*Report, error) {
+			cfg := FaultsConfig{}
+			if o.Quick {
+				cfg = cfg.Quick()
+			}
+			cfg.Seed = o.Seed
+			d, err := Faults(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return &Report{Text: d.Render(), Data: d}, nil
+		},
+	})
+}
+
 // FaultsData holds the fault-tolerance experiment: the login workload
 // through a sharded pool under a deterministic fault schedule, measured
 // with and without the defensive machinery (retries + circuit breaker),

@@ -39,6 +39,25 @@ reply := 1;
 // workload over loopback HTTP, with wire results checked for identity
 // against an in-process pool and host-time latency measured under
 // concurrent load.
+func init() {
+	MustRegister(Experiment{
+		Name: "network", Order: 90,
+		Summary: "HTTP transport fidelity and loopback latency",
+		Run: func(o RunOptions) (*Report, error) {
+			cfg := NetworkConfig{}
+			if o.Quick {
+				cfg = cfg.Quick()
+			}
+			cfg.Engine = o.Engine
+			d, err := Network(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return &Report{Text: d.Render(), Data: d}, nil
+		},
+	})
+}
+
 type NetworkData struct {
 	Requests    int
 	Workers     int

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// RunOptions are the harness-level knobs shared by every experiment.
+// An experiment reads the knobs that apply to it and ignores the rest
+// (Engine, say, only matters to the service-backed experiments).
+type RunOptions struct {
+	// Quick selects the reduced-scale configuration.
+	Quick bool
+	// Parallel fans independent probes across goroutines where the
+	// experiment supports it.
+	Parallel bool
+	// Plot renders figures as ASCII charts instead of tables.
+	Plot bool
+	// Engine names the execution engine for service-backed experiments
+	// ("tree", "vm").
+	Engine string
+	// Seed fixes the pseudo-random choices of randomized experiments.
+	Seed int64
+}
+
+// Report is one experiment's output: the human-readable text and,
+// when the experiment produces tabular data, its CSV/JSON form. A nil
+// Data marks a text-only experiment (table1 is configuration, not
+// measurement).
+type Report struct {
+	Text string
+	Data CSV
+}
+
+// Experiment is one registered evaluation artifact: a stable name the
+// harness dispatches on, a one-line summary for `-experiment list`,
+// and the runner.
+type Experiment struct {
+	// Name is the harness-facing identifier (figure7, leakage, ...).
+	Name string
+	// Summary is the one-line description shown by `-experiment list`.
+	Summary string
+	// Order fixes the position in All() — the paper's presentation
+	// order, independent of registration order.
+	Order int
+	// Run executes the experiment.
+	Run func(RunOptions) (*Report, error)
+}
+
+// The registry maps experiment names to their runners, mirroring the
+// engine registry in internal/exec. Built-ins register from init
+// functions next to their implementations; tests and future
+// experiments can add their own.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Experiment{}
+)
+
+// Register adds an experiment. It reports an error when the name is
+// empty, the runner nil, or the name already taken.
+func Register(e Experiment) error {
+	if e.Name == "" || e.Run == nil {
+		return fmt.Errorf("experiments: Register needs a non-empty name and runner")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[e.Name]; dup {
+		return fmt.Errorf("experiments: %q already registered", e.Name)
+	}
+	registry[e.Name] = e
+	return nil
+}
+
+// MustRegister is Register, panicking on error; for init-time use.
+func MustRegister(e Experiment) {
+	if err := Register(e); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the named experiment.
+func Lookup(name string) (Experiment, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	e, ok := registry[name]
+	return e, ok
+}
+
+// All returns every registered experiment in presentation order
+// (Order, then Name for stability among equals).
+func All() []Experiment {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Order != out[j].Order {
+			return out[i].Order < out[j].Order
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Names returns the experiment names in presentation order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, e := range all {
+		names[i] = e.Name
+	}
+	return names
+}

@@ -15,6 +15,25 @@ import (
 	"repro/internal/server"
 )
 
+func init() {
+	MustRegister(Experiment{
+		Name: "service", Order: 70,
+		Summary: "serial server vs sharded pool: determinism and speedup",
+		Run: func(o RunOptions) (*Report, error) {
+			cfg := ServiceConfig{}
+			if o.Quick {
+				cfg = cfg.Quick()
+			}
+			cfg.Engine = o.Engine
+			d, err := Service(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return &Report{Text: d.Render(), Data: d}, nil
+		},
+	})
+}
+
 // ServiceData holds the service-layer experiment: the same login
 // workload through a serial server and a sharded pool, with per-shard
 // determinism verified and the pool's instrumentation snapshot.

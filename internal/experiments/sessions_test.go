@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSessionsQuick asserts the experiment's acceptance claims at
+// quick scale: log-bound per-tenant leakage verified client-side,
+// independent interleaved epochs, the greedy tenant capped while the
+// modest one finishes untouched, and bit-exact replay under the seed.
+func TestSessionsQuick(t *testing.T) {
+	d, err := Sessions(SessionsConfig{}.Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IndependentEpochs {
+		t.Error("tenants' epoch sequences must be independent of interleaving")
+	}
+	if !d.BoundMatches {
+		t.Error("reported leakage must equal the client-side §7 recomputation")
+	}
+	if !d.GreedyDenied {
+		t.Error("the greedy tenant must run into the budget")
+	}
+	if !d.ModestUnaffected {
+		t.Error("the modest tenant must finish without a denial")
+	}
+	if !d.Deterministic {
+		t.Error("a fresh service under the same seed must replay exactly")
+	}
+	if len(d.Traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(d.Traces))
+	}
+	greedy, modest := d.Traces[0], d.Traces[1]
+	if greedy.RetryAfter != d.TTL {
+		t.Errorf("denial Retry-After = %v, want the TTL %v", greedy.RetryAfter, d.TTL)
+	}
+	if got := len(greedy.Epochs) + greedy.Denials; got != d.GreedyRequests {
+		t.Errorf("greedy served+denied = %d, want %d", got, d.GreedyRequests)
+	}
+	if len(modest.Epochs) != d.ModestRequests || modest.Denials != 0 {
+		t.Errorf("modest trace = %d served, %d denied", len(modest.Epochs), modest.Denials)
+	}
+	// The cumulative bound is monotone and concave-ish (log in K and
+	// T): strictly growing, with non-increasing late increments.
+	for i := 1; i < len(greedy.LeakageBits); i++ {
+		if greedy.LeakageBits[i] <= greedy.LeakageBits[i-1] {
+			t.Errorf("leakage must grow: step %d: %v -> %v",
+				i, greedy.LeakageBits[i-1], greedy.LeakageBits[i])
+		}
+	}
+	if n := len(greedy.LeakageBits); n >= 4 {
+		early := greedy.LeakageBits[1] - greedy.LeakageBits[0]
+		late := greedy.LeakageBits[n-1] - greedy.LeakageBits[n-2]
+		if late >= early {
+			t.Errorf("log-shaped bound must flatten: early step %v, late step %v", early, late)
+		}
+	}
+	if d.Export.SessionsCreated < 2 || d.Export.BudgetDenials == 0 {
+		t.Errorf("service accounting missing sessions: %+v", d.Export)
+	}
+}
+
+// TestSessionsRenderAndCSV smoke-checks the output forms.
+func TestSessionsRenderAndCSV(t *testing.T) {
+	d := &SessionsData{
+		GreedyRequests: 2, ModestRequests: 1, Workers: 1, Engine: "tree",
+		BudgetBits: 10, Seed: 1,
+		Traces: []SessionTrace{
+			{Tenant: "greedy", Epochs: []int{1, 2}, LeakageBits: []float64{3, 5}, Denials: 1, CumMitigations: 2, CumTime: 100},
+			{Tenant: "modest", Epochs: []int{1}, LeakageBits: []float64{3}, CumMitigations: 1, CumTime: 50},
+		},
+	}
+	text := d.Render()
+	for _, want := range []string{"greedy", "modest", "leakage curve"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+	if got := len(d.CSVRows()); got != 2 {
+		t.Errorf("CSV rows = %d, want one per tenant", got)
+	}
+	if len(d.CSVHeader()) != len(d.CSVRows()[0]) {
+		t.Error("CSV header/row width mismatch")
+	}
+}

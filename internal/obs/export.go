@@ -32,6 +32,12 @@ type Export struct {
 	Sheds         uint64 `json:"sheds"`
 	BreakerOpens  uint64 `json:"breaker_opens"`
 	BreakerCloses uint64 `json:"breaker_closes"`
+	// Tenant-session accounting (schema v2).
+	SessionsActive     int64  `json:"sessions_active"`
+	SessionsCreated    uint64 `json:"sessions_created"`
+	SessionsEvictedTTL uint64 `json:"sessions_evicted_ttl"`
+	SessionsEvictedLRU uint64 `json:"sessions_evicted_lru"`
+	BudgetDenials      uint64 `json:"budget_denials"`
 	// Latency is the per-request response-time distribution in
 	// simulated cycles.
 	Latency LatencyExport `json:"latency"`
@@ -40,8 +46,10 @@ type Export struct {
 	HW HWExport `json:"hw"`
 }
 
-// ExportSchemaVersion is the current Export layout version.
-const ExportSchemaVersion = 1
+// ExportSchemaVersion is the current Export layout version. Version 2
+// added the tenant-session gauge and counters; every v1 field is
+// unchanged, so v1 consumers can still read a v2 document.
+const ExportSchemaVersion = 2
 
 // LatencyExport is the stable form of the latency histogram: summary
 // statistics plus sparse cumulative power-of-two buckets.
@@ -95,22 +103,27 @@ type HWExport struct {
 // Export converts the snapshot into the stable export schema.
 func (s Snapshot) Export() Export {
 	return Export{
-		SchemaVersion:  ExportSchemaVersion,
-		Requests:       s.Requests,
-		Failures:       s.Failures,
-		Steps:          s.Steps,
-		Cycles:         s.Cycles,
-		PaddingCycles:  s.PaddingCycles,
-		UsefulCycles:   s.UsefulCycles(),
-		Mitigations:    s.Mitigations,
-		Mispredictions: s.Mispredictions,
-		ScheduleBumps:  s.ScheduleBumps,
-		Faults:         s.Faults,
-		Retries:        s.Retries,
-		Sheds:          s.Sheds,
-		BreakerOpens:   s.BreakerOpens,
-		BreakerCloses:  s.BreakerCloses,
-		Latency:        s.Latency.Export(),
+		SchemaVersion:      ExportSchemaVersion,
+		Requests:           s.Requests,
+		Failures:           s.Failures,
+		Steps:              s.Steps,
+		Cycles:             s.Cycles,
+		PaddingCycles:      s.PaddingCycles,
+		UsefulCycles:       s.UsefulCycles(),
+		Mitigations:        s.Mitigations,
+		Mispredictions:     s.Mispredictions,
+		ScheduleBumps:      s.ScheduleBumps,
+		Faults:             s.Faults,
+		Retries:            s.Retries,
+		Sheds:              s.Sheds,
+		BreakerOpens:       s.BreakerOpens,
+		BreakerCloses:      s.BreakerCloses,
+		SessionsActive:     s.SessionsActive,
+		SessionsCreated:    s.SessionsCreated,
+		SessionsEvictedTTL: s.SessionsEvictedTTL,
+		SessionsEvictedLRU: s.SessionsEvictedLRU,
+		BudgetDenials:      s.BudgetDenials,
+		Latency:            s.Latency.Export(),
 		HW: HWExport{
 			L1DHits: s.HW.L1DHits, L1DMisses: s.HW.L1DMisses,
 			L2DHits: s.HW.L2DHits, L2DMisses: s.HW.L2DMisses,

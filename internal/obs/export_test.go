@@ -22,6 +22,10 @@ func TestSnapshotExportCopiesCounters(t *testing.T) {
 	m.AddShed()
 	m.AddBreakerOpen()
 	m.AddBreakerClose()
+	m.AddSessionCreated()
+	m.AddSessionCreated()
+	m.AddSessionEvicted(true)
+	m.AddBudgetDenial()
 
 	s := m.Snapshot()
 	s.HW = hw.Stats{L1DHits: 9, L1DMisses: 1, BPHits: 3, BPMisses: 1}
@@ -41,6 +45,10 @@ func TestSnapshotExportCopiesCounters(t *testing.T) {
 	}
 	if e.Faults != 1 || e.Retries != 1 || e.Sheds != 1 || e.BreakerOpens != 1 || e.BreakerCloses != 1 {
 		t.Errorf("fault accounting: %+v", e)
+	}
+	if e.SessionsCreated != 2 || e.SessionsActive != 1 || e.SessionsEvictedTTL != 1 ||
+		e.SessionsEvictedLRU != 0 || e.BudgetDenials != 1 {
+		t.Errorf("session accounting: %+v", e)
 	}
 	if e.Latency.Count != 2 || e.Latency.Sum != 103 {
 		t.Errorf("latency summary: %+v", e.Latency)
@@ -88,7 +96,9 @@ func TestExportJSONFieldNames(t *testing.T) {
 		"schema_version", "requests", "failures", "steps", "cycles",
 		"padding_cycles", "useful_cycles", "mitigations", "mispredictions",
 		"schedule_bumps", "faults", "retries", "sheds", "breaker_opens",
-		"breaker_closes", "latency", "hw",
+		"breaker_closes", "sessions_active", "sessions_created",
+		"sessions_evicted_ttl", "sessions_evicted_lru", "budget_denials",
+		"latency", "hw",
 	} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("export JSON missing key %q", key)

@@ -47,6 +47,10 @@ type stripe struct {
 	sheds          atomic.Uint64
 	breakerOpens   atomic.Uint64
 	breakerCloses  atomic.Uint64
+	sessionsNew    atomic.Uint64
+	sessionsTTL    atomic.Uint64
+	sessionsLRU    atomic.Uint64
+	budgetDenials  atomic.Uint64
 	latency        Histogram
 }
 
@@ -55,6 +59,11 @@ type stripe struct {
 type metricsState struct {
 	mu      sync.Mutex // serializes growth
 	stripes atomic.Pointer[[]*stripe]
+	// sessionsActive is a gauge, not a counter, so it cannot be striped:
+	// increments and decrements from different handles must cancel in
+	// one place. A single shared atomic is fine — session create/evict
+	// is orders of magnitude rarer than per-request counter traffic.
+	sessionsActive atomic.Int64
 }
 
 // Metrics accumulates service-layer counters. Construct with
@@ -164,6 +173,28 @@ func (m *Metrics) AddBreakerOpen() { m.local.breakerOpens.Add(1) }
 // successful half-open probe.
 func (m *Metrics) AddBreakerClose() { m.local.breakerCloses.Add(1) }
 
+// AddSessionCreated records a new tenant session being admitted and
+// bumps the sessions-active gauge.
+func (m *Metrics) AddSessionCreated() {
+	m.local.sessionsNew.Add(1)
+	m.state.sessionsActive.Add(1)
+}
+
+// AddSessionEvicted records one session eviction and drops the gauge.
+// ttl distinguishes idle-expiry evictions from LRU capacity evictions.
+func (m *Metrics) AddSessionEvicted(ttl bool) {
+	if ttl {
+		m.local.sessionsTTL.Add(1)
+	} else {
+		m.local.sessionsLRU.Add(1)
+	}
+	m.state.sessionsActive.Add(-1)
+}
+
+// AddBudgetDenial records one request rejected at admission because
+// the tenant's cumulative leakage budget would be exceeded.
+func (m *Metrics) AddBudgetDenial() { m.local.budgetDenials.Add(1) }
+
 // Snapshot returns a consistent-enough point-in-time copy of the
 // counters, merged across every stripe. (Counters are read
 // individually; a snapshot taken while requests are in flight may tear
@@ -186,8 +217,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.Sheds += st.sheds.Load()
 		s.BreakerOpens += st.breakerOpens.Load()
 		s.BreakerCloses += st.breakerCloses.Load()
+		s.SessionsCreated += st.sessionsNew.Load()
+		s.SessionsEvictedTTL += st.sessionsTTL.Load()
+		s.SessionsEvictedLRU += st.sessionsLRU.Load()
+		s.BudgetDenials += st.budgetDenials.Load()
 		s.Latency = s.Latency.Merge(st.latency.Snapshot())
 	}
+	s.SessionsActive = m.state.sessionsActive.Load()
 	return s
 }
 
@@ -209,6 +245,15 @@ type Snapshot struct {
 	// BreakerCloses the per-shard circuit-breaker transitions.
 	Faults, Retries, Sheds      uint64
 	BreakerOpens, BreakerCloses uint64
+	// Session accounting: SessionsCreated counts tenant sessions ever
+	// admitted; SessionsEvictedTTL/LRU the evictions by cause;
+	// BudgetDenials the requests rejected over leakage budget;
+	// SessionsActive the point-in-time gauge of live sessions.
+	SessionsCreated    uint64
+	SessionsEvictedTTL uint64
+	SessionsEvictedLRU uint64
+	BudgetDenials      uint64
+	SessionsActive     int64
 	// Latency is the distribution of per-request response times.
 	Latency HistogramSnapshot
 	// HW holds cumulative cache/TLB/branch-predictor counters, summed
@@ -249,6 +294,11 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	out.Sheds += o.Sheds
 	out.BreakerOpens += o.BreakerOpens
 	out.BreakerCloses += o.BreakerCloses
+	out.SessionsCreated += o.SessionsCreated
+	out.SessionsEvictedTTL += o.SessionsEvictedTTL
+	out.SessionsEvictedLRU += o.SessionsEvictedLRU
+	out.BudgetDenials += o.BudgetDenials
+	out.SessionsActive += o.SessionsActive
 	out.Latency = s.Latency.Merge(o.Latency)
 	out.HW = s.HW.Add(o.HW)
 	return out
@@ -267,6 +317,10 @@ func (s Snapshot) String() string {
 	if s.Faults+s.Retries+s.Sheds+s.BreakerOpens > 0 {
 		fmt.Fprintf(&b, "fault tolerance:      %d faults injected, %d retries, %d shed, breaker %d opens / %d closes\n",
 			s.Faults, s.Retries, s.Sheds, s.BreakerOpens, s.BreakerCloses)
+	}
+	if s.SessionsCreated+s.BudgetDenials > 0 {
+		fmt.Fprintf(&b, "tenant sessions:      %d active / %d created, evicted %d ttl + %d lru, %d budget denials\n",
+			s.SessionsActive, s.SessionsCreated, s.SessionsEvictedTTL, s.SessionsEvictedLRU, s.BudgetDenials)
 	}
 	fmt.Fprintf(&b, "latency cycles:       mean %.0f, p50 ≤ %d, p99 ≤ %d, max ≤ %d\n",
 		s.Latency.Mean(), s.Latency.Quantile(0.50), s.Latency.Quantile(0.99), s.Latency.Quantile(1))

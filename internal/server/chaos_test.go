@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/machine/hw"
 )
@@ -282,9 +283,9 @@ while (i < 10000000) {
 `)
 	pool, err := NewPool(p, r, PoolOptions{
 		Options: Options{
-			Env:            hw.NewFlat(r.Lat, 2),
-			Engine:         "vm",
-			RequestTimeout: 200 * time.Microsecond,
+			Env:    hw.NewFlat(r.Lat, 2),
+			Engine: "vm",
+			Limits: exec.Limits{Timeout: 200 * time.Microsecond},
 		},
 		Workers: 2,
 	})

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/exec"
 	"repro/internal/lattice"
 	"repro/internal/machine/hw"
 )
@@ -118,7 +119,7 @@ while (x < 100000) [L,L] {
 `)
 	for _, engine := range []string{"tree", "vm"} {
 		env := hw.MustEnv("flat", lattice.TwoPoint(), hw.TinyConfig())
-		s, err := New(p, r, Options{Env: env, Engine: engine, MaxStepsPerRequest: 100})
+		s, err := New(p, r, Options{Env: env, Engine: engine, Limits: exec.Limits{MaxSteps: 100}})
 		if err != nil {
 			t.Fatal(err)
 		}

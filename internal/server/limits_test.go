@@ -10,50 +10,24 @@ import (
 	"repro/internal/machine/hw"
 )
 
-// The unified exec.Limits and the deprecated per-field aliases must
-// configure identical servers: same budget enforcement, same
-// validation.
+// The embedded exec.Limits is the single source of truth for every
+// per-request bound: budget enforcement, wall-clock timeout, and
+// validation all flow through it.
 
-func TestLimitsAndDeprecatedAliasesAgree(t *testing.T) {
+func TestLimitsEnforceStepBudget(t *testing.T) {
 	p, r := buildProg(t, echoSrc)
 	lat := r.Lat
 
-	viaLimits, err := New(p, r, Options{
+	srv, err := New(p, r, Options{
 		Env:    hw.NewPartitioned(lat, hw.Table1Config()),
 		Limits: exec.Limits{MaxSteps: 2},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaAlias, err := New(p, r, Options{
-		Env:                hw.NewPartitioned(lat, hw.Table1Config()),
-		MaxStepsPerRequest: 2,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for name, srv := range map[string]*Server{"limits": viaLimits, "alias": viaAlias} {
-		_, err := srv.Handle(ctxb(), setH(5))
-		if !errors.Is(err, ErrBudgetExceeded) {
-			t.Errorf("%s: tiny step budget must exhaust, got %v", name, err)
-		}
-	}
-}
-
-func TestLimitsFieldWinsOverAlias(t *testing.T) {
-	p, r := buildProg(t, echoSrc)
-	lat := r.Lat
-	// A generous explicit limit beats a starvation-level alias.
-	srv, err := New(p, r, Options{
-		Env:                hw.NewPartitioned(lat, hw.Table1Config()),
-		Limits:             exec.Limits{MaxSteps: 1_000_000},
-		MaxStepsPerRequest: 1,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := srv.Handle(ctxb(), setH(5)); err != nil {
-		t.Errorf("explicit MaxSteps must win over deprecated alias: %v", err)
+	_, err = srv.Handle(ctxb(), setH(5))
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("tiny step budget must exhaust, got %v", err)
 	}
 }
 
@@ -61,9 +35,8 @@ func TestLimitsValidationIsUnified(t *testing.T) {
 	p, r := buildProg(t, echoSrc)
 	lat := r.Lat
 	for name, opts := range map[string]Options{
-		"negative MaxSteps":       {Env: hw.NewFlat(lat, 2), Limits: exec.Limits{MaxSteps: -1}},
-		"negative Timeout":        {Env: hw.NewFlat(lat, 2), Limits: exec.Limits{Timeout: -time.Second}},
-		"negative RequestTimeout": {Env: hw.NewFlat(lat, 2), RequestTimeout: -time.Second},
+		"negative MaxSteps": {Env: hw.NewFlat(lat, 2), Limits: exec.Limits{MaxSteps: -1}},
+		"negative Timeout":  {Env: hw.NewFlat(lat, 2), Limits: exec.Limits{Timeout: -time.Second}},
 	} {
 		if _, err := New(p, r, opts); !errors.Is(err, ErrBadOptions) {
 			t.Errorf("%s: got %v, want ErrBadOptions", name, err)
@@ -71,7 +44,7 @@ func TestLimitsValidationIsUnified(t *testing.T) {
 	}
 }
 
-func TestRequestTimeoutAliasStillEnforced(t *testing.T) {
+func TestLimitsTimeoutEnforced(t *testing.T) {
 	// A long-running loop so the engine's periodic context poll is
 	// guaranteed to observe the expired deadline.
 	p, r := buildProg(t, `
@@ -83,14 +56,14 @@ while (i < 1000000000) {
 `)
 	lat := r.Lat
 	srv, err := New(p, r, Options{
-		Env:            hw.NewFlat(lat, 2),
-		RequestTimeout: 5 * time.Millisecond,
+		Env:    hw.NewFlat(lat, 2),
+		Limits: exec.Limits{Timeout: 5 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	_, err = srv.Handle(ctxb(), nil)
 	if !errors.Is(err, context.DeadlineExceeded) {
-		t.Errorf("deprecated RequestTimeout must still expire the request, got %v", err)
+		t.Errorf("Limits.Timeout must expire the request, got %v", err)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/lang/ast"
 	"repro/internal/machine/hw"
+	"repro/internal/mitigation"
 	"repro/internal/obs"
 	"repro/internal/types"
 )
@@ -124,6 +125,11 @@ type job struct {
 	index int
 	out   chan result
 	batch *batch
+	// mit, when non-nil, overrides the shard's persistent mitigation
+	// state for this request (per-tenant session state; see
+	// Server.HandleWith). The submitter owns mit and must serialize
+	// access to it across its own requests.
+	mit *mitigation.State
 }
 
 // batch is a run of same-shard requests processed as one queue entry.
@@ -348,20 +354,20 @@ func (p *Pool) run(w *worker) {
 			// A failed request does not stop the rest of the batch:
 			// same behavior as independent single-request jobs.
 			for i, req := range b.reqs {
-				b.resps[i], b.errs[i] = p.serve(w, b.ctx, req, b.idxs[i])
+				b.resps[i], b.errs[i] = p.serve(w, b.ctx, req, b.idxs[i], nil)
 			}
 			b.done <- b
 			continue
 		}
-		resp, err := p.serve(w, j.ctx, j.req, j.index)
+		resp, err := p.serve(w, j.ctx, j.req, j.index, j.mit)
 		j.out <- result{resp, err}
 	}
 }
 
 // serve runs one request on a worker's shard server and rewrites the
 // shard-local index/shard fields to the pool-global view.
-func (p *Pool) serve(w *worker, ctx context.Context, req Request, index int) (*Response, error) {
-	resp, err := w.srv.Handle(ctx, req)
+func (p *Pool) serve(w *worker, ctx context.Context, req Request, index int, mit *mitigation.State) (*Response, error) {
+	resp, err := w.srv.HandleWith(ctx, req, mit)
 	if resp != nil {
 		resp.ShardIndex = resp.Index
 		resp.Index = index
@@ -548,6 +554,15 @@ func (f *Future) Wait(ctx context.Context) (*Response, error) {
 // the pool is closed). The request's context is ctx as well: it bounds
 // both queue wait and execution.
 func (p *Pool) Submit(ctx context.Context, req Request) (*Future, error) {
+	return p.SubmitWith(ctx, req, nil)
+}
+
+// SubmitWith is Submit with an explicit mitigation state: when mit is
+// non-nil the served request uses it in place of the shard's
+// persistent state (per-tenant session state; see Server.HandleWith).
+// The caller owns mit and must not submit two requests sharing one mit
+// concurrently — a session lock upstream provides that serialization.
+func (p *Pool) SubmitWith(ctx context.Context, req Request, mit *mitigation.State) (*Future, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -561,7 +576,7 @@ func (p *Pool) Submit(ctx context.Context, req Request) (*Future, error) {
 		p.opts.Metrics.AddShed()
 		return nil, &RequestError{Index: index, Shard: w.shard, Err: ErrOverloaded}
 	}
-	j := job{ctx: ctx, req: req, index: index, out: resultChans.Get().(chan result)}
+	j := job{ctx: ctx, req: req, index: index, out: resultChans.Get().(chan result), mit: mit}
 	// Fast path: queue has room, skip the select.
 	select {
 	case w.jobs <- j:
@@ -592,8 +607,8 @@ func (p *Pool) Submit(ctx context.Context, req Request) (*Future, error) {
 }
 
 // handleOnce is one submit-and-wait attempt.
-func (p *Pool) handleOnce(ctx context.Context, req Request) (*Response, error) {
-	f, err := p.Submit(ctx, req)
+func (p *Pool) handleOnce(ctx context.Context, req Request, mit *mitigation.State) (*Response, error) {
+	f, err := p.SubmitWith(ctx, req, mit)
 	if err != nil {
 		return nil, err
 	}
@@ -607,10 +622,17 @@ func (p *Pool) handleOnce(ctx context.Context, req Request) (*Response, error) {
 // attempts. ErrPoolClosed is never self-retried: this pool will not
 // reopen.
 func (p *Pool) Handle(ctx context.Context, req Request) (*Response, error) {
+	return p.HandleWith(ctx, req, nil)
+}
+
+// HandleWith is Handle with an explicit mitigation state (see
+// SubmitWith); retries reuse the same state, which is safe because a
+// failed attempt never updates it.
+func (p *Pool) HandleWith(ctx context.Context, req Request, mit *mitigation.State) (*Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	resp, err := p.handleOnce(ctx, req)
+	resp, err := p.handleOnce(ctx, req, mit)
 	for attempt := 1; err != nil && attempt <= p.opts.MaxRetries; attempt++ {
 		if !Retryable(err) || errors.Is(err, ErrPoolClosed) || ctx.Err() != nil {
 			break
@@ -619,7 +641,7 @@ func (p *Pool) Handle(ctx context.Context, req Request) (*Response, error) {
 			break
 		}
 		p.opts.Metrics.AddRetry()
-		resp, err = p.handleOnce(ctx, req)
+		resp, err = p.handleOnce(ctx, req, mit)
 	}
 	return resp, err
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/apps/login"
 	"repro/internal/apps/rsa"
+	"repro/internal/exec"
 	"repro/internal/lattice"
 	"repro/internal/machine/hw"
 	"repro/internal/sem/mem"
@@ -544,7 +545,7 @@ while (i < 100000) {
 	lat := r.Lat
 	pool, err := NewPool(p, r, PoolOptions{
 		Workers: 2,
-		Options: Options{Env: hw.MustEnv("flat", lat, hw.Config{}), MaxStepsPerRequest: 50},
+		Options: Options{Env: hw.MustEnv("flat", lat, hw.Config{}), Limits: exec.Limits{MaxSteps: 50}},
 	})
 	if err != nil {
 		t.Fatal(err)

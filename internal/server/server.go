@@ -29,7 +29,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"time"
 
 	"repro/internal/exec"
 	"repro/internal/exec/budget"
@@ -166,25 +165,10 @@ type Options struct {
 	// execution engines (exec.Options), so the knobs are no longer
 	// duplicated across the two layers.
 	exec.Limits
-	// MaxStepsPerRequest bounds each request's language steps.
-	//
-	// Deprecated: set Limits.MaxSteps instead. A non-zero value still
-	// applies when MaxSteps is zero.
-	MaxStepsPerRequest int
-	// MaxCyclesPerRequest bounds each request's simulated cycles.
-	//
-	// Deprecated: set Limits.MaxCycles instead. A non-zero value still
-	// applies when MaxCycles is zero.
-	MaxCyclesPerRequest uint64
 	// Metrics receives instrumentation. Leave nil to have the server
 	// allocate its own; a Pool installs one shared accumulator across
 	// its workers.
 	Metrics *obs.Metrics
-	// RequestTimeout bounds each request with a wall-clock deadline.
-	//
-	// Deprecated: set Limits.Timeout instead. A non-zero value still
-	// applies when Timeout is zero.
-	RequestTimeout time.Duration
 	// Injector, when non-nil, threads scheduled faults through the
 	// engine (and, under a Pool, the submit and serve paths). Nil — the
 	// default — injects nothing.
@@ -195,28 +179,9 @@ type Options struct {
 	shard int
 }
 
-// effectiveLimits folds the deprecated per-field aliases into the
-// embedded Limits: an explicit Limits field wins, a zero one falls
-// back to its alias.
-func (o Options) effectiveLimits() exec.Limits {
-	l := o.Limits
-	if l.MaxSteps == 0 {
-		l.MaxSteps = o.MaxStepsPerRequest
-	}
-	if l.MaxCycles == 0 {
-		l.MaxCycles = o.MaxCyclesPerRequest
-	}
-	if l.Timeout == 0 {
-		l.Timeout = o.RequestTimeout
-	}
-	return l
-}
-
-// withDefaults fills zero fields and resolves the deprecated limit
-// aliases into the embedded Limits, the single source of truth from
-// here on.
+// withDefaults fills zero fields; the embedded Limits is the single
+// source of truth for every per-request bound.
 func (o Options) withDefaults() Options {
-	o.Limits = o.effectiveLimits()
 	if o.MaxSteps == 0 {
 		o.MaxSteps = 10_000_000
 	}
@@ -232,7 +197,7 @@ func (o Options) validate() error {
 	if o.Env == nil {
 		return ErrNoEnv
 	}
-	if err := o.effectiveLimits().Validate(); err != nil {
+	if err := o.Limits.Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadOptions, err)
 	}
 	return nil
@@ -315,18 +280,33 @@ func (s *Server) Snapshot() obs.Snapshot {
 // Exhausting the step or cycle budget returns a *RequestError wrapping
 // ErrBudgetExceeded.
 func (s *Server) Handle(ctx context.Context, req Request) (*Response, error) {
+	return s.HandleWith(ctx, req, nil)
+}
+
+// HandleWith is Handle with an explicit mitigation state: when mit is
+// non-nil it is used for this request in place of the server's own
+// persistent state. This is how tenant sessions thread per-tenant
+// epoch counters through a shared server or pool shard — the caller
+// owns mit and must serialize access to it (a session lock); the
+// server only splices it into the engine for the duration of the run.
+// A nil mit selects the server's shard-global state, preserving the
+// anonymous-request semantics.
+func (s *Server) HandleWith(ctx context.Context, req Request, mit *mitigation.State) (*Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, s.fail(err)
 	}
+	if mit == nil {
+		mit = s.mit
+	}
 	// The request's wall-clock bound (Limits.Timeout) is applied by the
 	// engine itself, which derives a deadline context per Run.
 	// The engine splices the persistent mitigation state in before the
 	// run and copies the (possibly inflated) counters back only on
 	// success, so an aborted request never updates it.
-	result, err := s.engine.Run(ctx, exec.Request{Setup: req, Mit: s.mit})
+	result, err := s.engine.Run(ctx, exec.Request{Setup: req, Mit: mit})
 	if err != nil {
 		if errors.Is(err, budget.ErrStepLimit) || errors.Is(err, budget.ErrCycleLimit) {
 			err = fmt.Errorf("%w: %v", ErrBudgetExceeded, err)

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/lang/ast"
 	"repro/internal/lang/parser"
 	"repro/internal/lattice"
@@ -54,7 +55,7 @@ func TestServerRequiresEnv(t *testing.T) {
 func TestServerRejectsBadOptions(t *testing.T) {
 	p, r := buildProg(t, echoSrc)
 	lat := r.Lat
-	_, err := New(p, r, Options{Env: hw.NewFlat(lat, 2), MaxStepsPerRequest: -1})
+	_, err := New(p, r, Options{Env: hw.NewFlat(lat, 2), Limits: exec.Limits{MaxSteps: -1}})
 	if !errors.Is(err, ErrBadOptions) {
 		t.Errorf("New with negative step budget = %v, want ErrBadOptions", err)
 	}
@@ -198,7 +199,7 @@ while (i < 100000) {
 }
 `)
 	lat := r.Lat
-	srv, err := New(p, r, Options{Env: hw.NewFlat(lat, 2), MaxStepsPerRequest: 100})
+	srv, err := New(p, r, Options{Env: hw.NewFlat(lat, 2), Limits: exec.Limits{MaxSteps: 100}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ while (i < 100000) {
 func TestServerCycleBudgetExceeded(t *testing.T) {
 	p, r := buildProg(t, echoSrc)
 	lat := r.Lat
-	srv, err := New(p, r, Options{Env: hw.NewFlat(lat, 2), MaxCyclesPerRequest: 3})
+	srv, err := New(p, r, Options{Env: hw.NewFlat(lat, 2), Limits: exec.Limits{MaxCycles: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ while (i < 100000000) {
 }
 `)
 	lat := r.Lat
-	srv, err := New(p, r, Options{Env: hw.NewFlat(lat, 2), MaxStepsPerRequest: 1 << 60})
+	srv, err := New(p, r, Options{Env: hw.NewFlat(lat, 2), Limits: exec.Limits{MaxSteps: 1 << 60}})
 	if err != nil {
 		t.Fatal(err)
 	}

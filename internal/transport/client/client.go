@@ -38,6 +38,11 @@ var (
 	// ErrBudgetExceeded: the run exhausted the server-side step or
 	// cycle budget (mirrors server.ErrBudgetExceeded).
 	ErrBudgetExceeded = errors.New("client: execution budget exceeded")
+	// ErrLeakageBudget: the tenant's cumulative leakage bound reached
+	// the server's budget (mirrors session.ErrBudgetExceeded). Never
+	// self-retried — the account only resets when the session expires,
+	// so honor Error.RetryAfter instead of hammering the endpoint.
+	ErrLeakageBudget = errors.New("client: tenant leakage budget exceeded")
 	// ErrInvalidRequest: the service rejected the request as malformed
 	// (bad JSON, unknown input name, wrong schema version).
 	ErrInvalidRequest = errors.New("client: invalid request")
@@ -69,6 +74,8 @@ func (e *Error) Unwrap() error {
 		return ErrShuttingDown
 	case wire.CodeBudgetExceeded:
 		return ErrBudgetExceeded
+	case wire.CodeLeakageBudget:
+		return ErrLeakageBudget
 	case wire.CodeInvalidRequest, wire.CodeUnknownInput:
 		return ErrInvalidRequest
 	case wire.CodeDeadlineExceeded:
@@ -95,6 +102,11 @@ type Options struct {
 	RetryBase time.Duration
 	// RetrySeed seeds the deterministic jitter sequence.
 	RetrySeed int64
+	// Tenant, when set, is the session every request runs under unless
+	// the request names its own tenant: Run and RunBatch fill
+	// RunRequest.Tenant with it when the field is empty. Sessions are a
+	// schema-v2 feature; leave empty for anonymous (v1-style) calls.
+	Tenant string
 }
 
 // Client talks to one mitigation service endpoint. Safe for concurrent
@@ -126,10 +138,19 @@ func New(baseURL string, opts Options) *Client {
 // Run executes one request and returns its timing result.
 func (c *Client) Run(ctx context.Context, req wire.RunRequest) (*wire.RunResponse, error) {
 	var out wire.RunResponse
-	if err := c.postRetry(ctx, "/v1/run", req, &out); err != nil {
+	if err := c.postRetry(ctx, "/v1/run", c.tenanted(req), &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// tenanted applies the client-level default tenant to a request that
+// does not name its own.
+func (c *Client) tenanted(req wire.RunRequest) wire.RunRequest {
+	if req.Tenant == "" {
+		req.Tenant = c.opts.Tenant
+	}
+	return req
 }
 
 // RunBatch executes a request burst via the batch endpoint. The batch
@@ -137,8 +158,12 @@ func (c *Client) Run(ctx context.Context, req wire.RunRequest) (*wire.RunRespons
 // per-item failures inside an accepted batch are reported in the
 // results, not retried.
 func (c *Client) RunBatch(ctx context.Context, reqs []wire.RunRequest) (*wire.BatchResponse, error) {
+	tenanted := make([]wire.RunRequest, len(reqs))
+	for i, r := range reqs {
+		tenanted[i] = c.tenanted(r)
+	}
 	var out wire.BatchResponse
-	err := c.postRetry(ctx, "/v1/batch", wire.BatchRequest{Requests: reqs}, &out)
+	err := c.postRetry(ctx, "/v1/batch", wire.BatchRequest{Requests: tenanted}, &out)
 	if err != nil {
 		return nil, err
 	}

@@ -36,6 +36,11 @@ func writeProm(w io.Writer, e obs.Export) {
 	counter("sheds_total", "Requests rejected by load shedding.", e.Sheds)
 	counter("breaker_opens_total", "Circuit breaker open transitions.", e.BreakerOpens)
 	counter("breaker_closes_total", "Circuit breaker close transitions.", e.BreakerCloses)
+	gauge("sessions_active", "Live tenant sessions.", float64(e.SessionsActive))
+	counter("sessions_created_total", "Tenant sessions admitted.", e.SessionsCreated)
+	counter("sessions_evicted_ttl_total", "Sessions evicted after idle TTL expiry.", e.SessionsEvictedTTL)
+	counter("sessions_evicted_lru_total", "Sessions evicted by the LRU capacity bound.", e.SessionsEvictedLRU)
+	counter("budget_denials_total", "Requests rejected over the tenant leakage budget.", e.BudgetDenials)
 
 	// Latency as a native Prometheus histogram. The Export's buckets are
 	// already cumulative with power-of-two upper bounds, which is exactly

@@ -1,0 +1,233 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/lattice"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/session"
+	"repro/internal/transport/wire"
+)
+
+func jsonBody(t *testing.T, v any) io.Reader {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(raw)
+}
+
+// newSessions builds a Manager over the echoSrc lattice.
+func newSessions(t *testing.T, opts session.Options) *session.Manager {
+	t.Helper()
+	if opts.Lat == nil {
+		opts.Lat = lattice.TwoPoint()
+	}
+	mgr, err := session.NewManager(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr
+}
+
+func runTenant(t *testing.T, url, tenant string, h int64) (*http.Response, wire.RunResponse, *wire.Error) {
+	t.Helper()
+	resp, body := postJSON(t, url+"/v1/run", wire.RunRequest{
+		Tenant: tenant,
+		Inputs: map[string]int64{"h": h},
+	})
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error *wire.Error `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Fatalf("status %d with unparsable body: %s", resp.StatusCode, body)
+		}
+		return resp, wire.RunResponse{}, e.Error
+	}
+	var out wire.RunResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out, nil
+}
+
+func TestTenantSessionAccumulates(t *testing.T) {
+	mgr := newSessions(t, session.Options{})
+	_, ts := newService(t, server0(), Options{Sessions: mgr})
+
+	var last wire.RunResponse
+	for i := 1; i <= 3; i++ {
+		resp, out, werr := runTenant(t, ts.URL, "alice", 41)
+		if werr != nil {
+			t.Fatalf("run %d: %d %v", i, resp.StatusCode, werr)
+		}
+		if out.Tenant != "alice" {
+			t.Errorf("run %d: tenant = %q", i, out.Tenant)
+		}
+		if out.Epoch != i {
+			t.Errorf("run %d: epoch = %d, want %d", i, out.Epoch, i)
+		}
+		if out.LeakageBits <= last.LeakageBits {
+			t.Errorf("run %d: leakage %v must grow past %v", i, out.LeakageBits, last.LeakageBits)
+		}
+		last = out
+	}
+	if got, ok := mgr.Peek("alice"); !ok || got.Epoch != 3 {
+		t.Errorf("manager account: %+v ok=%v", got, ok)
+	}
+}
+
+func TestTenantHeaderFallback(t *testing.T) {
+	mgr := newSessions(t, session.Options{})
+	_, ts := newService(t, server0(), Options{Sessions: mgr})
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/run",
+		jsonBody(t, wire.RunRequest{Inputs: map[string]int64{"h": 1}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(TenantHeader, "carol")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out wire.RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Tenant != "carol" || out.Epoch != 1 {
+		t.Errorf("header tenant must open a session: %+v", out)
+	}
+}
+
+func TestAnonymousRequestsStayAnonymous(t *testing.T) {
+	mgr := newSessions(t, session.Options{})
+	_, ts := newService(t, server0(), Options{Sessions: mgr})
+
+	resp, body := postJSON(t, ts.URL+"/v1/run", wire.RunRequest{Inputs: map[string]int64{"h": 1}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out wire.RunResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Tenant != "" || out.Epoch != 0 || out.LeakageBits != 0 {
+		t.Errorf("anonymous response must carry no session fields: %+v", out)
+	}
+	if n := mgr.Len(); n != 0 {
+		t.Errorf("anonymous requests must open no sessions, got %d", n)
+	}
+}
+
+func TestBudgetDenialIs429WithRetryAfter(t *testing.T) {
+	met := obs.NewMetrics()
+	mgr := newSessions(t, session.Options{BudgetBits: 10, TTL: time.Minute, Metrics: met})
+	popts := server0()
+	popts.Metrics = met
+	_, ts := newService(t, popts, Options{Sessions: mgr})
+
+	// Burn bob's budget: big secrets mispredict and pile up T and K
+	// until the cumulative bound crosses 10 bits.
+	denied := false
+	var resp *http.Response
+	var werr *wire.Error
+	for i := 0; i < 50 && !denied; i++ {
+		resp, _, werr = runTenant(t, ts.URL, "bob", 63)
+		denied = werr != nil
+	}
+	if !denied {
+		t.Fatal("budget of 10 bits must eventually deny")
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("status = %d, want 429", resp.StatusCode)
+	}
+	if werr.Code != wire.CodeLeakageBudget {
+		t.Errorf("code = %q, want %q", werr.Code, wire.CodeLeakageBudget)
+	}
+	if werr.RetryAfterMS != time.Minute.Milliseconds() {
+		t.Errorf("retry_after_ms = %d, want the TTL %d", werr.RetryAfterMS, time.Minute.Milliseconds())
+	}
+	if got := resp.Header.Get("Retry-After"); got != "60" {
+		t.Errorf("Retry-After header = %q, want \"60\"", got)
+	}
+
+	// An uncapped tenant on the same pool is unaffected.
+	if _, _, werr := runTenant(t, ts.URL, "alice", 63); werr != nil {
+		t.Errorf("alice must be admitted while bob is denied: %v", werr)
+	}
+	if s := met.Snapshot(); s.BudgetDenials == 0 {
+		t.Error("denials must be counted")
+	}
+}
+
+func TestSessionBatchRunsInOrder(t *testing.T) {
+	mgr := newSessions(t, session.Options{})
+	_, ts := newService(t, server0(), Options{Sessions: mgr})
+
+	batch := wire.BatchRequest{Requests: []wire.RunRequest{
+		{Tenant: "alice", Inputs: map[string]int64{"h": 1}},
+		{Inputs: map[string]int64{"h": 2}}, // anonymous rides along
+		{Tenant: "alice", Inputs: map[string]int64{"h": 3}},
+		{Tenant: "bob", Inputs: map[string]int64{"h": 4}},
+	}}
+	resp, body := postJSON(t, ts.URL+"/v1/batch", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out wire.BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 4 {
+		t.Fatalf("results = %d", len(out.Results))
+	}
+	r0, r2, r3 := out.Results[0].Response, out.Results[2].Response, out.Results[3].Response
+	if r0 == nil || r2 == nil || r3 == nil {
+		t.Fatalf("session items must succeed: %+v", out.Results)
+	}
+	if r0.Epoch != 1 || r2.Epoch != 2 {
+		t.Errorf("alice's epochs must advance in batch order: %d then %d", r0.Epoch, r2.Epoch)
+	}
+	if r3.Tenant != "bob" || r3.Epoch != 1 {
+		t.Errorf("bob must get his own session: %+v", r3)
+	}
+	if anon := out.Results[1].Response; anon == nil || anon.Tenant != "" {
+		t.Errorf("anonymous item must stay anonymous: %+v", anon)
+	}
+}
+
+func TestV1SchemaStillAccepted(t *testing.T) {
+	mgr := newSessions(t, session.Options{})
+	_, ts := newService(t, server0(), Options{Sessions: mgr})
+
+	resp, body := postJSON(t, ts.URL+"/v1/run", wire.RunRequest{
+		SchemaVersion: 1,
+		Inputs:        map[string]int64{"h": 1},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v1 request must be served, got %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/run", wire.RunRequest{
+		SchemaVersion: wire.SchemaVersion + 1,
+		Inputs:        map[string]int64{"h": 1},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("future schema must be rejected, got %d: %s", resp.StatusCode, body)
+	}
+}
+
+// server0 is a 1-worker pool config for deterministic session tests.
+func server0() server.PoolOptions {
+	return server.PoolOptions{Workers: 1}
+}

@@ -28,8 +28,14 @@ import (
 	"repro/internal/lang/ast"
 	"repro/internal/sem/mem"
 	"repro/internal/server"
+	"repro/internal/session"
 	"repro/internal/transport/wire"
 )
+
+// TenantHeader is the header fallback for naming a tenant when the
+// client cannot set the body's tenant field (e.g. plain curl against
+// /v1/run with a canned body). The body field wins when both are set.
+const TenantHeader = "X-Timing-Tenant"
 
 // statusClientClosedRequest is the de-facto status for "client went
 // away" (nginx's 499): the run was canceled by the caller, not failed
@@ -53,6 +59,13 @@ type Options struct {
 	// RetryAfter is the delay advertised on 503 responses (Retry-After
 	// header and retry_after_ms body field). Default 1s.
 	RetryAfter time.Duration
+	// Sessions, when non-nil, enables per-tenant mitigation sessions:
+	// requests naming a tenant (body field or X-Timing-Tenant header)
+	// run against that tenant's persistent mitigation state and leakage
+	// account, and are denied with 429 leakage_budget_exceeded once the
+	// account reaches the manager's budget. Nil ignores tenant names —
+	// every request is anonymous, the schema-v1 behavior.
+	Sessions *session.Manager
 }
 
 // Handler is the HTTP front-end. Create with New; it implements
@@ -191,14 +204,59 @@ func (h *Handler) handleRun(w http.ResponseWriter, r *http.Request) {
 		h.writeError(w, werr)
 		return
 	}
-	resp, err := h.opts.Pool.Handle(r.Context(), sreq)
-	if err != nil {
-		h.writeError(w, h.toWireError(err))
+	tenant := h.tenantOf(req, r)
+	if tenant == "" {
+		resp, err := h.opts.Pool.Handle(r.Context(), sreq)
+		if err != nil {
+			h.writeError(w, h.toWireError(err))
+			return
+		}
+		out := toRunResponse(resp, req)
+		server.ReleaseResponse(resp)
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	resp, info, werr := h.runSession(r.Context(), tenant, sreq)
+	if werr != nil {
+		h.writeError(w, werr)
 		return
 	}
 	out := toRunResponse(resp, req)
+	out.Tenant = info.Tenant
+	out.Epoch = info.Epoch
+	out.LeakageBits = info.SpentBits
 	server.ReleaseResponse(resp)
 	writeJSON(w, http.StatusOK, out)
+}
+
+// tenantOf resolves a request's tenant: the body field, then the
+// header fallback. Sessions being disabled makes every request
+// anonymous regardless.
+func (h *Handler) tenantOf(req wire.RunRequest, r *http.Request) string {
+	if h.opts.Sessions == nil {
+		return ""
+	}
+	if req.Tenant != "" {
+		return req.Tenant
+	}
+	return r.Header.Get(TenantHeader)
+}
+
+// runSession serves one request inside a tenant's session: admission
+// against the leakage budget, the tenant's own mitigation state
+// spliced through the pool, and the account advanced on success only.
+func (h *Handler) runSession(ctx context.Context, tenant string, sreq server.Request) (*server.Response, session.Info, *wire.Error) {
+	tk, err := h.opts.Sessions.Begin(tenant)
+	if err != nil {
+		return nil, session.Info{}, h.toWireError(err)
+	}
+	resp, err := h.opts.Pool.HandleWith(ctx, sreq, tk.Mit())
+	if err != nil {
+		tk.Abort()
+		return nil, session.Info{}, h.toWireError(err)
+	}
+	info := tk.Commit(resp.Time, len(resp.Mitigations))
+	return resp, info, nil
 }
 
 func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -221,6 +279,7 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// input name fails fast as one invalid request, not as a half-run
 	// burst.
 	sreqs := make([]server.Request, len(req.Requests))
+	tenanted := false
 	for i, item := range req.Requests {
 		sreq, werr := h.toRequest(item)
 		if werr != nil {
@@ -229,12 +288,49 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		sreqs[i] = sreq
+		if h.tenantOf(item, r) != "" {
+			tenanted = true
+		}
 	}
-	resps, errs := h.opts.Pool.HandleAllErrs(r.Context(), sreqs)
 	out := wire.BatchResponse{
 		SchemaVersion: wire.SchemaVersion,
 		Results:       make([]wire.BatchResult, len(sreqs)),
 	}
+	if tenanted {
+		// Session batches run item by item in submission order: each
+		// item's admission must see the account its predecessors left
+		// (a budget can run out mid-batch), and a tenant's epochs must
+		// advance in order. This trades the pool's batched fast path for
+		// the session semantics; anonymous batches keep the fast path.
+		for i := range sreqs {
+			tenant := h.tenantOf(req.Requests[i], r)
+			if tenant == "" {
+				resp, err := h.opts.Pool.Handle(r.Context(), sreqs[i])
+				if err != nil {
+					out.Results[i].Error = h.toWireError(err)
+					continue
+				}
+				rr := toRunResponse(resp, req.Requests[i])
+				out.Results[i].Response = &rr
+				server.ReleaseResponse(resp)
+				continue
+			}
+			resp, info, werr := h.runSession(r.Context(), tenant, sreqs[i])
+			if werr != nil {
+				out.Results[i].Error = werr
+				continue
+			}
+			rr := toRunResponse(resp, req.Requests[i])
+			rr.Tenant = info.Tenant
+			rr.Epoch = info.Epoch
+			rr.LeakageBits = info.SpentBits
+			out.Results[i].Response = &rr
+			server.ReleaseResponse(resp)
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	resps, errs := h.opts.Pool.HandleAllErrs(r.Context(), sreqs)
 	for i := range sreqs {
 		if errs[i] != nil {
 			out.Results[i].Error = h.toWireError(errs[i])
@@ -285,13 +381,15 @@ func decodeBody(r *http.Request, dst any) *wire.Error {
 	return nil
 }
 
-// checkVersion accepts the current schema version or 0 (meaning
-// "current").
+// checkVersion accepts 0 (meaning "current") and every schema from
+// MinSchemaVersion through the current one — v2 is additive over v1,
+// so a v1 request is served with v1 semantics (no tenant, anonymous).
 func checkVersion(v int) *wire.Error {
-	if v != 0 && v != wire.SchemaVersion {
+	if v != 0 && (v < wire.MinSchemaVersion || v > wire.SchemaVersion) {
 		return &wire.Error{
-			Code:    wire.CodeInvalidRequest,
-			Message: fmt.Sprintf("unsupported schema_version %d (this server speaks %d)", v, wire.SchemaVersion),
+			Code: wire.CodeInvalidRequest,
+			Message: fmt.Sprintf("unsupported schema_version %d (this server speaks %d through %d)",
+				v, wire.MinSchemaVersion, wire.SchemaVersion),
 		}
 	}
 	return nil
@@ -353,7 +451,14 @@ func toRunResponse(resp *server.Response, req wire.RunRequest) wire.RunResponse 
 // program being too big, deadline/cancel are timing outcomes.
 func (h *Handler) toWireError(err error) *wire.Error {
 	retryMS := h.opts.RetryAfter.Milliseconds()
+	var be *session.BudgetError
 	switch {
+	case errors.As(err, &be):
+		return &wire.Error{
+			Code:         wire.CodeLeakageBudget,
+			Message:      err.Error(),
+			RetryAfterMS: be.RetryAfter.Milliseconds(),
+		}
 	case errors.Is(err, server.ErrOverloaded):
 		return &wire.Error{Code: wire.CodeOverloaded, Message: err.Error(), RetryAfterMS: retryMS}
 	case errors.Is(err, server.ErrPoolClosed):
@@ -376,6 +481,8 @@ func statusFor(code string) int {
 		return http.StatusBadRequest
 	case wire.CodeBudgetExceeded:
 		return http.StatusUnprocessableEntity
+	case wire.CodeLeakageBudget:
+		return http.StatusTooManyRequests
 	case wire.CodeOverloaded, wire.CodeShuttingDown:
 		return http.StatusServiceUnavailable
 	case wire.CodeDeadlineExceeded:
@@ -387,11 +494,12 @@ func statusFor(code string) int {
 	}
 }
 
-// writeError emits a wire error with its HTTP status; 503s carry a
-// Retry-After header so well-behaved clients back off.
+// writeError emits a wire error with its HTTP status; 503s and 429s
+// carry a Retry-After header so well-behaved clients back off (for a
+// budget denial it is the session TTL — when the account resets).
 func (h *Handler) writeError(w http.ResponseWriter, werr *wire.Error) {
 	status := statusFor(werr.Code)
-	if status == http.StatusServiceUnavailable && werr.RetryAfterMS > 0 {
+	if (status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests) && werr.RetryAfterMS > 0 {
 		secs := (werr.RetryAfterMS + 999) / 1000 // Retry-After is whole seconds; round up
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}

@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// v1Dir holds the schema-v1 fixtures exactly as PR 5 froze them. They
+// are never regenerated: they are what a v1 client actually sends, so
+// decoding them under the current schema is the backward-compatibility
+// contract of the v2 bump.
+const v1Dir = "../testdata/wire/v1"
+
+func readV1(t *testing.T, name string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(v1Dir, name+".json"))
+	if err != nil {
+		t.Fatalf("v1 fixture missing: %v", err)
+	}
+	return raw
+}
+
+// TestV1RequestsDecodeUnderV2 proves decode-side tolerance: every v1
+// request document decodes into the current structs with identical
+// semantics — the new tenant field simply stays empty (anonymous), the
+// v1 meaning.
+func TestV1RequestsDecodeUnderV2(t *testing.T) {
+	var run RunRequest
+	if err := json.Unmarshal(readV1(t, "run_request"), &run); err != nil {
+		t.Fatalf("v1 run_request no longer decodes: %v", err)
+	}
+	if run.SchemaVersion != 1 {
+		t.Errorf("v1 request must keep declaring schema 1, got %d", run.SchemaVersion)
+	}
+	if run.SchemaVersion < MinSchemaVersion || run.SchemaVersion > SchemaVersion {
+		t.Errorf("v1 (%d) must be inside the accepted range [%d, %d]",
+			run.SchemaVersion, MinSchemaVersion, SchemaVersion)
+	}
+	if run.Tenant != "" {
+		t.Errorf("v1 request must decode as anonymous, got tenant %q", run.Tenant)
+	}
+	if run.Inputs["h"] != 42 || !run.Trace || !run.Mitigations {
+		t.Errorf("v1 request fields changed meaning: %+v", run)
+	}
+
+	var batch BatchRequest
+	if err := json.Unmarshal(readV1(t, "batch_request"), &batch); err != nil {
+		t.Fatalf("v1 batch_request no longer decodes: %v", err)
+	}
+	if len(batch.Requests) != 2 || batch.Requests[1].Inputs["h"] != 2 {
+		t.Errorf("v1 batch fields changed meaning: %+v", batch)
+	}
+}
+
+// TestV1ResponsesDecodeUnderV2 covers the other direction a vendored
+// v1 copy of this package cares about: v1 response bodies still parse,
+// and a v2 response parsed by v1 structs (simulated by re-decoding
+// with the v1 field set) loses only the additive fields.
+func TestV1ResponsesDecodeUnderV2(t *testing.T) {
+	var resp RunResponse
+	if err := json.Unmarshal(readV1(t, "run_response"), &resp); err != nil {
+		t.Fatalf("v1 run_response no longer decodes: %v", err)
+	}
+	if resp.Time != 4096 || resp.Mispredictions != 1 {
+		t.Errorf("v1 response fields changed meaning: %+v", resp)
+	}
+	if resp.Tenant != "" || resp.Epoch != 0 || resp.LeakageBits != 0 {
+		t.Errorf("v1 response must leave v2 fields zero: %+v", resp)
+	}
+
+	var batch BatchResponse
+	if err := json.Unmarshal(readV1(t, "batch_response"), &batch); err != nil {
+		t.Fatalf("v1 batch_response no longer decodes: %v", err)
+	}
+	if len(batch.Results) != 2 || batch.Results[1].Error.Code != CodeOverloaded {
+		t.Errorf("v1 batch response changed meaning: %+v", batch)
+	}
+
+	var werr Error
+	if err := json.Unmarshal(readV1(t, "error_budget"), &werr); err != nil {
+		t.Fatalf("v1 error no longer decodes: %v", err)
+	}
+	if werr.Code != CodeBudgetExceeded {
+		t.Errorf("v1 error code changed: %+v", werr)
+	}
+
+	var h Health
+	if err := json.Unmarshal(readV1(t, "health"), &h); err != nil {
+		t.Fatalf("v1 health no longer decodes: %v", err)
+	}
+	if h.Status != StatusOK || h.Workers != 4 {
+		t.Errorf("v1 health changed meaning: %+v", h)
+	}
+}
+
+// TestV2AdditiveOverV1 pins the additive-change claim structurally: a
+// v2 document stripped of its new fields is byte-identical to the v1
+// rendering of the same values.
+func TestV2AdditiveOverV1(t *testing.T) {
+	v2 := RunRequest{
+		SchemaVersion: 1, // as a v1 client declares
+		Inputs:        map[string]int64{"h": 42},
+		Trace:         true,
+		Mitigations:   true,
+	}
+	got, err := json.MarshalIndent(v2, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := readV1(t, "run_request")
+	if string(append(got, '\n')) != string(want) {
+		t.Errorf("a tenant-less v2 request must serialize exactly as v1:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -26,6 +26,7 @@ var goldenCases = []struct {
 }{
 	{"run_request", RunRequest{
 		SchemaVersion: SchemaVersion,
+		Tenant:        "alice",
 		Inputs:        map[string]int64{"h": 42},
 		Trace:         true,
 		Mitigations:   true,
@@ -37,6 +38,9 @@ var goldenCases = []struct {
 		ShardIndex:     3,
 		Time:           4096,
 		Mispredictions: 1,
+		Tenant:         "alice",
+		Epoch:          8,
+		LeakageBits:    26.5,
 		Trace:          []Event{{Var: "reply", Value: 1, Time: 4095}},
 		Mitigations:    []MitRecord{{ID: 1, Duration: 4096, Elapsed: 731, Start: 0, Mispredicted: true}},
 	}},
@@ -55,6 +59,11 @@ var goldenCases = []struct {
 		},
 	}},
 	{"error_budget", Error{Code: CodeBudgetExceeded, Message: "request exceeded step budget"}},
+	{"error_leakage_budget", Error{
+		Code:         CodeLeakageBudget,
+		Message:      `tenant "bob" leakage budget exceeded (12.31 of 10.00 bits)`,
+		RetryAfterMS: 60000,
+	}},
 	{"health", Health{SchemaVersion: SchemaVersion, Status: StatusOK, Engine: "vm", Workers: 4}},
 }
 

@@ -17,7 +17,21 @@ import "fmt"
 
 // SchemaVersion is the current wire schema. Requests may omit the
 // version (zero means "current"); responses always carry it.
-const SchemaVersion = 1
+//
+// Version history:
+//
+//	v1 — initial schema (run/batch/metrics/health, error codes).
+//	v2 — tenant sessions: RunRequest.Tenant, the tenant/epoch/
+//	     leakage-account fields on RunResponse, and the
+//	     leakage_budget_exceeded error code. Purely additive: every v1
+//	     document is a valid v2 document, so the server keeps accepting
+//	     requests declaring schema_version 1 (they simply cannot name a
+//	     tenant, v1 had no field for one).
+const SchemaVersion = 2
+
+// MinSchemaVersion is the oldest request schema the server still
+// decodes. v2 is additive over v1, so v1 requests remain valid.
+const MinSchemaVersion = 1
 
 // RunRequest is the body of POST /v1/run: scalar inputs to set in the
 // program's memory before the run. Array state cannot be supplied over
@@ -27,6 +41,13 @@ type RunRequest struct {
 	// SchemaVersion is the schema this request speaks; 0 means the
 	// current version.
 	SchemaVersion int `json:"schema_version,omitempty"`
+	// Tenant, when set, runs the request inside that tenant's session:
+	// persistent per-tenant mitigation state and a cumulative leakage
+	// account, enforced against the server's leakage budget (schema
+	// v2). Empty means anonymous — the shard-global mitigation state, as
+	// in v1. The X-Timing-Tenant header is an equivalent fallback for
+	// clients that cannot touch the body.
+	Tenant string `json:"tenant,omitempty"`
 	// Inputs maps declared scalar names to the values to assign before
 	// execution. Unknown names are rejected with CodeUnknownInput —
 	// never silently dropped, since a typo'd secret would otherwise run
@@ -53,6 +74,13 @@ type RunResponse struct {
 	Time uint64 `json:"time"`
 	// Mispredictions counts mitigation prediction misses in this run.
 	Mispredictions int `json:"mispredictions"`
+	// Tenant echoes the session the request ran in (schema v2; absent
+	// for anonymous requests). Epoch is the tenant's committed request
+	// count after this run, and LeakageBits the tenant's cumulative §7
+	// leakage bound — the budget meter a client can watch.
+	Tenant      string  `json:"tenant,omitempty"`
+	Epoch       int     `json:"epoch,omitempty"`
+	LeakageBits float64 `json:"leakage_bits,omitempty"`
 	// Trace and Mitigations are present when requested.
 	Trace       []Event     `json:"trace,omitempty"`
 	Mitigations []MitRecord `json:"mitigations,omitempty"`
@@ -127,6 +155,11 @@ const (
 	// CodeOverloaded: load shedding rejected the request (mirrors
 	// server.ErrOverloaded); retry after the advertised delay.
 	CodeOverloaded = "overloaded"
+	// CodeLeakageBudget: the tenant's cumulative leakage bound reached
+	// its budget (schema v2; mirrors session.ErrBudgetExceeded). Mapped
+	// to HTTP 429 with a Retry-After derived from the session TTL —
+	// the account resets when the session expires.
+	CodeLeakageBudget = "leakage_budget_exceeded"
 	// CodeShuttingDown: the service is draining and no longer accepts
 	// work (mirrors server.ErrPoolClosed).
 	CodeShuttingDown = "shutting_down"
