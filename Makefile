@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all ci vet build test race bench bench-smoke bench-engines bench-scaling bench-sessions profile engines chaos fuzz-smoke smoke-serve harness quick clean
+.PHONY: all ci vet build test race bench bench-smoke bench-engines bench-scaling bench-sessions bench-vmopt profile engines chaos fuzz-smoke smoke-serve harness quick clean
 
 all: ci
 
@@ -33,6 +33,7 @@ chaos:
 fuzz-smoke:
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/lang/parser
 	$(GO) test -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/bytecode
+	$(GO) test -fuzz FuzzOptTraceIdentity -fuzztime $(FUZZTIME) ./internal/bytecode/optimize
 
 # smoke-serve builds the real timingc binary, serves the HTTP/JSON API
 # on an ephemeral port, drives it through the client SDK (health, a
@@ -95,6 +96,20 @@ bench-sessions:
 	@rm -f bench_sessions.txt
 	@echo wrote BENCH_sessions.json
 
+# bench-vmopt records the bytecode-pipeline speedup into
+# BENCH_vmopt.json: the vm engine at optimization level 0 (stack
+# interpreter) vs 2 (register lowering + superinstruction fusion) on a
+# compute-bound workload across 1/2/4 workers, 3 runs each with
+# -benchmem so the optimized loop's zero-allocation property is on
+# record. benchjson derives the opt2-vs-opt0 throughput ratio per
+# worker count. (ci's bench-smoke executes the benchmark once per run,
+# so it cannot rot; this target is the measurement.)
+bench-vmopt:
+	$(GO) test -run '^$$' -bench BenchmarkVMOpt -benchtime 2s -count 3 -benchmem . \
+	  | tee bench_vmopt.txt | $(GO) run ./internal/tools/benchjson -o BENCH_vmopt.json
+	@rm -f bench_vmopt.txt
+	@echo wrote BENCH_vmopt.json
+
 # profile captures a CPU profile of the scaling benchmark's vm-engine
 # hot path; inspect with `go tool pprof repro.test cpu.prof`.
 profile:
@@ -108,4 +123,4 @@ harness:
 quick: vet build test
 
 clean:
-	rm -f cpu.prof repro.test bench_engines.txt bench_scaling.txt bench_sessions.txt
+	rm -f cpu.prof repro.test bench_engines.txt bench_scaling.txt bench_sessions.txt bench_vmopt.txt

@@ -128,6 +128,13 @@ type Program struct {
 	Lat lattice.Lattice
 	// NumMitigates is one past the largest mitigate identifier.
 	NumMitigates int
+	// Opt, when non-nil, is the optimized form produced by
+	// internal/bytecode/optimize; a VM constructed over this program
+	// executes it with the register-lowered hot loop instead of the
+	// stack interpreter, with bit-identical observable behaviour. It is
+	// derived state: the wire encoding ignores it, and the exec-layer
+	// program cache attaches it per optimization level.
+	Opt *OptProgram
 }
 
 // Disassemble renders the whole program.

@@ -1,0 +1,170 @@
+package optimize
+
+import (
+	"repro/internal/bytecode"
+)
+
+// Fuse rewrites a lowered program in place, combining adjacent
+// instruction pairs into superinstructions. It applies the pairwise
+// pattern table repeatedly until a fixpoint, so chains compose (e.g.
+// IMM + BINOP → IMM.BINOP, then IMM.BINOP + JZ → IMM.CMP.JZ), and it is
+// idempotent: running it on already-fused code changes nothing, because
+// every pattern's left side requires at least one opcode shape that a
+// previous application consumed.
+//
+// Soundness has three parts:
+//
+//   - Control flow: the second instruction of a pair must not be a jump
+//     target, so no branch can enter the middle of a fused group, and
+//     the pair must be contiguous in the original program
+//     (b.OrigPC == a.OrigPC + a.Len), so the group's recorded original
+//     range is exactly the instructions it replaces.
+//
+//   - Timing: each superinstruction's VM case commits the same machine
+//     accesses in the same per-hierarchy order and the same clock costs
+//     as the pair it replaces (vm_opt.go); no pattern crosses a SETLBL
+//     or an event-committing boundary except as the group's final
+//     instruction.
+//
+//   - Data flow: patterns require the producing instruction's
+//     destination register to be the consuming instruction's operand
+//     (stack discipline guarantees the value dies there), so dropping
+//     the intermediate register write is unobservable.
+func Fuse(op *bytecode.OptProgram) {
+	code := op.Code
+	for {
+		var changed bool
+		code, changed = fuseOnce(code)
+		if !changed {
+			break
+		}
+	}
+	op.Code = code
+}
+
+// fuseOnce performs one left-to-right sweep, fusing non-overlapping
+// adjacent pairs, and remaps jump targets to the rewritten indices.
+func fuseOnce(code []bytecode.OptInstr) ([]bytecode.OptInstr, bool) {
+	targets := jumpTargets(code)
+	out := make([]bytecode.OptInstr, 0, len(code))
+	old2new := make([]int, len(code)+1)
+	changed := false
+	for i := 0; i < len(code); i++ {
+		old2new[i] = len(out)
+		if i+1 < len(code) && !targets[i+1] {
+			if f, ok := fusePair(&code[i], &code[i+1]); ok {
+				out = append(out, f)
+				old2new[i+1] = len(out) - 1 // never a jump target; mapped for completeness
+				i++
+				changed = true
+				continue
+			}
+		}
+		out = append(out, code[i])
+	}
+	old2new[len(code)] = len(out)
+	if !changed {
+		return code, false
+	}
+	for i := range out {
+		if isJump(out[i].Op) {
+			out[i].A = int32(old2new[out[i].A])
+		}
+	}
+	return out, true
+}
+
+// isJump reports whether the opcode's A operand is a jump target.
+func isJump(o bytecode.OptOp) bool {
+	switch o {
+	case bytecode.OJmp, bytecode.OJz, bytecode.OLoadJz, bytecode.OCmpJz,
+		bytecode.OImmCmpJz, bytecode.OLoadCmpJz:
+		return true
+	}
+	return false
+}
+
+// jumpTargets returns the set of instruction indices any jump may enter.
+func jumpTargets(code []bytecode.OptInstr) []bool {
+	t := make([]bool, len(code)+1)
+	for i := range code {
+		if isJump(code[i].Op) {
+			a := code[i].A
+			if a >= 0 && int(a) < len(t) {
+				t[a] = true
+			}
+		}
+	}
+	return t
+}
+
+// fusePair returns the superinstruction for an adjacent pair, if the
+// pattern table has one. The caller has already checked that b is not a
+// jump target.
+func fusePair(a, b *bytecode.OptInstr) (bytecode.OptInstr, bool) {
+	if b.OrigPC != a.OrigPC+int32(a.Len) {
+		// Non-contiguous original ranges (can only happen in a
+		// hand-modified program): the group could not account its
+		// original instructions correctly, so leave it alone.
+		return bytecode.OptInstr{}, false
+	}
+	f := bytecode.OptInstr{
+		Len:    a.Len + b.Len,
+		OrigPC: a.OrigPC,
+	}
+	switch {
+	// IMM r; BINOP  →  IMM.BINOP (the immediate is always the right
+	// operand: the push writes the deeper slot's successor).
+	case a.Op == bytecode.OImm && b.Op == bytecode.OBinop && b.S2 == a.Dst && b.S1 != a.Dst:
+		f.Op, f.Kind, f.Dst, f.S1, f.Val = bytecode.OImmBinop, b.Kind, b.Dst, b.S1, a.Val
+
+	// IMM.BINOP; IMM.BINOP  →  IMM.BINOP2 (second-order fusion over a
+	// chain on one register; requiring b to both read and overwrite
+	// a's destination keeps the intermediate value dead).
+	case a.Op == bytecode.OImmBinop && b.Op == bytecode.OImmBinop && b.S1 == a.Dst && b.Dst == a.Dst:
+		f.Op, f.Dst, f.S1 = bytecode.OImmBinop2, a.Dst, a.S1
+		f.Kind, f.Val = a.Kind, a.Val
+		f.Kind2, f.Val2 = b.Kind, b.Val
+
+	// LOAD r; BINOP  →  LOAD.BINOP.
+	case a.Op == bytecode.OLoad && b.Op == bytecode.OBinop && b.S2 == a.Dst && b.S1 != a.Dst:
+		f.Op, f.Kind, f.Dst, f.S1, f.B = bytecode.OLoadBinop, b.Kind, b.Dst, b.S1, a.A
+
+	// IMM r; LOAD.BINOP  →  IMM.LOAD.BINOP (immediate is the left
+	// operand: it was pushed first).
+	case a.Op == bytecode.OImm && b.Op == bytecode.OLoadBinop && b.S1 == a.Dst:
+		f.Op, f.Kind, f.Dst, f.Val, f.B = bytecode.OImmLoadBinop, b.Kind, b.Dst, a.Val, b.B
+
+	// LOAD r; JZ  →  LOAD.JZ.
+	case a.Op == bytecode.OLoad && b.Op == bytecode.OJz && b.S1 == a.Dst:
+		f.Op, f.A, f.B = bytecode.OLoadJz, b.A, a.A
+
+	// BINOP; JZ  →  CMP.JZ.
+	case a.Op == bytecode.OBinop && b.Op == bytecode.OJz && b.S1 == a.Dst:
+		f.Op, f.Kind, f.S1, f.S2, f.A = bytecode.OCmpJz, a.Kind, a.S1, a.S2, b.A
+
+	// IMM.BINOP; JZ  →  IMM.CMP.JZ.
+	case a.Op == bytecode.OImmBinop && b.Op == bytecode.OJz && b.S1 == a.Dst:
+		f.Op, f.Kind, f.S1, f.Val, f.A = bytecode.OImmCmpJz, a.Kind, a.S1, a.Val, b.A
+
+	// LOAD.BINOP; JZ  →  LOAD.CMP.JZ.
+	case a.Op == bytecode.OLoadBinop && b.Op == bytecode.OJz && b.S1 == a.Dst:
+		f.Op, f.Kind, f.S1, f.B, f.A = bytecode.OLoadCmpJz, a.Kind, a.S1, a.B, b.A
+
+	// IMM r; STORE  →  IMM.STORE.
+	case a.Op == bytecode.OImm && b.Op == bytecode.OStore && b.S1 == a.Dst:
+		f.Op, f.A, f.Val = bytecode.OImmStore, b.A, a.Val
+
+	// LOAD r; STORE  →  LOAD.STORE.
+	case a.Op == bytecode.OLoad && b.Op == bytecode.OStore && b.S1 == a.Dst:
+		f.Op, f.A, f.B = bytecode.OLoadStore, b.A, a.A
+
+	// LOADIDX r; STORE  →  LOADIDX.STORE (S1 is the index register).
+	case a.Op == bytecode.OLoadIdx && b.Op == bytecode.OStore && b.S1 == a.Dst:
+		f.Op, f.S1, f.A, f.B = bytecode.OLoadIdxStore, a.S1, b.A, a.A
+
+	default:
+		return bytecode.OptInstr{}, false
+	}
+	return f, true
+}

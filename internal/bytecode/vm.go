@@ -156,6 +156,18 @@ type VM struct {
 
 	// labels maps label ID -> Label for O(1) SETLBL/MITENTER decoding.
 	labels []lattice.Label
+
+	// Register-lowered execution state, populated when prog.Opt is set
+	// (see vm_opt.go). regs is the fixed register file (one slot per
+	// original evaluation-stack slot), optPC the program counter into
+	// prog.Opt.Code, and senv/fetchSites/dataSites the per-original-
+	// instruction hardware-access memos when the environment supports
+	// the memoized fast path.
+	regs       []int64
+	optPC      int
+	senv       hw.SiteEnv
+	fetchSites []hw.Site
+	dataSites  []hw.Site
 }
 
 // NewVM creates a VM for a compiled program.
@@ -202,8 +214,33 @@ func NewVM(prog *Program, env hw.Env, opts VMOptions) *VM {
 			next += 8 * uint64(n)
 		}
 	}
+	if opt := prog.Opt; opt != nil {
+		nr := opt.NumRegs
+		if nr < 1 {
+			nr = 1
+		}
+		vm.regs = make([]int64, nr)
+		if senv, ok := env.(hw.SiteEnv); ok {
+			vm.senv = senv
+			// One memo per original instruction: dataSites for data
+			// accesses (and the tree model's per-command fetch, which
+			// SETLBL owns), fetchSites for the micro model's
+			// per-instruction fetches. Sites deliberately survive
+			// Reset: their validity is guarded by the environment's
+			// membership generations, and a service keeps the
+			// environment warm across requests.
+			vm.dataSites = make([]hw.Site, opt.OrigLen)
+			if opts.Timing == TimingMicro {
+				vm.fetchSites = make([]hw.Site, opt.OrigLen)
+			}
+		}
+	}
 	return vm
 }
+
+// Optimized reports whether this VM executes the register-lowered
+// optimized program (prog.Opt) rather than the stack interpreter.
+func (vm *VM) Optimized() bool { return vm.prog.Opt != nil }
 
 func (vm *VM) wireMetrics() {
 	if vm.opts.Metrics != nil {
@@ -220,7 +257,11 @@ func (vm *VM) wireMetrics() {
 // resets it only between experiment arms).
 func (vm *VM) Reset() {
 	vm.pc = 0
+	vm.optPC = 0
 	vm.stack = vm.stack[:0]
+	for i := range vm.regs {
+		vm.regs[i] = 0
+	}
 	for i := range vm.scalars {
 		vm.scalars[i] = 0
 	}
@@ -421,7 +462,12 @@ func (vm *VM) RunBudget(ctx context.Context, b budget.Budget) error {
 	// closure: the capture would heap-allocate per call, which matters
 	// on the service hot path.
 	startSteps, startClock := vm.steps, vm.clock
-	err := vm.runLoop(ctx, b)
+	var err error
+	if vm.prog.Opt != nil {
+		err = vm.runLoopOpt(ctx, b)
+	} else {
+		err = vm.runLoop(ctx, b)
+	}
 	if vm.opts.Metrics != nil {
 		vm.opts.Metrics.AddSteps(uint64(vm.steps - startSteps))
 		vm.opts.Metrics.AddCycles(vm.clock - startClock)

@@ -442,6 +442,35 @@ func TestServeSubcommand(t *testing.T) {
 	}
 }
 
+func TestServeOptLevels(t *testing.T) {
+	// The vm engine's optimization pipeline must be invisible in every
+	// adversary-observable output: a single-worker serve run (fully
+	// deterministic request schedule) prints byte-identical summaries
+	// and instrumentation snapshots at -opt 0 and -opt 2.
+	serve := func(opt string) string {
+		code, out, errOut := run("serve",
+			"-workers", "1", "-requests", "8", "-engine", "vm", "-opt", opt,
+			"-vary", "h=0:70:10",
+			testdataPath(t, "mitigated.tc"))
+		if code != 0 {
+			t.Fatalf("-opt %s: exit=%d stderr=%q", opt, code, errOut)
+		}
+		if !strings.Contains(out, "served 8 requests across 1 shards") {
+			t.Errorf("-opt %s: missing summary line:\n%s", opt, out)
+		}
+		return out
+	}
+	unopt, opt := serve("0"), serve("2")
+	if unopt != opt {
+		t.Errorf("serve output differs across opt levels:\n--- opt 0 ---\n%s--- opt 2 ---\n%s", unopt, opt)
+	}
+	// Out-of-range levels clamp to the supported pipeline rather than
+	// erroring: -opt 9 behaves as the full pipeline.
+	if clamped := serve("9"); clamped != opt {
+		t.Errorf("-opt 9 should clamp to the full pipeline:\n%s", clamped)
+	}
+}
+
 func TestServePprof(t *testing.T) {
 	// A serve run with -pprof announces the profiling endpoint on
 	// stderr and still completes normally.

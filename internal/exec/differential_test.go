@@ -124,6 +124,18 @@ func assertSameResult(t *testing.T, name string, tree, vm *Result) {
 	}
 }
 
+// optArms are the VM configurations every differential case compares
+// against the tree engine: the stack interpreter and both levels of the
+// optimizing pipeline. Identity must hold per arm AND between arms.
+var optArms = []struct {
+	name string
+	opts Options
+}{
+	{"vm-o0", Options{OptSet: true, OptLevel: 0}},
+	{"vm-o1", Options{OptSet: true, OptLevel: 1}},
+	{"vm-o2", Options{OptSet: true, OptLevel: 2}},
+}
+
 func TestEnginesDifferentialTestdata(t *testing.T) {
 	hwNames := []string{"partitioned", "nopar", "flat"}
 	for _, p := range loadTestdata(t) {
@@ -131,8 +143,10 @@ func TestEnginesDifferentialTestdata(t *testing.T) {
 			for seed := int64(0); seed < 3; seed++ {
 				setup := randomSetup(p.prog, seed)
 				tree := runEngine(t, "tree", hwName, p, Options{}, setup)
-				vm := runEngine(t, "vm", hwName, p, Options{}, setup)
-				assertSameResult(t, p.name+"/"+hwName, tree, vm)
+				for _, arm := range optArms {
+					vm := runEngine(t, "vm", hwName, p, arm.opts, setup)
+					assertSameResult(t, p.name+"/"+hwName+"/"+arm.name, tree, vm)
+				}
 			}
 		}
 	}
@@ -140,6 +154,7 @@ func TestEnginesDifferentialTestdata(t *testing.T) {
 
 func TestEnginesDifferentialProgen(t *testing.T) {
 	const n = 100
+	hwNames := []string{"partitioned", "nopar", "flat"}
 	for i := 0; i < n; i++ {
 		cfg := progen.Config{
 			Lat:           lattice.TwoPoint(),
@@ -153,14 +168,15 @@ func TestEnginesDifferentialProgen(t *testing.T) {
 		}
 		p := checkedProg{name: "progen-" + string(rune('0'+i%10)), prog: prog, res: res, lat: cfg.Lat}
 		setup := randomSetup(prog, int64(i))
-		tree := runEngine(t, "tree", "partitioned", p, Options{}, setup)
-		vm := runEngine(t, "vm", "partitioned", p, Options{}, setup)
-		if t.Failed() {
-			t.Fatalf("progen seed %d diverged; source:\n%s", i, src)
-		}
-		assertSameResult(t, p.name, tree, vm)
-		if t.Failed() {
-			t.Fatalf("progen seed %d diverged; source:\n%s", i, src)
+		for _, hwName := range hwNames {
+			tree := runEngine(t, "tree", hwName, p, Options{}, setup)
+			for _, arm := range optArms {
+				vm := runEngine(t, "vm", hwName, p, arm.opts, setup)
+				assertSameResult(t, p.name+"/"+hwName+"/"+arm.name, tree, vm)
+			}
+			if t.Failed() {
+				t.Fatalf("progen seed %d diverged on %s; source:\n%s", i, hwName, src)
+			}
 		}
 	}
 }

@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/bytecode/optimize"
+	"repro/internal/lang/parser"
+	"repro/internal/lattice"
+	"repro/internal/machine/hw"
+	"repro/internal/sem/events"
+	"repro/internal/types"
+)
+
+// The vmopt experiment evaluates the bytecode optimization pipeline
+// (internal/bytecode/optimize): for a set of representative programs it
+// reports what the passes did (instruction counts, emitted
+// superinstructions by pattern), re-proves observational identity
+// between the stack interpreter and the optimized loop (clock, step
+// count, event trace, final memory, hardware counters), and measures
+// the host-time speedup of the optimized loop on a compute-bound
+// workload.
+
+func init() {
+	MustRegister(Experiment{
+		Name: "vmopt", Order: 110,
+		Summary: "bytecode pipeline: fusion stats, identity, speedup",
+		Run: func(o RunOptions) (*Report, error) {
+			cfg := VmoptConfig{}
+			if o.Quick {
+				cfg = cfg.Quick()
+			}
+			d, err := Vmopt(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return &Report{Text: d.Render(), Data: d}, nil
+		},
+	})
+}
+
+// vmoptPrograms are the workloads: the speedup measurement uses
+// "hotloop" (compute-bound: a fusable immediate-arithmetic chain and
+// compare-and-branch dominate; the array traffic sits outside the
+// loop, where its addresses are stable and per-site memos hold), the
+// others broaden the static-stats and identity table.
+var vmoptPrograms = []struct{ name, src string }{
+	{"hotloop", `
+var n : L;
+var i : L;
+var acc : L;
+array a[16] : L;
+while (i < n) {
+    acc := ((acc * 31 + 7) % 8191) * 3 + i;
+    i := i + 1;
+}
+a[acc % 16] := acc;
+acc := acc + a[(acc + 5) % 16];
+`},
+	{"straightline", `
+var x : L;
+var y : L;
+x := 7;
+y := x + 2;
+x := y * y - 1;
+`},
+	{"mitigated", `
+var h : H;
+var l : L;
+mitigate (2, H) [L,L] {
+    sleep(h % 16) [H,H];
+}
+l := 1;
+`},
+}
+
+// VmoptProgram is one workload's row: what the pipeline emitted and
+// whether the optimized run matched the stack interpreter exactly.
+type VmoptProgram struct {
+	Name        string
+	OrigInstrs  int
+	OptInstrs   int
+	FusedInstrs int
+	// FusedOrig counts original instructions absorbed into
+	// superinstructions.
+	FusedOrig int
+	// Patterns lists emitted superinstructions as "MNEMONIC×count",
+	// most frequent first.
+	Patterns string
+	// Identical is true when clock, steps, trace, memory, and hardware
+	// counters matched between the stack and optimized runs on both
+	// timing models.
+	Identical bool
+}
+
+// VmoptData holds the experiment's results.
+type VmoptData struct {
+	Iters    int
+	Programs []VmoptProgram
+	// StackPerIter / OptPerIter are host-time costs of one hotloop run
+	// on the stack interpreter and the optimized loop; Speedup is their
+	// ratio.
+	StackPerIter time.Duration
+	OptPerIter   time.Duration
+	Speedup      float64
+}
+
+// VmoptConfig sizes the experiment.
+type VmoptConfig struct {
+	// Iters is the per-engine repetition count of the timing loop.
+	Iters int
+	// LoopN is the hotloop trip count per run.
+	LoopN int64
+}
+
+// Defaults fills zero fields.
+func (c VmoptConfig) Defaults() VmoptConfig {
+	if c.Iters == 0 {
+		c.Iters = 300
+	}
+	if c.LoopN == 0 {
+		c.LoopN = 400
+	}
+	return c
+}
+
+// Quick returns the reduced-scale configuration.
+func (c VmoptConfig) Quick() VmoptConfig {
+	c.Iters = 40
+	c.LoopN = 100
+	return c
+}
+
+type vmoptOutcome struct {
+	clock uint64
+	steps int
+	trace events.Trace
+	mem   []int64
+	stats hw.Stats
+}
+
+// vmoptRun executes p once and snapshots everything observable.
+func vmoptRun(p *bytecode.Program, lat lattice.Lattice, timing bytecode.TimingModel, n int64) (vmoptOutcome, error) {
+	vm := bytecode.NewVM(p, hw.NewPartitioned(lat, hw.Table1Config()), bytecode.VMOptions{Timing: timing})
+	for i, name := range p.ScalarNames {
+		v := int64(i) + 2
+		if name == "n" {
+			v = n
+		}
+		if err := vm.SetScalar(name, v); err != nil {
+			return vmoptOutcome{}, err
+		}
+	}
+	if err := vm.Run(0); err != nil {
+		return vmoptOutcome{}, err
+	}
+	o := vmoptOutcome{clock: vm.Clock(), steps: vm.Steps()}
+	o.trace = append(events.Trace(nil), vm.Trace()...)
+	o.mem = append([]int64(nil), vm.ScalarStorage()...)
+	o.stats = vm.Env().Stats()
+	return o, nil
+}
+
+func (a vmoptOutcome) equal(b vmoptOutcome) bool {
+	if a.clock != b.clock || a.steps != b.steps || a.stats != b.stats {
+		return false
+	}
+	if len(a.trace) != len(b.trace) || len(a.mem) != len(b.mem) {
+		return false
+	}
+	for i := range a.trace {
+		if a.trace[i] != b.trace[i] {
+			return false
+		}
+	}
+	for i := range a.mem {
+		if a.mem[i] != b.mem[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Vmopt runs the experiment.
+func Vmopt(cfg VmoptConfig) (*VmoptData, error) {
+	cfg = cfg.Defaults()
+	lat := lattice.TwoPoint()
+	d := &VmoptData{Iters: cfg.Iters}
+
+	var hotStack, hotOpt *bytecode.Program
+	for _, w := range vmoptPrograms {
+		prog, err := parser.Parse(w.src)
+		if err != nil {
+			return nil, fmt.Errorf("vmopt %s: %w", w.name, err)
+		}
+		res, err := types.Check(prog, lat)
+		if err != nil {
+			return nil, fmt.Errorf("vmopt %s: %w", w.name, err)
+		}
+		bp, err := bytecode.Compile(prog, res)
+		if err != nil {
+			return nil, fmt.Errorf("vmopt %s: %w", w.name, err)
+		}
+		op, err := optimize.Compile(bp, optimize.LevelFuse)
+		if err != nil {
+			return nil, fmt.Errorf("vmopt %s: %w", w.name, err)
+		}
+		optP := *bp
+		optP.Opt = op
+
+		row := VmoptProgram{
+			Name:        w.name,
+			OrigInstrs:  op.Stats.OrigInstrs,
+			OptInstrs:   op.Stats.OptInstrs,
+			FusedInstrs: op.Stats.FusedInstrs,
+			FusedOrig:   op.Stats.FusedOrig,
+			Patterns:    formatPatterns(op.Stats.Patterns),
+			Identical:   true,
+		}
+		for _, timing := range []bytecode.TimingModel{bytecode.TimingTree, bytecode.TimingMicro} {
+			base, err := vmoptRun(bp, lat, timing, cfg.LoopN)
+			if err != nil {
+				return nil, fmt.Errorf("vmopt %s (stack): %w", w.name, err)
+			}
+			opt, err := vmoptRun(&optP, lat, timing, cfg.LoopN)
+			if err != nil {
+				return nil, fmt.Errorf("vmopt %s (optimized): %w", w.name, err)
+			}
+			if !base.equal(opt) {
+				row.Identical = false
+			}
+		}
+		d.Programs = append(d.Programs, row)
+		if w.name == "hotloop" {
+			hotStack, hotOpt = bp, &optP
+		}
+	}
+
+	// Speedup: the same hotloop run cfg.Iters times per engine. One
+	// warmup iteration per engine keeps one-time costs (lazy site
+	// tables) out of the measurement.
+	measure := func(p *bytecode.Program) (time.Duration, error) {
+		if _, err := vmoptRun(p, lat, bytecode.TimingTree, cfg.LoopN); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for i := 0; i < cfg.Iters; i++ {
+			if _, err := vmoptRun(p, lat, bytecode.TimingTree, cfg.LoopN); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start) / time.Duration(cfg.Iters), nil
+	}
+	var err error
+	if d.StackPerIter, err = measure(hotStack); err != nil {
+		return nil, err
+	}
+	if d.OptPerIter, err = measure(hotOpt); err != nil {
+		return nil, err
+	}
+	if d.OptPerIter > 0 {
+		d.Speedup = float64(d.StackPerIter) / float64(d.OptPerIter)
+	}
+	return d, nil
+}
+
+// formatPatterns renders a pattern histogram as "MNEMONIC×n ...",
+// most frequent first (name-ordered among equals, for determinism).
+func formatPatterns(pats map[string]int) string {
+	names := make([]string, 0, len(pats))
+	for n := range pats {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if pats[names[i]] != pats[names[j]] {
+			return pats[names[i]] > pats[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s×%d", n, pats[n])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Render formats the experiment for the terminal.
+func (d *VmoptData) Render() string {
+	var b strings.Builder
+	b.WriteString("E8: Bytecode optimization pipeline (fusion + register lowering)\n")
+	for _, p := range d.Programs {
+		ident := "identical"
+		if !p.Identical {
+			ident = "MISMATCH"
+		}
+		fmt.Fprintf(&b, "%-13s %3d → %3d instrs, %2d fused (absorbing %2d), %s\n",
+			p.Name+":", p.OrigInstrs, p.OptInstrs, p.FusedInstrs, p.FusedOrig, ident)
+		if p.Patterns != "" {
+			fmt.Fprintf(&b, "              %s\n", p.Patterns)
+		}
+	}
+	fmt.Fprintf(&b, "hotloop host time: stack %v/run, optimized %v/run — %.2fx speedup (%d runs each)\n",
+		d.StackPerIter.Round(time.Microsecond), d.OptPerIter.Round(time.Microsecond),
+		d.Speedup, d.Iters)
+	return b.String()
+}
+
+// CSVHeader implements CSV.
+func (d *VmoptData) CSVHeader() []string {
+	return []string{"program", "orig_instrs", "opt_instrs", "fused_instrs",
+		"fused_orig", "identical", "patterns", "speedup"}
+}
+
+// CSVRows implements CSV.
+func (d *VmoptData) CSVRows() [][]string {
+	rows := make([][]string, 0, len(d.Programs))
+	for _, p := range d.Programs {
+		speed := ""
+		if p.Name == "hotloop" {
+			speed = strconv.FormatFloat(d.Speedup, 'f', 2, 64)
+		}
+		rows = append(rows, []string{
+			p.Name, strconv.Itoa(p.OrigInstrs), strconv.Itoa(p.OptInstrs),
+			strconv.Itoa(p.FusedInstrs), strconv.Itoa(p.FusedOrig),
+			strconv.FormatBool(p.Identical), p.Patterns, speed,
+		})
+	}
+	return rows
+}

@@ -69,10 +69,53 @@ type Cache struct {
 	// clock is a monotonically increasing logical timestamp used to
 	// order LRU decisions deterministically.
 	clock uint64
+	// gen counts membership changes: it is bumped whenever the set of
+	// cached blocks (or lock bits) can change — Fill, FillLocked,
+	// Invalidate, Flush — and deliberately NOT on LRU touches, which
+	// reorder lines without changing which blocks hit. Memoized access
+	// paths (hw.Site) use it to detect that a previously observed
+	// hit/miss outcome is still valid.
+	gen uint64
 
 	// Statistics (not part of the machine-environment state: they do
 	// not affect timing and are excluded from equivalence checks).
 	hits, misses uint64
+}
+
+// Gen returns the membership generation counter (see the gen field).
+func (c *Cache) Gen() uint64 { return c.gen }
+
+// TouchRef is a stable reference to one cache line, captured by LineRef
+// while the line holds a known block. Refresh replays exactly the state
+// change of a refreshing hit on that block — LRU timestamp bump plus the
+// hit counter — without re-scanning the set. A TouchRef is valid only
+// while the owning cache's Gen() is unchanged: any fill, invalidate, or
+// flush may repurpose the line.
+type TouchRef struct {
+	c  *Cache
+	ln *line
+}
+
+// Refresh replays a refreshing hit: identical to the hit path of
+// Probe(addr, true) for the referenced block.
+func (r TouchRef) Refresh() {
+	r.c.clock++
+	r.ln.used = r.c.clock
+	r.c.hits++
+}
+
+// LineRef returns a TouchRef for addr's line if the block is cached,
+// without modifying any state (a pure probe, like Contains). The
+// reference stays valid until the cache's Gen() changes.
+func (c *Cache) LineRef(addr uint64) (TouchRef, bool) {
+	set, tag := c.index(addr)
+	ws := c.sets[set]
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			return TouchRef{c: c, ln: &ws[i]}, true
+		}
+	}
+	return TouchRef{}, false
 }
 
 // New constructs an empty cache; it panics on invalid configuration
@@ -176,6 +219,7 @@ func (c *Cache) Probe(addr uint64, refresh bool) bool {
 func (c *Cache) Fill(addr uint64) (evicted uint64, didEvict bool) {
 	set, tag := c.index(addr)
 	c.clock++
+	c.gen++
 	// Already present: refresh (idempotent fill).
 	for i := range c.sets[set] {
 		ln := &c.sets[set][i]
@@ -219,6 +263,7 @@ func (c *Cache) Fill(addr uint64) (evicted uint64, didEvict bool) {
 func (c *Cache) FillLocked(addr uint64) (evicted uint64, didEvict bool) {
 	set, tag := c.index(addr)
 	c.clock++
+	c.gen++
 	for i := range c.sets[set] {
 		ln := &c.sets[set][i]
 		if ln.valid && ln.tag == tag {
@@ -275,6 +320,10 @@ func (c *Cache) Invalidate(addr uint64) bool {
 		ln := &c.sets[set][i]
 		if ln.valid && ln.tag == tag {
 			ln.valid = false
+			// Only a successful invalidation changes membership; the
+			// common no-op case (partitioned fills invalidating absent
+			// blocks) must not churn memo generations.
+			c.gen++
 			return true
 		}
 	}
@@ -283,6 +332,7 @@ func (c *Cache) Invalidate(addr uint64) bool {
 
 // Flush empties the cache; statistics are preserved.
 func (c *Cache) Flush() {
+	c.gen++
 	for s := range c.sets {
 		for i := range c.sets[s] {
 			c.sets[s][i] = line{}

@@ -1,0 +1,131 @@
+package hw
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lattice"
+)
+
+// siteEnvs builds one instance of every SiteEnv implementation over a
+// tiny geometry (so random addresses provoke evictions and TLB misses)
+// and a non-trivial lattice.
+func siteEnvs(lat lattice.Lattice) []SiteEnv {
+	cfg := TinyConfig()
+	return []SiteEnv{
+		NewUnpartitioned(lat, cfg),
+		NewNoFill(lat, cfg),
+		NewPartitioned(lat, cfg),
+		NewFlat(lat, 3),
+	}
+}
+
+// TestAccessSiteMatchesAccess drives the memoized fast path and the
+// generic path with the same random access sequence on clones of the
+// same environment and requires bit-identical behaviour: per-access
+// costs, final Stats, and state equivalence at every lattice level.
+// The sequence mixes a small number of static "sites" (each with a
+// fixed kind and mostly-stable address and labels, like program
+// instructions) so memos are built, replayed many times, invalidated by
+// interleaved evicting traffic, and rebuilt.
+func TestAccessSiteMatchesAccess(t *testing.T) {
+	for _, lat := range []lattice.Lattice{lattice.TwoPoint(), lattice.Diamond()} {
+		levels := lat.Levels()
+		for _, se := range siteEnvs(lat) {
+			t.Run(lat.Name()+"/"+se.Name(), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(42))
+				generic := se.Clone()
+				fast := se.Clone().(SiteEnv)
+
+				const nSites = 24
+				type siteSpec struct {
+					kind   AccessKind
+					addr   uint64
+					er, ew lattice.Label
+				}
+				specs := make([]siteSpec, nSites)
+				sites := make([]Site, nSites)
+				for i := range specs {
+					specs[i] = siteSpec{
+						kind: AccessKind(rng.Intn(3)),
+						addr: uint64(rng.Intn(64)) * 8,
+						er:   levels[rng.Intn(len(levels))],
+						ew:   levels[rng.Intn(len(levels))],
+					}
+				}
+				for step := 0; step < 20000; step++ {
+					i := rng.Intn(nSites)
+					sp := specs[i]
+					addr := sp.addr
+					if rng.Intn(16) == 0 {
+						// Occasionally vary the address (an indexed
+						// array site) — the memo must re-key.
+						addr += uint64(rng.Intn(8)) * 8
+					}
+					if rng.Intn(64) == 0 {
+						// Occasionally vary the labels (a fetch site
+						// reached under different SETLBL history).
+						sp.er = levels[rng.Intn(len(levels))]
+					}
+					cg := generic.Access(sp.kind, addr, sp.er, sp.ew)
+					cf := fast.AccessSite(&sites[i], sp.kind, addr, sp.er, sp.ew)
+					if cg != cf {
+						t.Fatalf("step %d site %d: cost %d (generic) != %d (site)", step, i, cg, cf)
+					}
+				}
+				if generic.Stats() != fast.Stats() {
+					t.Fatalf("stats diverged:\ngeneric %+v\nsite    %+v", generic.Stats(), fast.Stats())
+				}
+				for _, lv := range levels {
+					if !generic.ProjEqual(fast, lv) {
+						t.Fatalf("state diverged at level %v", lv)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAccessSiteInterleavedWithAccess checks that a Site survives other
+// traffic going through the plain Access path on the same environment —
+// the VM mixes AccessSite (memoized instructions) with Access/Branch
+// (everything else), and a memo must never replay across a membership
+// change caused by non-site traffic.
+func TestAccessSiteInterleavedWithAccess(t *testing.T) {
+	lat := lattice.TwoPoint()
+	for _, se := range siteEnvs(lat) {
+		t.Run(se.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			generic := se.Clone()
+			fast := se.Clone().(SiteEnv)
+			var site Site
+			bot := lat.Bot()
+			for step := 0; step < 5000; step++ {
+				if rng.Intn(3) == 0 {
+					// The memoized site.
+					cg := generic.Access(Read, 0x100, bot, bot)
+					cf := fast.AccessSite(&site, Read, 0x100, bot, bot)
+					if cg != cf {
+						t.Fatalf("step %d: site cost %d != %d", step, cf, cg)
+					}
+				} else {
+					// Conflicting plain traffic evicting the site's line.
+					addr := uint64(rng.Intn(32)) * 16
+					cg := generic.Access(Read, addr, bot, bot)
+					cf := fast.Access(Read, addr, bot, bot)
+					if cg != cf {
+						t.Fatalf("step %d: plain cost %d != %d", step, cf, cg)
+					}
+				}
+			}
+			if generic.Stats() != fast.Stats() {
+				t.Fatalf("stats diverged:\ngeneric %+v\nsite    %+v", generic.Stats(), fast.Stats())
+			}
+			for _, lv := range lat.Levels() {
+				if !generic.ProjEqual(fast, lv) {
+					t.Fatalf("state diverged at level %v", lv)
+				}
+			}
+		})
+	}
+}

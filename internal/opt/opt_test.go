@@ -172,6 +172,65 @@ if (1) { x := 2 + 3; } else { skip; }
 	}
 }
 
+// Idempotence over generated programs: after one optimization pass the
+// program is a fixed point — a second pass reports zero folds and zero
+// branch eliminations and leaves the printed program unchanged.
+func TestIdempotentOnGenerated(t *testing.T) {
+	lat := lattice.TwoPoint()
+	for seed := int64(0); seed < 25; seed++ {
+		prog, _, src, err := progen.GenerateTyped(progen.Config{
+			Lat: lat, Seed: 4400 + seed, AllowMitigate: true, AllowSleep: true, MaxDepth: 4,
+		}, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Program(prog)
+		once := printer.Print(prog, printer.Options{})
+		folds, branches := Program(prog)
+		twice := printer.Print(prog, printer.Options{})
+		if folds != 0 || branches != 0 {
+			t.Fatalf("seed %d: second pass did work: %d folds, %d branches\n%s",
+				seed, folds, branches, src)
+		}
+		if once != twice {
+			t.Fatalf("seed %d: second pass changed the program\nonce:\n%s\ntwice:\n%s",
+				seed, once, twice)
+		}
+	}
+}
+
+// Pass ordering: expressions are folded bottom-up BEFORE each branch
+// decision, so guards that only become constant after folding (through
+// unary operators and nested subexpressions) are eliminated in a
+// single call — including branches nested inside eliminated arms.
+func TestPassOrderingFoldsBeforeBranchElimination(t *testing.T) {
+	p, _ := parseCheck(t, `
+var x : L;
+if (!(3 - 3)) {
+    if (2 * 2 - 4) { x := 1; } else { x := 2; }
+} else {
+    x := 3;
+}
+`)
+	folds, branches := Program(p)
+	if branches != 2 {
+		t.Errorf("branches eliminated = %d, want 2 (outer and nested)", branches)
+	}
+	if folds < 3 {
+		t.Errorf("folds = %d, want at least 3 (two guards need folding first)", folds)
+	}
+	out := printer.Print(p, printer.Options{})
+	if strings.Contains(out, "if") {
+		t.Errorf("constant branches survive:\n%s", out)
+	}
+	if !strings.Contains(out, "x := 2") {
+		t.Errorf("surviving arm lost:\n%s", out)
+	}
+	if strings.Contains(out, "x := 1") || strings.Contains(out, "x := 3") {
+		t.Errorf("dead arms survive:\n%s", out)
+	}
+}
+
 // Folding a mitigate's init expression keeps its identifier and level.
 func TestMitigatePreserved(t *testing.T) {
 	p, _ := parseCheck(t, `

@@ -189,10 +189,60 @@ func summarize(benches []Benchmark) map[string]float64 {
 		sum["vm_vs_tree_req_per_s/"+rest] = ratio
 	}
 	scaling(benches, sum)
+	vmopt(benches, sum)
 	if len(sum) == 0 {
 		return nil
 	}
 	return sum
+}
+
+// vmoptName parses "BenchmarkVMOpt/opt=N/workers=M".
+var vmoptName = regexp.MustCompile(`^BenchmarkVMOpt/opt=(\d+)/(workers=\d+)$`)
+
+// vmopt derives the bytecode-pipeline record from BenchmarkVMOpt runs:
+// the mean req/s of each opt level per worker count, and the
+// opt2-vs-opt0 throughput ratio — the pipeline's speedup on the
+// service path. Multiple -count runs average.
+func vmopt(benches []Benchmark, sum map[string]float64) {
+	type acc struct {
+		sum float64
+		n   int
+	}
+	// key: "opt=N/workers=M"
+	groups := map[string]*acc{}
+	for _, b := range benches {
+		m := vmoptName.FindStringSubmatch(b.Name)
+		if m == nil {
+			continue
+		}
+		rps, ok := b.Metrics["req/s"]
+		if !ok {
+			continue
+		}
+		key := "opt=" + m[1] + "/" + m[2]
+		a := groups[key]
+		if a == nil {
+			a = &acc{}
+			groups[key] = a
+		}
+		a.sum += rps
+		a.n++
+	}
+	for key, a := range groups {
+		sum["mean_req_per_s/"+key] = a.sum / float64(a.n)
+	}
+	for key, base := range groups {
+		if !strings.HasPrefix(key, "opt=0/") {
+			continue
+		}
+		rest := strings.TrimPrefix(key, "opt=0/")
+		opt2, ok := groups["opt=2/"+rest]
+		if !ok || base.sum == 0 {
+			continue
+		}
+		sum["opt2_vs_opt0_req_per_s/"+rest] =
+			(opt2.sum / float64(opt2.n)) / (base.sum / float64(base.n))
+	}
 }
 
 // scalingName parses "BenchmarkPoolScaling/<group>/workers=N" into the

@@ -46,6 +46,23 @@ func main() {
 		write(pdir, name, "string("+strconv.Quote(string(src))+")")
 	}
 
+	// Optimizer corpus: every example program, crossed over machine
+	// environment and timing-model selectors, so the differential
+	// target starts from real programs on both timing models.
+	odir := filepath.Join(repo, "internal/bytecode/optimize/testdata/fuzz/FuzzOptTraceIdentity")
+	for i, tc := range tcs {
+		src, err := os.ReadFile(tc)
+		if err != nil {
+			panic(err)
+		}
+		for _, micro := range []bool{false, true} {
+			name := fmt.Sprintf("seed-%s-%v", filepath.Base(tc), micro)
+			body := fmt.Sprintf("string(%s)\nbyte(%d)\nbool(%v)\nbyte(%d)",
+				strconv.Quote(string(src)), i%4, micro, i%11)
+			write(odir, name, body)
+		}
+	}
+
 	// Bytecode corpus: structural prefixes plus real compiled images.
 	bdir := filepath.Join(repo, "internal/bytecode/testdata/fuzz/FuzzDecode")
 	write(bdir, "seed-empty", "[]byte(\"\")")
