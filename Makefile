@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all ci vet build test race bench bench-smoke bench-engines bench-scaling bench-sessions bench-vmopt profile engines chaos fuzz-smoke smoke-serve harness quick clean
+.PHONY: all ci vet build test race bench bench-smoke bench-engines bench-scaling bench-sessions bench-vmopt profile engines chaos fuzz-smoke smoke-serve certify certify-smoke cover harness quick clean
 
 all: ci
 
@@ -13,7 +13,7 @@ all: ci
 # fuzz of each native fuzz target, a 1x-benchtime smoke run of
 # every benchmark so benchmark code cannot rot uncompiled or uncovered,
 # and an end-to-end drive of the HTTP service through the real binary.
-ci: vet build race engines chaos fuzz-smoke bench-smoke smoke-serve
+ci: vet build race engines chaos certify-smoke fuzz-smoke bench-smoke smoke-serve
 
 # engines runs the tree/VM differential tests: identical traces,
 # clocks, mitigation records, and final memories across engines on the
@@ -48,11 +48,14 @@ vet:
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test (and subtest) execution order so
+# inter-test state dependence cannot hide; the seed is printed on
+# failure for replay with -shuffle=<seed>.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1x -benchmem -run ^$$ .
@@ -110,6 +113,34 @@ bench-vmopt:
 	@rm -f bench_vmopt.txt
 	@echo wrote BENCH_vmopt.json
 
+# certify runs the FULL adversarial leakage-certification matrix —
+# {tree, vm-opt0, vm-opt2} × {partitioned, nopar} × {mitigated,
+# unmitigated} × {login, rsa, sleep, progen corpus} across the engine,
+# pool, and HTTP bindings — fails if any mitigated row's measured
+# leakage upper bound exceeds its reported §7 bound (or if no insecure
+# baseline measurably leaks), and records the matrix into
+# BENCH_certify.json. Same seed ⇒ byte-identical output.
+certify:
+	$(GO) run ./internal/tools/certifybench -seed 1 > bench_certify.txt
+	$(GO) run ./internal/tools/benchjson -o BENCH_certify.json < bench_certify.txt
+	@rm -f bench_certify.txt
+	@echo wrote BENCH_certify.json
+
+# certify-smoke is the ci slice of the matrix: every binding and both
+# verdict polarities, seconds not minutes.
+certify-smoke:
+	$(GO) run ./internal/tools/certifybench -seed 1 -quick > /dev/null
+
+# cover enforces the certification harness's coverage floor: the
+# package that asserts the security claim must itself be ≥ 85%
+# statement-covered, so a rotted assertion cannot hide.
+cover:
+	$(GO) test -coverprofile=cover_certify.out ./internal/certify
+	@$(GO) tool cover -func=cover_certify.out | awk '/^total:/ { sub(/%/, "", $$3); \
+	  if ($$3 + 0 < 85.0) { printf "FAIL: internal/certify coverage %.1f%% below the 85%% floor\n", $$3; exit 1 } \
+	  else { printf "internal/certify coverage %.1f%% (floor 85%%)\n", $$3 } }'
+	@rm -f cover_certify.out
+
 # profile captures a CPU profile of the scaling benchmark's vm-engine
 # hot path; inspect with `go tool pprof repro.test cpu.prof`.
 profile:
@@ -123,4 +154,4 @@ harness:
 quick: vet build test
 
 clean:
-	rm -f cpu.prof repro.test bench_engines.txt bench_scaling.txt bench_sessions.txt bench_vmopt.txt
+	rm -f cpu.prof repro.test bench_engines.txt bench_scaling.txt bench_sessions.txt bench_vmopt.txt bench_certify.txt cover_certify.out

@@ -8,6 +8,8 @@
 //	timingc run     [-lattice L] [-hw HW] [-mitigate] [-set x=v]... file
 //	timingc serve   [-lattice L] [-hw HW] [-engine E] [-workers N] [-pprof ADDR] file
 //	timingc verify  [-lattice L] [-hw HW] [-trials N] file
+//	timingc certify [-seed N] [-full]                       (built-in sweep)
+//	timingc certify [-var x] [-n N] [-engine E] [-hw HW] file
 package main
 
 import (

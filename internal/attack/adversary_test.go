@@ -1,0 +1,268 @@
+package attack
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/certify"
+	"repro/internal/lang/parser"
+	"repro/internal/lattice"
+	"repro/internal/machine/hw"
+	"repro/internal/sem/mem"
+	"repro/internal/types"
+)
+
+// arrayReadWorkload is §2.1's indirect-dependency victim as a
+// certification workload: one secret-indexed high array read, whose
+// cache fill lands at a secret-dependent set on shared hardware.
+func arrayReadWorkload(t *testing.T, n int) *certify.Workload {
+	t.Helper()
+	prog, err := parser.Parse(`
+var h1 : H;
+var h2 : H;
+array m[16] : H;
+mitigate (1, H) [L,L] {
+    h2 := m[h1] [H,H];
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := lattice.TwoPoint()
+	res, err := types.Check(prog, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &certify.Workload{
+		Name: "array-read",
+		Prog: prog,
+		Res:  res,
+		Lat:  lat,
+		N:    n,
+		Set: func(secret int, m *mem.Memory) {
+			m.Set("h1", int64(secret))
+		},
+		HW: hw.TinyConfig,
+	}
+}
+
+// TestPrimeProbeAdversary mounts the promoted cache attacker through
+// the certification harness: on commodity (unpartitioned) hardware the
+// eviction signature carries the secret; the paper's partitioned
+// design silences it completely.
+func TestPrimeProbeAdversary(t *testing.T) {
+	ctx := context.Background()
+	w := arrayReadWorkload(t, 8)
+
+	unmit, err := certify.NewEngineTarget(w, certify.TargetConfig{Hardware: "unpartitioned", Mitigated: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err := (&PrimeProbeAdversary{}).Mount(ctx, unmit, certify.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.Bits < 1 {
+		t.Errorf("unpartitioned eviction signature should carry ≥ 1 bit, measured %.3f", att.Bits)
+	}
+
+	part, err := certify.NewEngineTarget(w, certify.TargetConfig{Hardware: "partitioned", Mitigated: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err = (&PrimeProbeAdversary{}).Mount(ctx, part, certify.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.Bits != 0 {
+		t.Errorf("partitioned hardware should silence the cache channel, measured %.3f bits", att.Bits)
+	}
+}
+
+// TestPrimeProbeNotApplicableRemote: a remote (HTTP) target shares no
+// hardware with the adversary, so the cache attacker skips it and
+// Certify falls back to the timing battery.
+func TestPrimeProbeNotApplicableRemote(t *testing.T) {
+	w, err := certify.SleepWorkload(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := certify.NewHTTPTarget(w, certify.TargetConfig{Mitigated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tgt.Close()
+	_, err = (&PrimeProbeAdversary{}).Mount(context.Background(), tgt, certify.NewRNG(1))
+	if err != certify.ErrNotApplicable {
+		t.Fatalf("want ErrNotApplicable, got %v", err)
+	}
+	res, err := certify.Certify(context.Background(), tgt, certify.Options{
+		Seed:        1,
+		Adversaries: append(certify.DefaultAdversaries(), &PrimeProbeAdversary{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Attacks) != 3 {
+		t.Errorf("the skipped adversary should not appear in the report: %d attacks", len(res.Attacks))
+	}
+}
+
+// TestCertifyWithMicroarchAdversaries runs the full battery PLUS both
+// promoted attackers against the mitigated array-read workload on
+// partitioned hardware — the complete threat model of the paper, and
+// it still certifies.
+func TestCertifyWithMicroarchAdversaries(t *testing.T) {
+	w := arrayReadWorkload(t, 8)
+	tgt, err := certify.NewEngineTarget(w, certify.TargetConfig{Hardware: "partitioned", Mitigated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := certify.Certify(context.Background(), tgt, certify.Options{
+		Seed:        9,
+		Adversaries: append(certify.DefaultAdversaries(), &PrimeProbeAdversary{}, &BranchPairAdversary{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Attacks) != 5 {
+		t.Fatalf("all 5 adversaries should mount on a coresident target, got %d", len(res.Attacks))
+	}
+	if !res.Certified {
+		t.Errorf("mitigated partitioned array-read should survive the full battery: upper %.3f vs reported %.3f",
+			res.UpperBits, res.ReportedBits)
+	}
+}
+
+// equalWeightKeys returns two RSA keys of equal Hamming weight (32)
+// and equal bit length (63): indistinguishable to the multiply-count
+// and iteration-count channels, separable only by how their patterns
+// train the branch predictor — clustered bits predict well,
+// alternating bits mispredict every iteration.
+func equalWeightKeys() (clustered, alternating int64) {
+	return 0x7FFFFFFF80000000, 0x5555555555555555
+}
+
+// TestBranchPairAdversaryPredictorChannel isolates the predictor as
+// the channel: with the branch predictor modeled, the promoted
+// attacker separates the equal-weight pair; with the predictor
+// disabled (and nothing else changed) the pair is indistinguishable.
+func TestBranchPairAdversaryPredictorChannel(t *testing.T) {
+	ctx := context.Background()
+	clustered, alternating := equalWeightKeys()
+	w, err := certify.RSAWorkload([]int64{clustered, alternating})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tgt, err := certify.NewEngineTarget(w, certify.TargetConfig{Hardware: "unpartitioned", Mitigated: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err := (&BranchPairAdversary{}).Mount(ctx, tgt, certify.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.Bits != 1 {
+		t.Errorf("predictor should fully separate the equal-weight pair: %.3f bits", att.Bits)
+	}
+
+	noBP := *w
+	noBP.HW = func() hw.Config {
+		cfg := hw.Table1Config()
+		cfg.BP.Size = 0
+		return cfg
+	}
+	tgt, err = certify.NewEngineTarget(&noBP, certify.TargetConfig{Hardware: "unpartitioned", Mitigated: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err = (&BranchPairAdversary{}).Mount(ctx, tgt, certify.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.Bits != 0 {
+		t.Errorf("without the predictor the equal-weight pair must be indistinguishable: %.3f bits", att.Bits)
+	}
+}
+
+// TestBranchPairAdversaryMitigated: mitigation closes the predictor
+// channel along with the rest, and the configuration certifies under
+// the extended battery.
+func TestBranchPairAdversaryMitigated(t *testing.T) {
+	clustered, alternating := equalWeightKeys()
+	w, err := certify.RSAWorkload([]int64{clustered, alternating})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := certify.NewEngineTarget(w, certify.TargetConfig{Hardware: "partitioned", Mitigated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := certify.Certify(context.Background(), tgt, certify.Options{
+		Seed:        4,
+		Adversaries: append(certify.DefaultAdversaries(), &BranchPairAdversary{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Certified {
+		t.Errorf("mitigated RSA should certify against the branch attacker: upper %.3f vs reported %.3f",
+			res.UpperBits, res.ReportedBits)
+	}
+	for _, a := range res.Attacks {
+		if a.Adversary == "branch-pair" && a.Bits != 0 {
+			t.Errorf("mitigated branch channel should be silent, measured %.3f bits", a.Bits)
+		}
+	}
+}
+
+// TestBranchPairAdversaryBadPair: indices outside the secret space are
+// a mount error, not a silent skip.
+func TestBranchPairAdversaryBadPair(t *testing.T) {
+	w, err := certify.SleepWorkload(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := certify.NewEngineTarget(w, certify.TargetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&BranchPairAdversary{A: 0, B: 99}).Mount(context.Background(), tgt, certify.NewRNG(1)); err == nil {
+		t.Error("out-of-range pair should error")
+	}
+}
+
+// TestCollect: the shared measurement loop discards exactly one warm
+// pass, records rounds·N pairs, and is deterministic in the rng.
+func TestCollect(t *testing.T) {
+	w, err := certify.SleepWorkload(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := certify.NewEngineTarget(w, certify.TargetConfig{Mitigated: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secrets, times, probes, err := Collect(context.Background(), tgt, 3, certify.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secrets) != 12 || len(times) != 12 {
+		t.Fatalf("want 3 rounds × 4 secrets = 12 pairs, got %d/%d", len(secrets), len(times))
+	}
+	if probes != 16 {
+		t.Errorf("probes = %d, want 16 (12 recorded + 4 warm)", probes)
+	}
+	// The unmitigated sleep channel is exact: time determines secret.
+	bySecret := map[int]uint64{}
+	for i, s := range secrets {
+		if prev, ok := bySecret[s]; ok && prev != times[i] {
+			t.Fatalf("secret %d timed inconsistently: %d vs %d", s, prev, times[i])
+		}
+		bySecret[s] = times[i]
+	}
+	if len(bySecret) != 4 {
+		t.Errorf("all 4 secrets should appear, got %d", len(bySecret))
+	}
+}

@@ -1,14 +1,16 @@
 package attack
 
 import (
+	"context"
 	"math"
 	"math/bits"
 	"testing"
 
 	"repro/internal/apps/login"
-	"repro/internal/apps/rsa"
+	"repro/internal/certify"
 	"repro/internal/lattice"
 	"repro/internal/machine/hw"
+	"repro/internal/sem/mem"
 )
 
 func TestBestThreshold(t *testing.T) {
@@ -130,7 +132,26 @@ func TestTimeEntropy(t *testing.T) {
 }
 
 // ---------------------------------------------------------------------------
-// End-to-end attacks against the case studies
+// End-to-end attacks against the case studies, measured through the
+// certification harness: each test wraps its case study as a
+// certify.Workload (the "secret" indexes what the attacker varies) and
+// drives probes through the shared Collect loop instead of a private
+// one.
+
+// timesBySecret runs one recorded Collect round and indexes the times
+// by secret — the layout the classical analyses want.
+func timesBySecret(t *testing.T, tgt certify.Target, seed int64) []uint64 {
+	t.Helper()
+	secrets, times, _, err := Collect(context.Background(), tgt, 1, certify.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint64, tgt.Secrets())
+	for i, s := range secrets {
+		out[s] = times[i]
+	}
+	return out
+}
 
 func TestUsernameProbingEndToEnd(t *testing.T) {
 	lat := lattice.TwoPoint()
@@ -149,28 +170,24 @@ func TestUsernameProbingEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	collect := func(mitigate bool) ([]uint64, []bool) {
-		times := make([]uint64, len(probes))
-		truth := make([]bool, len(probes))
-		for i, p := range probes {
-			res, err := app.Run(login.RunOptions{
-				Env: newEnv(), Mitigate: mitigate, Pred1: p1, Pred2: p2,
-			}, secretCreds, login.Attempt{User: p.User, Pass: "guess"})
-			if err != nil {
-				t.Fatal(err)
-			}
-			tm, err := login.ResponseTime(res)
-			if err != nil {
-				t.Fatal(err)
-			}
-			times[i] = tm
-			truth[i] = i < len(secretCreds)
-		}
-		return times, truth
+	// The Bortz–Boneh prober varies the USERNAME: secret index i means
+	// "probe username i", the first 9 of which exist in the table.
+	w := &certify.Workload{
+		Name: "login-probe", Prog: app.Prog, Res: app.Res, Lat: lat, N: len(probes),
+		Set: func(i int, m *mem.Memory) {
+			app.Setup(m, secretCreds, login.Attempt{User: probes[i].User, Pass: "guess"}, p1, p2)
+		},
+	}
+	truth := make([]bool, len(probes))
+	for i := range truth {
+		truth[i] = i < len(secretCreds)
 	}
 
-	times, truth := collect(false)
-	res, err := ProbeUsernames(times, truth)
+	unmit, err := certify.NewEngineTarget(w, certify.TargetConfig{Mitigated: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ProbeUsernames(timesBySecret(t, unmit, 1), truth)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,8 +195,11 @@ func TestUsernameProbingEndToEnd(t *testing.T) {
 		t.Errorf("unmitigated probe accuracy = %f, want 1.0", res.Accuracy)
 	}
 
-	mitTimes, truth := collect(true)
-	mitRes, err := ProbeUsernames(mitTimes, truth)
+	mit, err := certify.NewEngineTarget(w, certify.TargetConfig{Mitigated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mitRes, err := ProbeUsernames(timesBySecret(t, mit, 1), truth)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,44 +214,37 @@ func TestUsernameProbingEndToEnd(t *testing.T) {
 }
 
 func TestRSAWeightRecoveryEndToEnd(t *testing.T) {
-	lat := lattice.TwoPoint()
-	app, err := rsa.Build(rsa.Config{MaxBlocks: 4, Modulus: 2147483647}, rsa.LanguageLevel, lat)
+	// Offline calibration with chosen keys of the same bit length,
+	// plus the victim as the last secret index.
+	calKeys := []int64{
+		0x4000000000000001, 0x400000FF000000FF, 0x4FFF0FFF0FFF0FFF, 0x7FFFFFFFFFFFFFFF,
+	}
+	victim := int64(0x5A5A5A5A5A5A5A5B)
+	w, err := certify.RSAWorkload(append(append([]int64(nil), calKeys...), victim))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Disable the branch predictor for this analysis: the regression
 	// models time as linear in key WEIGHT, which holds for the cache
 	// model but not under a trained predictor (alternating-bit keys
-	// mispredict every iteration — the separate signal that
-	// branch-prediction-analysis attacks exploit).
-	cfg := hw.Table1Config()
-	cfg.BP.Size = 0
-	newEnv := func() hw.Env { return hw.NewPartitioned(lat, cfg) }
-	msg := rsa.Message(2, 3)
-
-	timeOf := func(key int64, mitigate bool, pred int64) uint64 {
-		res, err := app.Run(newEnv(), key, msg, pred, mitigate)
-		if err != nil {
-			t.Fatal(err)
-		}
-		tm, err := rsa.ResponseTime(res)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return tm
+	// mispredict every iteration — the separate signal the promoted
+	// BranchPairAdversary exploits instead).
+	w.HW = func() hw.Config {
+		cfg := hw.Table1Config()
+		cfg.BP.Size = 0
+		return cfg
 	}
 
-	// Offline calibration with chosen keys of the same bit length.
-	calKeys := []int64{
-		0x4000000000000001, 0x400000FF000000FF, 0x4FFF0FFF0FFF0FFF, 0x7FFFFFFFFFFFFFFF,
+	unmit, err := certify.NewEngineTarget(w, certify.TargetConfig{Mitigated: false})
+	if err != nil {
+		t.Fatal(err)
 	}
+	times := timesBySecret(t, unmit, 1)
 	var xs []float64
-	var ys []uint64
 	for _, k := range calKeys {
 		xs = append(xs, float64(bits.OnesCount64(uint64(k))))
-		ys = append(ys, timeOf(k, false, 1))
 	}
-	fit, err := FitLinear(xs, ys)
+	fit, err := FitLinear(xs, times[:len(calKeys)])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,10 +252,9 @@ func TestRSAWeightRecoveryEndToEnd(t *testing.T) {
 		t.Fatalf("timing should be near-linear in weight; R2 = %f", fit.R2)
 	}
 
-	// Attack a victim key: recover its Hamming weight from one timing.
-	victim := int64(0x5A5A5A5A5A5A5A5B)
+	// Attack the victim key: recover its Hamming weight from one timing.
 	wTrue := bits.OnesCount64(uint64(victim))
-	wEst, err := fit.Invert(timeOf(victim, false, 1))
+	wEst, err := fit.Invert(times[len(calKeys)])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,54 +263,41 @@ func TestRSAWeightRecoveryEndToEnd(t *testing.T) {
 	}
 
 	// Mitigated: the same attack finds a flat line and cannot invert.
-	pred, err := app.SamplePrediction(newEnv, []int64{0x7FFFFFFFFFFFFFFF}, [][]int64{msg})
+	mit, err := certify.NewEngineTarget(w, certify.TargetConfig{Mitigated: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ys = ys[:0]
-	for _, k := range calKeys {
-		ys = append(ys, timeOf(k, true, pred))
-	}
-	mitFit, err := FitLinear(xs, ys)
+	mitTimes := timesBySecret(t, mit, 1)
+	mitFit, err := FitLinear(xs, mitTimes[:len(calKeys)])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mitFit.Invert(timeOf(victim, true, pred)); err == nil {
+	if _, err := mitFit.Invert(mitTimes[len(calKeys)]); err == nil {
 		t.Error("mitigated timing should be uninvertible (flat)")
 	}
 }
 
 func TestMutualInformationOnMitigatedRSA(t *testing.T) {
-	lat := lattice.TwoPoint()
-	app, err := rsa.Build(rsa.Config{MaxBlocks: 2, Modulus: 1000003}, rsa.LanguageLevel, lat)
+	w, err := certify.RSAWorkload(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	newEnv := func() hw.Env { return hw.NewFlat(lat, 2) }
-	msg := rsa.Message(1, 1)
-	keys := []int64{0x11, 0x7F, 0xFF1, 0xABCDE, 0xFFFFF, 0x100001, 0x155555, 0x1FFFFF}
-
-	collect := func(mitigate bool, pred int64) ([]int64, []uint64) {
-		var ts []uint64
-		for _, k := range keys {
-			res, err := app.Run(newEnv(), k, msg, pred, mitigate)
-			if err != nil {
-				t.Fatal(err)
-			}
-			tm, _ := rsa.ResponseTime(res)
-			ts = append(ts, tm)
+	mi := func(mitigated bool) float64 {
+		tgt, err := certify.NewEngineTarget(w, certify.TargetConfig{Mitigated: mitigated})
+		if err != nil {
+			t.Fatal(err)
 		}
-		return keys, ts
+		times := timesBySecret(t, tgt, 3)
+		secrets := make([]int64, len(times))
+		for i := range secrets {
+			secrets[i] = int64(i)
+		}
+		return MutualInformationBits(secrets, times)
 	}
-
-	s, tsU := collect(false, 1)
-	miU := MutualInformationBits(s, tsU)
-	s, tsM := collect(true, 1<<13)
-	miM := MutualInformationBits(s, tsM)
-	if miU < 1.5 {
+	if miU := mi(false); miU < 1.5 {
 		t.Errorf("unmitigated MI = %f bits; attack should extract >1.5", miU)
 	}
-	if miM != 0 {
+	if miM := mi(true); miM != 0 {
 		t.Errorf("mitigated MI = %f bits, want 0", miM)
 	}
 }

@@ -1,0 +1,234 @@
+package certify
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// warmPass probes every secret once in index order, discarding the
+// observations. Every adversary starts with one: the first touch of a
+// cold cache (and the first misprediction of a fresh mitigation
+// schedule) varies with public request position, not the secret, and a
+// real attacker discards it the same way.
+func warmPass(ctx context.Context, t Target) (int, error) {
+	n := t.Secrets()
+	for i := 0; i < n; i++ {
+		if _, err := t.Probe(ctx, i); err != nil {
+			return i, err
+		}
+	}
+	return n, nil
+}
+
+// Exhaustive is the exhaustive-input distinguisher: it probes every
+// secret Rounds times and partitions the secret space by observed time
+// vector. The information extracted is exact for this deterministic
+// channel: H(secret) − Σ (|c|/N)·log2|c| over the classes c — log2 N
+// when every secret times differently, 0 when the channel is flat.
+type Exhaustive struct {
+	// Rounds is the number of recorded passes over the secret space
+	// (after the discarded warm-up pass); default 2.
+	Rounds int
+}
+
+// Name implements Adversary.
+func (e *Exhaustive) Name() string { return "exhaustive" }
+
+// Mount implements Adversary.
+func (e *Exhaustive) Mount(ctx context.Context, t Target, rng *RNG) (Attack, error) {
+	rounds := e.Rounds
+	if rounds <= 0 {
+		rounds = 2
+	}
+	n := t.Secrets()
+	probes, err := warmPass(ctx, t)
+	if err != nil {
+		return Attack{}, err
+	}
+	vectors := make([][]uint64, n)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < n; i++ {
+			tm, err := t.Probe(ctx, i)
+			if err != nil {
+				return Attack{}, err
+			}
+			vectors[i] = append(vectors[i], tm)
+			probes++
+		}
+	}
+	// Partition by vector equality; class sizes give the expected
+	// posterior entropy under a uniform prior.
+	classes := map[string]int{}
+	for _, v := range vectors {
+		classes[fmt.Sprint(v)]++
+	}
+	posterior := 0.0
+	for _, size := range classes {
+		posterior += float64(size) / float64(n) * math.Log2(float64(size))
+	}
+	bits := math.Log2(float64(n)) - posterior
+	return Attack{
+		Adversary: e.Name(),
+		Probes:    probes,
+		Bits:      bits,
+		Upper:     bits,
+		Detail:    fmt.Sprintf("%d timing classes over %d secrets", len(classes), n),
+	}, nil
+}
+
+// BinarySearch is the adaptive attacker: it plants a secret, observes
+// the victim's time, then probes candidate secrets in bisection order
+// to find which are consistent with the observation. It adapts its
+// probe budget to the channel — if the first ⌈log2 N⌉+1 bisection
+// probes all match, it declares the channel flat and stops; otherwise
+// it completes the scan and reports log2(N/|survivors|) bits (how far
+// the observation narrowed the secret space).
+type BinarySearch struct {
+	// Planted selects the victim's secret; negative draws it from the
+	// adversary's rng.
+	Planted int
+}
+
+// NewBinarySearch returns the default configuration (random plant).
+func NewBinarySearch() *BinarySearch { return &BinarySearch{Planted: -1} }
+
+// Name implements Adversary.
+func (b *BinarySearch) Name() string { return "binary-search" }
+
+// Mount implements Adversary.
+func (b *BinarySearch) Mount(ctx context.Context, t Target, rng *RNG) (Attack, error) {
+	n := t.Secrets()
+	planted := b.Planted
+	if planted < 0 || planted >= n {
+		planted = rng.Intn(n)
+	}
+	probes, err := warmPass(ctx, t)
+	if err != nil {
+		return Attack{}, err
+	}
+	target, err := t.Probe(ctx, planted)
+	if err != nil {
+		return Attack{}, err
+	}
+	probes++
+
+	order := bisectionOrder(n)
+	survivors := 0
+	flatAfter := 0
+	for i := range order {
+		flatAfter = i + 1
+		if i > bitsCeil(n) && survivors == i {
+			// Every probe so far matched the victim: consistent with a
+			// flat channel, so stop spending probes.
+			survivors = n
+			break
+		}
+		tm, err := t.Probe(ctx, order[i])
+		if err != nil {
+			return Attack{}, err
+		}
+		probes++
+		if tm == target {
+			survivors++
+		}
+	}
+	if survivors == 0 {
+		// The planted secret's own probe mismatched its earlier
+		// observation (history-dependent machine state); the attack
+		// learned the observation is unstable, not the secret.
+		survivors = n
+	}
+	bits := math.Log2(float64(n) / float64(survivors))
+	return Attack{
+		Adversary: b.Name(),
+		Probes:    probes,
+		Bits:      bits,
+		Upper:     bits,
+		Detail:    fmt.Sprintf("planted %d: %d of %d candidates consistent after %d adaptive probes", planted, survivors, n, flatAfter),
+	}, nil
+}
+
+// bisectionOrder lists 0..n-1 midpoint-first: the whole range's
+// midpoint, then each half's, breadth-first — the probe order of a
+// binary search that does not yet know which half the secret is in.
+func bisectionOrder(n int) []int {
+	out := make([]int, 0, n)
+	type span struct{ lo, hi int }
+	queue := []span{{0, n}}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if s.lo >= s.hi {
+			continue
+		}
+		mid := (s.lo + s.hi) / 2
+		out = append(out, mid)
+		queue = append(queue, span{s.lo, mid}, span{mid + 1, s.hi})
+	}
+	return out
+}
+
+func bitsCeil(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// MIEstimator samples the channel — Rounds passes over the secret
+// space in rng-shuffled order — and estimates I(secret; time) with the
+// Miller–Madow-corrected plug-in estimator plus a deterministic
+// bootstrap upper confidence bound (see EstimateMI). This is the
+// statistical workhorse: unlike the distinguishers it keeps working
+// when timing is noisy, and its Upper is what certification holds
+// against the reported §7 bound.
+type MIEstimator struct {
+	// Rounds is the number of recorded sampling passes; default 4.
+	Rounds int
+	// Estimator tunes the bootstrap; zero values take the defaults.
+	Estimator EstimatorOptions
+}
+
+// Name implements Adversary.
+func (m *MIEstimator) Name() string { return "mi-estimator" }
+
+// Mount implements Adversary.
+func (m *MIEstimator) Mount(ctx context.Context, t Target, rng *RNG) (Attack, error) {
+	rounds := m.Rounds
+	if rounds <= 0 {
+		rounds = 4
+	}
+	n := t.Secrets()
+	probes, err := warmPass(ctx, t)
+	if err != nil {
+		return Attack{}, err
+	}
+	secrets := make([]int, 0, rounds*n)
+	times := make([]uint64, 0, rounds*n)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for r := 0; r < rounds; r++ {
+		rng.Shuffle(order)
+		for _, i := range order {
+			tm, err := t.Probe(ctx, i)
+			if err != nil {
+				return Attack{}, err
+			}
+			secrets = append(secrets, i)
+			times = append(times, tm)
+			probes++
+		}
+	}
+	mi := EstimateMI(secrets, times, m.Estimator, rng)
+	return Attack{
+		Adversary: m.Name(),
+		Probes:    probes,
+		Bits:      mi.Bits,
+		Upper:     mi.Upper,
+		Detail:    fmt.Sprintf("%d samples: plugin %.3f, corrected %.3f, upper %.3f bits", mi.N, mi.Plugin, mi.Bits, mi.Upper),
+	}, nil
+}

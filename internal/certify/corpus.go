@@ -1,0 +1,55 @@
+package certify
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+)
+
+// CorpusEntry is one vetted progen workload: a generator seed plus the
+// secret variable and secret-space size to certify over. Entries are
+// selected by internal/tools/gencertifycorpus, which keeps only seeds
+// whose program shows a real unmitigated timing signal (≥ 1 bit over
+// the secret space) and executes at least one mitigate command for
+// every secret — without both, a seed proves nothing in either
+// direction.
+type CorpusEntry struct {
+	Seed int64  `json:"seed"`
+	Var  string `json:"var"`
+	N    int    `json:"n"`
+}
+
+//go:embed testdata/progen_corpus.json
+var corpusJSON []byte
+
+// Corpus returns the checked-in progen certification corpus.
+// Regenerate with `go run ./internal/tools/gencertifycorpus`.
+func Corpus() ([]CorpusEntry, error) {
+	var doc struct {
+		Programs []CorpusEntry `json:"programs"`
+	}
+	if err := json.Unmarshal(corpusJSON, &doc); err != nil {
+		return nil, fmt.Errorf("certify: corrupt progen corpus: %w", err)
+	}
+	if len(doc.Programs) == 0 {
+		return nil, fmt.Errorf("certify: empty progen corpus")
+	}
+	return doc.Programs, nil
+}
+
+// CorpusWorkloads instantiates every corpus entry.
+func CorpusWorkloads() ([]*Workload, error) {
+	entries, err := Corpus()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Workload, 0, len(entries))
+	for _, e := range entries {
+		w, err := ProgenWorkload(e.Seed, e.Var, e.N)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package certify
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestCertifySweepSmoke is the CI certification gate (`make
+// certify-smoke`): the quick slice of the matrix must certify every
+// mitigated+partitioned configuration and measurably leak on at least
+// one unmitigated baseline, and the bench rendering must be a pure
+// function of the seed.
+func TestCertifySweepSmoke(t *testing.T) {
+	ctx := context.Background()
+	rows, err := Sweep(ctx, SweepOptions{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("quick sweep has %d rows, want 9", len(rows))
+	}
+	if err := Check(rows); err != nil {
+		t.Fatal(err)
+	}
+
+	bindings := map[string]bool{}
+	for _, r := range rows {
+		bindings[r.Binding] = true
+		if r.Result == nil {
+			t.Fatalf("%s: nil result", r.Label())
+		}
+	}
+	for _, b := range []string{"engine", "pool", "http"} {
+		if !bindings[b] {
+			t.Errorf("quick sweep must exercise the %s binding", b)
+		}
+	}
+
+	lines := BenchLines(rows)
+	if len(lines) != len(rows) {
+		t.Fatalf("%d bench lines for %d rows", len(lines), len(rows))
+	}
+	for i, l := range lines {
+		if !strings.HasPrefix(l, "BenchmarkCertify/"+rows[i].Label()+"\t") {
+			t.Errorf("line %d does not carry its row label: %s", i, l)
+		}
+		if !strings.Contains(l, "measured_bits") || !strings.Contains(l, "certified") {
+			t.Errorf("line %d missing metrics: %s", i, l)
+		}
+	}
+
+	// Same seed ⇒ byte-identical bench lines (the BENCH_certify.json
+	// determinism claim, minus the JSON encoder, which is itself
+	// deterministic).
+	again, err := Sweep(ctx, SweepOptions{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relines := BenchLines(again)
+	if strings.Join(lines, "\n") != strings.Join(relines, "\n") {
+		t.Errorf("same seed produced different bench lines:\n%s\n---\n%s",
+			strings.Join(lines, "\n"), strings.Join(relines, "\n"))
+	}
+}
+
+// TestSweepCheckFailures exercises Check's two failure directions on
+// synthetic rows.
+func TestSweepCheckFailures(t *testing.T) {
+	certified := Row{
+		Binding: "engine", Workload: "w",
+		Config: TargetConfig{Engine: "tree", Hardware: "partitioned", Mitigated: true},
+		Result: &Result{Certified: true},
+	}
+	leaky := Row{
+		Binding: "engine", Workload: "w",
+		Config: TargetConfig{Engine: "tree", Hardware: "partitioned", Mitigated: false},
+		Result: &Result{MeasuredBits: 2},
+	}
+	if err := Check([]Row{certified, leaky}); err != nil {
+		t.Errorf("healthy rows should pass: %v", err)
+	}
+
+	broken := certified
+	broken.Result = &Result{Certified: false, UpperBits: 5, ReportedBits: 1}
+	if err := Check([]Row{broken, leaky}); err == nil {
+		t.Error("uncertified mitigated row must fail Check")
+	}
+
+	quiet := leaky
+	quiet.Result = &Result{MeasuredBits: 0}
+	if err := Check([]Row{certified, quiet}); err == nil {
+		t.Error("missing positive control must fail Check")
+	} else if !strings.Contains(err.Error(), "positive control") {
+		t.Errorf("unexpected failure message: %v", err)
+	}
+}
+
+func TestRowLabel(t *testing.T) {
+	r := Row{
+		Binding: "http", Workload: "sleep",
+		Config: TargetConfig{Engine: "vm", OptLevel: 2, OptSet: true, Hardware: "partitioned", Mitigated: true},
+	}
+	want := "bind=http/workload=sleep/engine=vm-opt2/hw=partitioned/mit=on"
+	if got := r.Label(); got != want {
+		t.Errorf("Label = %q, want %q", got, want)
+	}
+	r.Config = TargetConfig{Engine: "tree", Hardware: "nopar"}
+	want = "bind=http/workload=sleep/engine=tree/hw=nopar/mit=off"
+	if got := r.Label(); got != want {
+		t.Errorf("Label = %q, want %q", got, want)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/bytecode"
+	"repro/internal/certify"
 	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/lang/ast"
@@ -77,6 +78,8 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		err = runServe(rest, stdout, stderr)
 	case "verify":
 		err = runVerify(rest, stdout, stderr)
+	case "certify":
+		err = runCertify(rest, stdout, stderr)
 	case "help", "-h", "--help":
 		usage(stdout)
 		return 0
@@ -111,6 +114,9 @@ commands:
            (-listen ADDR serves the HTTP/JSON API instead; -pprof ADDR exposes
            net/http/pprof, sharing -listen's listener when the addresses match)
   verify   check a hardware model against the software-hardware contract
+  certify  mount the black-box attack battery and check measured leakage
+           against the reported §7 bound (no file: run the built-in sweep;
+           with a file: certify that program, -var naming the secret)
 `)
 }
 
@@ -854,6 +860,92 @@ func runVerify(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "all contract checks passed for %s hardware\n", *hwName)
 	return nil
+}
+
+func runCertify(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("certify", stderr)
+	latName := latticeFlag(fs)
+	seed := fs.Int64("seed", 1, "adversary seed (equal seeds replay bit-for-bit)")
+	fullSweep := fs.Bool("full", false, "without a file: run the full certification matrix instead of the quick slice")
+	secretVar := fs.String("var", "", "with a file: the secret variable the adversary varies over 0..n-1")
+	secretN := fs.Int("n", 16, "with a file: secret-space size")
+	engine := fs.String("engine", "tree",
+		fmt.Sprintf("with a file: execution engine, one of %v", exec.EngineNames()))
+	hwName := fs.String("hw", "partitioned", "with a file: hardware model")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	if fs.NArg() == 0 {
+		// Sweep mode: the checked-in certification matrix.
+		rows, err := certify.Sweep(ctx, certify.SweepOptions{Seed: *seed, Quick: !*fullSweep})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%-58s %9s %9s %9s  %s\n", "configuration", "measured", "upper", "reported", "verdict")
+		for _, r := range rows {
+			fmt.Fprintf(stdout, "%-58s %9.3f %9.3f %9.3f  %s\n",
+				r.Label(), r.Result.MeasuredBits, r.Result.UpperBits, r.Result.ReportedBits, r.Result.Verdict())
+		}
+		if err := certify.Check(rows); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "certification passed: %d rows, positive control leaked as expected\n", len(rows))
+		return nil
+	}
+
+	// File mode: certify one program, mitigated and unmitigated.
+	if *secretVar == "" {
+		return fmt.Errorf("certify: -var is required with a source file (the secret the adversary varies)")
+	}
+	if *secretN < 2 {
+		return fmt.Errorf("certify: -n must be at least 2 (got %d)", *secretN)
+	}
+	prog, res, lat, err := load(fs, *latName)
+	if err != nil {
+		return err
+	}
+	if lv, ok := res.VarLabel(*secretVar); !ok {
+		return fmt.Errorf("certify: -var %s: no such variable", *secretVar)
+	} else if lat.Leq(lv, lat.Bot()) {
+		fmt.Fprintf(stderr, "warning: %s is public; its variation is not a secret\n", *secretVar)
+	}
+	w := &certify.Workload{
+		Name: strings.TrimSuffix(fs.Arg(0), ".timing"),
+		Prog: prog, Res: res, Lat: lat, N: *secretN,
+		Set: func(i int, m *mem.Memory) { m.Set(*secretVar, int64(i)) },
+	}
+	var mitErr error
+	for _, mitigated := range []bool{false, true} {
+		tgt, err := certify.NewEngineTarget(w, certify.TargetConfig{
+			Engine: *engine, Hardware: *hwName, Mitigated: mitigated,
+		})
+		if err != nil {
+			return err
+		}
+		r, err := certify.Certify(ctx, tgt, certify.Options{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		mode := "unmitigated"
+		if mitigated {
+			mode = "mitigated"
+		}
+		fmt.Fprintf(stdout, "%s (%s, %s engine, %s hardware): %s\n",
+			mode, w.Name, *engine, *hwName, r.Verdict())
+		for _, a := range r.Attacks {
+			fmt.Fprintf(stdout, "  %-18s %6.3f bits (upper %.3f, %d probes)  %s\n",
+				a.Adversary, a.Bits, a.Upper, a.Probes, a.Detail)
+		}
+		fmt.Fprintf(stdout, "  measured %.3f / upper %.3f of %.3f secret bits; reported §7 bound %.3f\n",
+			r.MeasuredBits, r.UpperBits, r.SecretBits, r.ReportedBits)
+		if mitigated && !r.Certified {
+			mitErr = fmt.Errorf("certification failed: measured upper bound %.3f bits exceeds reported §7 bound %.3f",
+				r.UpperBits, r.ReportedBits)
+		}
+	}
+	return mitErr
 }
 
 // rangeFlags collects repeated -secret name=lo:hi:step flags.

@@ -746,3 +746,58 @@ func TestServeSessionFlagsRequireListen(t *testing.T) {
 		t.Errorf("exit=%d stderr=%q", code, errOut)
 	}
 }
+
+func TestCertifySubcommandFile(t *testing.T) {
+	// File mode: the mitigated testdata program certifies, and the
+	// unmitigated baseline is reported as leaking in the same run.
+	code, out, errOut := run("certify", "-var", "h", "-n", "8", testdataPath(t, "mitigated.tc"))
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q stdout=%q", code, errOut, out)
+	}
+	for _, want := range []string{
+		"unmitigated", "LEAKS",
+		"mitigated", "CERTIFIED",
+		"exhaustive", "binary-search", "mi-estimator",
+		"reported §7 bound",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("certify output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Determinism: equal seeds replay the exact report.
+	_, again, _ := run("certify", "-var", "h", "-n", "8", testdataPath(t, "mitigated.tc"))
+	if again != out {
+		t.Error("equal seeds must produce identical reports")
+	}
+
+	// Error paths: missing -var, bad -n, unknown variable, bad engine.
+	if code, _, _ := run("certify", testdataPath(t, "mitigated.tc")); code != 1 {
+		t.Error("missing -var should fail")
+	}
+	if code, _, _ := run("certify", "-var", "h", "-n", "1", testdataPath(t, "mitigated.tc")); code != 1 {
+		t.Error("n < 2 should fail")
+	}
+	if code, _, _ := run("certify", "-var", "zzz", testdataPath(t, "mitigated.tc")); code != 1 {
+		t.Error("unknown secret variable should fail")
+	}
+	if code, _, _ := run("certify", "-var", "h", "-engine", "warp", testdataPath(t, "mitigated.tc")); code != 1 {
+		t.Error("unknown engine should fail")
+	}
+}
+
+func TestCertifySubcommandSweep(t *testing.T) {
+	code, out, errOut := run("certify")
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%q", code, errOut)
+	}
+	for _, want := range []string{
+		"configuration", "verdict",
+		"bind=engine", "bind=pool", "bind=http",
+		"certification passed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+}

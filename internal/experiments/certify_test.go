@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCertifyQuick asserts the E9 acceptance claims at quick scale:
+// every mitigated row certifies, an unmitigated baseline measurably
+// leaks (the positive control), the gate passes, and a fresh sweep
+// under the same seed replays bit-for-bit.
+func TestCertifyQuick(t *testing.T) {
+	d, err := Certify(CertifyConfig{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Seed != 1 {
+		t.Errorf("default seed = %d, want 1", d.Seed)
+	}
+	if len(d.Rows) == 0 || d.MitigatedRows == 0 {
+		t.Fatalf("quick sweep shape: %d rows, %d mitigated", len(d.Rows), d.MitigatedRows)
+	}
+	if d.MitigatedCertified != d.MitigatedRows {
+		t.Errorf("%d of %d mitigated rows certified", d.MitigatedCertified, d.MitigatedRows)
+	}
+	if d.MaxUnmitigatedBits < 1 {
+		t.Errorf("positive control leaked only %.3f bits", d.MaxUnmitigatedBits)
+	}
+	if d.GateErr != "" {
+		t.Errorf("gate failed: %s", d.GateErr)
+	}
+	if !d.Deterministic {
+		t.Error("a fresh sweep under the same seed must replay exactly")
+	}
+
+	text := d.Render()
+	for _, want := range []string{
+		"Adversarial leakage certification",
+		"quick slice",
+		"CERTIFIED", "LEAKS",
+		"gate:           PASSED",
+		"deterministic:  true",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+
+	if got, want := len(d.CSVHeader()), len(d.CSVRows()[0]); got != want {
+		t.Errorf("CSV header has %d columns, rows have %d", got, want)
+	}
+	if got := len(d.CSVRows()); got != len(d.Rows) {
+		t.Errorf("CSV rows = %d, want %d", got, len(d.Rows))
+	}
+}
+
+// TestCertifyRegistered: the harness can dispatch E9 by name.
+func TestCertifyRegistered(t *testing.T) {
+	e, ok := Lookup("certify")
+	if !ok {
+		t.Fatal("certify not registered")
+	}
+	rep, err := e.Run(RunOptions{Quick: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text, "seed 2") {
+		t.Errorf("run options must reach the sweep:\n%s", rep.Text)
+	}
+	if rep.Data == nil {
+		t.Error("certify must publish CSV data")
+	}
+}

@@ -12,6 +12,7 @@ func TestRegistryHasAllBuiltins(t *testing.T) {
 	want := []string{
 		"table1", "figure7", "table2", "figure8", "figure9",
 		"leakage", "service", "faults", "network", "sessions", "vmopt",
+		"certify",
 	}
 	got := Names()
 	sorted := append([]string(nil), got...)

@@ -190,6 +190,7 @@ func summarize(benches []Benchmark) map[string]float64 {
 	}
 	scaling(benches, sum)
 	vmopt(benches, sum)
+	certifySummary(benches, sum)
 	if len(sum) == 0 {
 		return nil
 	}
@@ -243,6 +244,43 @@ func vmopt(benches []Benchmark, sum map[string]float64) {
 		sum["opt2_vs_opt0_req_per_s/"+rest] =
 			(opt2.sum / float64(opt2.n)) / (base.sum / float64(base.n))
 	}
+}
+
+// certifySummary derives the leakage-certification record from
+// BenchmarkCertify rows (internal/tools/certifybench output): row and
+// certified-row counts, how many mitigated rows certified out of how
+// many ran, and the worst measured leakage on each side of the
+// mitigation switch. All inputs are deterministic functions of the
+// sweep seed, so the summary — like the rows — is byte-stable.
+func certifySummary(benches []Benchmark, sum map[string]float64) {
+	var rows, certified, mit, mitCertified float64
+	maxUnmit, maxMitUpper := 0.0, 0.0
+	for _, b := range benches {
+		if !strings.HasPrefix(b.Name, "BenchmarkCertify/") {
+			continue
+		}
+		rows++
+		certified += b.Metrics["certified"]
+		mitigated := strings.HasSuffix(b.Name, "/mit=on")
+		if mitigated {
+			mit++
+			mitCertified += b.Metrics["certified"]
+			if u := b.Metrics["upper_bits"]; u > maxMitUpper {
+				maxMitUpper = u
+			}
+		} else if m := b.Metrics["measured_bits"]; m > maxUnmit {
+			maxUnmit = m
+		}
+	}
+	if rows == 0 {
+		return
+	}
+	sum["certify_rows"] = rows
+	sum["certify_certified"] = certified
+	sum["certify_mitigated_rows"] = mit
+	sum["certify_mitigated_certified"] = mitCertified
+	sum["certify_max_unmitigated_measured_bits"] = maxUnmit
+	sum["certify_max_mitigated_upper_bits"] = maxMitUpper
 }
 
 // scalingName parses "BenchmarkPoolScaling/<group>/workers=N" into the

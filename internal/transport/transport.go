@@ -42,6 +42,12 @@ const TenantHeader = "X-Timing-Tenant"
 // by the service.
 const statusClientClosedRequest = 499
 
+// DefaultMaxBatch is the batch-size bound when Options.MaxBatch is 0.
+// A batch is held in memory whole (decoded, validated, results
+// buffered), so an unbounded batch is an amplification lever: one
+// request body that pins a worker pool for minutes.
+const DefaultMaxBatch = 1024
+
 // Options configure a Handler.
 type Options struct {
 	// Pool serves the requests; required. The handler takes ownership
@@ -59,6 +65,11 @@ type Options struct {
 	// RetryAfter is the delay advertised on 503 responses (Retry-After
 	// header and retry_after_ms body field). Default 1s.
 	RetryAfter time.Duration
+	// MaxBatch bounds the number of requests in one /v1/batch body;
+	// oversized batches are rejected whole with 400 invalid_request
+	// before any item runs. 0 takes DefaultMaxBatch; negative disables
+	// the bound.
+	MaxBatch int
 	// Sessions, when non-nil, enables per-tenant mitigation sessions:
 	// requests naming a tenant (body field or X-Timing-Tenant header)
 	// run against that tenant's persistent mitigation state and leakage
@@ -204,7 +215,11 @@ func (h *Handler) handleRun(w http.ResponseWriter, r *http.Request) {
 		h.writeError(w, werr)
 		return
 	}
-	tenant := h.tenantOf(req, r)
+	tenant, werr := h.tenantOf(req, r)
+	if werr != nil {
+		h.writeError(w, werr)
+		return
+	}
 	if tenant == "" {
 		resp, err := h.opts.Pool.Handle(r.Context(), sreq)
 		if err != nil {
@@ -230,16 +245,38 @@ func (h *Handler) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 // tenantOf resolves a request's tenant: the body field, then the
-// header fallback. Sessions being disabled makes every request
-// anonymous regardless.
-func (h *Handler) tenantOf(req wire.RunRequest, r *http.Request) string {
+// header fallback. Naming DIFFERENT tenants in body and header is
+// rejected — silently picking one would bill probes (and leakage
+// budget) to a session the caller may not have meant. Sessions being
+// disabled makes every request anonymous regardless.
+func (h *Handler) tenantOf(req wire.RunRequest, r *http.Request) (string, *wire.Error) {
 	if h.opts.Sessions == nil {
-		return ""
+		return "", nil
+	}
+	hdr := r.Header.Get(TenantHeader)
+	if req.Tenant != "" && hdr != "" && req.Tenant != hdr {
+		return "", &wire.Error{
+			Code: wire.CodeInvalidRequest,
+			Message: fmt.Sprintf("tenant mismatch: body names %q but %s header names %q",
+				req.Tenant, TenantHeader, hdr),
+		}
 	}
 	if req.Tenant != "" {
-		return req.Tenant
+		return req.Tenant, nil
 	}
-	return r.Header.Get(TenantHeader)
+	return hdr, nil
+}
+
+// maxBatch resolves the configured batch bound (0 disabled).
+func (h *Handler) maxBatch() int {
+	switch {
+	case h.opts.MaxBatch < 0:
+		return 0
+	case h.opts.MaxBatch == 0:
+		return DefaultMaxBatch
+	default:
+		return h.opts.MaxBatch
+	}
 }
 
 // runSession serves one request inside a tenant's session: admission
@@ -275,10 +312,18 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 		h.writeError(w, werr)
 		return
 	}
+	if max := h.maxBatch(); max > 0 && len(req.Requests) > max {
+		h.writeError(w, &wire.Error{
+			Code:    wire.CodeInvalidRequest,
+			Message: fmt.Sprintf("batch has %d requests; this server accepts at most %d", len(req.Requests), max),
+		})
+		return
+	}
 	// Validate every item before submitting any: a batch with a typo'd
-	// input name fails fast as one invalid request, not as a half-run
-	// burst.
+	// input name or a conflicting tenant fails fast as one invalid
+	// request, not as a half-run burst.
 	sreqs := make([]server.Request, len(req.Requests))
+	tenants := make([]string, len(req.Requests))
 	tenanted := false
 	for i, item := range req.Requests {
 		sreq, werr := h.toRequest(item)
@@ -288,7 +333,14 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		sreqs[i] = sreq
-		if h.tenantOf(item, r) != "" {
+		tenant, werr := h.tenantOf(item, r)
+		if werr != nil {
+			werr.Message = fmt.Sprintf("request %d: %s", i, werr.Message)
+			h.writeError(w, werr)
+			return
+		}
+		tenants[i] = tenant
+		if tenant != "" {
 			tenanted = true
 		}
 	}
@@ -303,7 +355,7 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// advance in order. This trades the pool's batched fast path for
 		// the session semantics; anonymous batches keep the fast path.
 		for i := range sreqs {
-			tenant := h.tenantOf(req.Requests[i], r)
+			tenant := tenants[i]
 			if tenant == "" {
 				resp, err := h.opts.Pool.Handle(r.Context(), sreqs[i])
 				if err != nil {
