@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all ci vet build test race bench bench-smoke bench-engines bench-scaling bench-sessions bench-vmopt profile engines chaos fuzz-smoke smoke-serve certify certify-smoke cover harness quick clean
+.PHONY: all ci vet build test race bench bench-smoke bench-engines bench-scaling bench-sessions bench-vmopt bench-transport profile engines chaos fuzz-smoke smoke-serve certify certify-smoke cover harness quick clean
 
 all: ci
 
@@ -34,11 +34,13 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/lang/parser
 	$(GO) test -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/bytecode
 	$(GO) test -fuzz FuzzOptTraceIdentity -fuzztime $(FUZZTIME) ./internal/bytecode/optimize
+	$(GO) test -fuzz FuzzWireCodecIdentity -fuzztime $(FUZZTIME) ./internal/transport/wire/fastjson
 
 # smoke-serve builds the real timingc binary, serves the HTTP/JSON API
 # on an ephemeral port, drives it through the client SDK (health, a
-# 100-request batch, metrics in both formats), and checks that SIGINT
-# drains cleanly.
+# 100-request batch, metrics in both formats, a pipelined /v1/stream
+# exchange), and checks that SIGINT mid-stream drains cleanly: the
+# open stream gets a terminal shutting_down line before the exit.
 smoke-serve:
 	$(GO) run ./internal/tools/smokeserve
 
@@ -113,6 +115,20 @@ bench-vmopt:
 	@rm -f bench_vmopt.txt
 	@echo wrote BENCH_vmopt.json
 
+# bench-transport records the wire fast-path matrix into
+# BENCH_transport.json: {std, fast} codec × {run, batch, stream}
+# submission modes over loopback HTTP, 3 runs each with -benchmem so
+# the fast path's allocation profile is on record. benchjson derives
+# the fast-vs-std speedup per mode and the headline
+# fastpath_stream_vs_std_run ratio (the ≥3× submit-path target).
+# (ci's bench-smoke executes the benchmark once per run, so it cannot
+# rot; this target is the measurement.)
+bench-transport:
+	$(GO) test -run '^$$' -bench BenchmarkTransport -benchtime 2s -count 3 -benchmem ./internal/transport \
+	  | tee bench_transport.txt | $(GO) run ./internal/tools/benchjson -o BENCH_transport.json
+	@rm -f bench_transport.txt
+	@echo wrote BENCH_transport.json
+
 # certify runs the FULL adversarial leakage-certification matrix —
 # {tree, vm-opt0, vm-opt2} × {partitioned, nopar} × {mitigated,
 # unmitigated} × {login, rsa, sleep, progen corpus} across the engine,
@@ -154,4 +170,4 @@ harness:
 quick: vet build test
 
 clean:
-	rm -f cpu.prof repro.test bench_engines.txt bench_scaling.txt bench_sessions.txt bench_vmopt.txt bench_certify.txt cover_certify.out
+	rm -f cpu.prof repro.test bench_engines.txt bench_scaling.txt bench_sessions.txt bench_vmopt.txt bench_transport.txt bench_certify.txt cover_certify.out

@@ -38,6 +38,13 @@ type Export struct {
 	SessionsEvictedTTL uint64 `json:"sessions_evicted_ttl"`
 	SessionsEvictedLRU uint64 `json:"sessions_evicted_lru"`
 	BudgetDenials      uint64 `json:"budget_denials"`
+	// Wire accounting (schema v3): request/response body bytes moved by
+	// the transport, items served over /v1/stream, and the open-streams
+	// gauge.
+	BytesIn       uint64 `json:"bytes_in"`
+	BytesOut      uint64 `json:"bytes_out"`
+	StreamItems   uint64 `json:"stream_items"`
+	StreamsActive int64  `json:"streams_active"`
 	// Latency is the per-request response-time distribution in
 	// simulated cycles.
 	Latency LatencyExport `json:"latency"`
@@ -47,9 +54,10 @@ type Export struct {
 }
 
 // ExportSchemaVersion is the current Export layout version. Version 2
-// added the tenant-session gauge and counters; every v1 field is
-// unchanged, so v1 consumers can still read a v2 document.
-const ExportSchemaVersion = 2
+// added the tenant-session gauge and counters; version 3 the wire
+// byte/stream accounting. Both purely additive: earlier consumers can
+// still read a v3 document.
+const ExportSchemaVersion = 3
 
 // LatencyExport is the stable form of the latency histogram: summary
 // statistics plus sparse cumulative power-of-two buckets.
@@ -123,6 +131,10 @@ func (s Snapshot) Export() Export {
 		SessionsEvictedTTL: s.SessionsEvictedTTL,
 		SessionsEvictedLRU: s.SessionsEvictedLRU,
 		BudgetDenials:      s.BudgetDenials,
+		BytesIn:            s.BytesIn,
+		BytesOut:           s.BytesOut,
+		StreamItems:        s.StreamItems,
+		StreamsActive:      s.StreamsActive,
 		Latency:            s.Latency.Export(),
 		HW: HWExport{
 			L1DHits: s.HW.L1DHits, L1DMisses: s.HW.L1DMisses,

@@ -51,6 +51,9 @@ type stripe struct {
 	sessionsTTL    atomic.Uint64
 	sessionsLRU    atomic.Uint64
 	budgetDenials  atomic.Uint64
+	bytesIn        atomic.Uint64
+	bytesOut       atomic.Uint64
+	streamItems    atomic.Uint64
 	latency        Histogram
 }
 
@@ -64,6 +67,10 @@ type metricsState struct {
 	// one place. A single shared atomic is fine — session create/evict
 	// is orders of magnitude rarer than per-request counter traffic.
 	sessionsActive atomic.Int64
+	// streamsActive gauges open /v1/stream connections; like
+	// sessionsActive it is a shared gauge, and stream open/close is far
+	// rarer than the per-item traffic it carries.
+	streamsActive atomic.Int64
 }
 
 // Metrics accumulates service-layer counters. Construct with
@@ -195,6 +202,21 @@ func (m *Metrics) AddSessionEvicted(ttl bool) {
 // the tenant's cumulative leakage budget would be exceeded.
 func (m *Metrics) AddBudgetDenial() { m.local.budgetDenials.Add(1) }
 
+// AddBytesIn records wire bytes read from request bodies.
+func (m *Metrics) AddBytesIn(n int) { m.local.bytesIn.Add(uint64(n)) }
+
+// AddBytesOut records wire bytes written to response bodies.
+func (m *Metrics) AddBytesOut(n int) { m.local.bytesOut.Add(uint64(n)) }
+
+// AddStreamItems records items served over /v1/stream connections.
+func (m *Metrics) AddStreamItems(n int) { m.local.streamItems.Add(uint64(n)) }
+
+// StreamOpened bumps the open-streams gauge; StreamClosed drops it.
+func (m *Metrics) StreamOpened() { m.state.streamsActive.Add(1) }
+
+// StreamClosed drops the open-streams gauge.
+func (m *Metrics) StreamClosed() { m.state.streamsActive.Add(-1) }
+
 // Snapshot returns a consistent-enough point-in-time copy of the
 // counters, merged across every stripe. (Counters are read
 // individually; a snapshot taken while requests are in flight may tear
@@ -221,9 +243,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.SessionsEvictedTTL += st.sessionsTTL.Load()
 		s.SessionsEvictedLRU += st.sessionsLRU.Load()
 		s.BudgetDenials += st.budgetDenials.Load()
+		s.BytesIn += st.bytesIn.Load()
+		s.BytesOut += st.bytesOut.Load()
+		s.StreamItems += st.streamItems.Load()
 		s.Latency = s.Latency.Merge(st.latency.Snapshot())
 	}
 	s.SessionsActive = m.state.sessionsActive.Load()
+	s.StreamsActive = m.state.streamsActive.Load()
 	return s
 }
 
@@ -254,6 +280,12 @@ type Snapshot struct {
 	SessionsEvictedLRU uint64
 	BudgetDenials      uint64
 	SessionsActive     int64
+	// Wire accounting: BytesIn/BytesOut are request/response body bytes
+	// moved by the transport; StreamItems counts items served over
+	// /v1/stream; StreamsActive gauges open stream connections.
+	BytesIn, BytesOut uint64
+	StreamItems       uint64
+	StreamsActive     int64
 	// Latency is the distribution of per-request response times.
 	Latency HistogramSnapshot
 	// HW holds cumulative cache/TLB/branch-predictor counters, summed
@@ -299,6 +331,10 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	out.SessionsEvictedLRU += o.SessionsEvictedLRU
 	out.BudgetDenials += o.BudgetDenials
 	out.SessionsActive += o.SessionsActive
+	out.BytesIn += o.BytesIn
+	out.BytesOut += o.BytesOut
+	out.StreamItems += o.StreamItems
+	out.StreamsActive += o.StreamsActive
 	out.Latency = s.Latency.Merge(o.Latency)
 	out.HW = s.HW.Add(o.HW)
 	return out

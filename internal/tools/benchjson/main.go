@@ -190,6 +190,7 @@ func summarize(benches []Benchmark) map[string]float64 {
 	}
 	scaling(benches, sum)
 	vmopt(benches, sum)
+	transport(benches, sum)
 	certifySummary(benches, sum)
 	if len(sum) == 0 {
 		return nil
@@ -243,6 +244,62 @@ func vmopt(benches []Benchmark, sum map[string]float64) {
 		}
 		sum["opt2_vs_opt0_req_per_s/"+rest] =
 			(opt2.sum / float64(opt2.n)) / (base.sum / float64(base.n))
+	}
+}
+
+// transportName parses "BenchmarkTransport/mode=M/codec=C".
+var transportName = regexp.MustCompile(`^BenchmarkTransport/mode=([a-z]+)/codec=([a-z]+)$`)
+
+// transport derives the wire fast-path record from BenchmarkTransport
+// runs: mean req/s per mode × codec, the fast-vs-std codec speedup per
+// submission mode, and the headline fastpath-vs-baseline ratio — the
+// pipelined stream with the fast codec over the per-request stdlib
+// baseline, which is the ISSUE's ≥3× submit-path acceptance line.
+// Multiple -count runs average.
+func transport(benches []Benchmark, sum map[string]float64) {
+	type acc struct {
+		sum float64
+		n   int
+	}
+	// key: "mode=M/codec=C"
+	groups := map[string]*acc{}
+	for _, b := range benches {
+		m := transportName.FindStringSubmatch(b.Name)
+		if m == nil {
+			continue
+		}
+		rps, ok := b.Metrics["req/s"]
+		if !ok {
+			continue
+		}
+		key := "mode=" + m[1] + "/codec=" + m[2]
+		a := groups[key]
+		if a == nil {
+			a = &acc{}
+			groups[key] = a
+		}
+		a.sum += rps
+		a.n++
+	}
+	mean := func(a *acc) float64 { return a.sum / float64(a.n) }
+	for key, a := range groups {
+		sum["mean_req_per_s/"+key] = mean(a)
+	}
+	for key, std := range groups {
+		if !strings.HasSuffix(key, "/codec=std") {
+			continue
+		}
+		mode := strings.TrimSuffix(key, "/codec=std")
+		fast, ok := groups[mode+"/codec=fast"]
+		if !ok || std.sum == 0 {
+			continue
+		}
+		sum["fast_vs_std_req_per_s/"+mode] = mean(fast) / mean(std)
+	}
+	base, okBase := groups["mode=run/codec=std"]
+	stream, okStream := groups["mode=stream/codec=fast"]
+	if okBase && okStream && base.sum > 0 {
+		sum["fastpath_stream_vs_std_run_req_per_s"] = mean(stream) / mean(base)
 	}
 }
 

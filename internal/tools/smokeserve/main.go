@@ -1,8 +1,10 @@
 // Command smokeserve is the end-to-end smoke test for `timingc serve
 // -listen`: it builds the real binary, starts it on an ephemeral
 // loopback port, drives it through the client SDK (health, a
-// 100-request batch, a metrics scrape in both formats), then sends
-// SIGINT and checks for a clean drain. Run via `make smoke-serve`.
+// 100-request batch, a metrics scrape in both formats, a pipelined
+// /v1/stream exchange), then sends SIGINT mid-stream and checks the
+// two-phase drain: the open stream gets a terminal shutting_down line
+// and a clean end before the process exits. Run via `make smoke-serve`.
 package main
 
 import (
@@ -131,15 +133,71 @@ func run() error {
 	}
 	prom, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	for _, want := range []string{"timingc_requests_total", "timingc_mitigations_total", "timingc_latency_cycles_bucket"} {
+	for _, want := range []string{"timingc_requests_total", "timingc_mitigations_total",
+		"timingc_latency_cycles_bucket", "timingc_stream_items_total", "timingc_streams_active"} {
 		if !strings.Contains(string(prom), want) {
 			return fmt.Errorf("prometheus exposition missing %s:\n%s", want, prom)
+		}
+	}
+
+	// Streaming phase: pipeline a burst over /v1/stream, then SIGINT
+	// while the stream is still open. Two-phase drain means the open
+	// stream is not cut off: the next request line is answered with a
+	// terminal shutting_down error, the stream ends cleanly, and only
+	// then does the process exit.
+	s, err := c.Stream(ctx)
+	if err != nil {
+		return fmt.Errorf("stream open: %w", err)
+	}
+	const streamN = 8
+	for i := 0; i < streamN; i++ {
+		if err := s.Send(wire.RunRequest{Inputs: map[string]int64{"h": int64(i % 64)}}); err != nil {
+			return fmt.Errorf("stream send %d: %w", i, err)
+		}
+	}
+	for i := 0; i < streamN; i++ {
+		res, err := s.Recv()
+		if err != nil {
+			return fmt.Errorf("stream recv %d: %w", i, err)
+		}
+		if res.Response == nil || res.Response.Time == 0 {
+			return fmt.Errorf("stream item %d failed: %+v", i, res)
 		}
 	}
 
 	if err := srv.Process.Signal(os.Interrupt); err != nil {
 		return fmt.Errorf("interrupt: %w", err)
 	}
+	// The drain flag is set asynchronously to the signal; keep the
+	// stream busy until the service starts refusing lines.
+	sawDrain := false
+	for i := 0; i < 200 && !sawDrain; i++ {
+		if err := s.Send(wire.RunRequest{Inputs: map[string]int64{"h": 1}}); err != nil {
+			return fmt.Errorf("mid-drain send: %w", err)
+		}
+		res, err := s.Recv()
+		if err != nil {
+			return fmt.Errorf("mid-drain recv: %w", err)
+		}
+		if res.Error != nil {
+			if res.Error.Code != wire.CodeShuttingDown {
+				return fmt.Errorf("mid-drain error = %+v, want %s", res.Error, wire.CodeShuttingDown)
+			}
+			sawDrain = true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sawDrain {
+		return fmt.Errorf("open stream never saw the shutting_down drain line after SIGINT")
+	}
+	// The drain line is terminal: the service closes its side.
+	if _, err := s.Recv(); err != io.EOF {
+		return fmt.Errorf("stream after drain line: err = %v, want io.EOF", err)
+	}
+	if err := s.Close(); err != nil {
+		return fmt.Errorf("stream close: %w", err)
+	}
+
 	if err := srv.Wait(); err != nil {
 		return fmt.Errorf("serve exited uncleanly: %w", err)
 	}

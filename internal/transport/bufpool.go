@@ -1,0 +1,77 @@
+package transport
+
+import (
+	"sync"
+
+	"repro/internal/transport/wire"
+)
+
+// Pooled wire buffers. Request bodies are read into and responses
+// encoded out of these, so the steady-state hot path (run, batch,
+// stream) performs no per-request buffer allocation. Discipline: a
+// buffer is put back only after its bytes have been handed off (the
+// ResponseWriter copies on Write, and decode destinations copy or
+// intern what they keep), never while still referenced — the leak
+// tests in bufpool_test.go pin this.
+
+// maxPooledBuf bounds what a put returns to the pool: one pathological
+// multi-megabyte batch must not pin its buffer forever.
+const maxPooledBuf = 1 << 20
+
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// getBuf returns an empty pooled byte buffer (pointer-to-slice, so
+// puts do not allocate a slice header).
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// putBuf returns a buffer to the pool, dropping oversized ones.
+func putBuf(b *[]byte) {
+	if cap(*b) > maxPooledBuf {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// maxPooledResults bounds pooled batch-result slices the same way.
+const maxPooledResults = 4096
+
+var resultsPool = sync.Pool{New: func() any {
+	s := make([]wire.BatchResult, 0, 64)
+	return &s
+}}
+
+// getResults returns a zeroed batch-result slice of length n backed by
+// the pool.
+func getResults(n int) *[]wire.BatchResult {
+	sp := resultsPool.Get().(*[]wire.BatchResult)
+	s := *sp
+	if cap(s) < n {
+		s = make([]wire.BatchResult, n)
+	} else {
+		s = s[:n]
+		for i := range s {
+			s[i] = wire.BatchResult{}
+		}
+	}
+	*sp = s
+	return sp
+}
+
+// putResults clears the slice's pointer fields before pooling it, so a
+// recycled slice can neither pin the previous batch's responses in
+// memory nor leak a stale result into a future response.
+func putResults(sp *[]wire.BatchResult) {
+	s := *sp
+	for i := range s {
+		s[i] = wire.BatchResult{}
+	}
+	if cap(s) > maxPooledResults {
+		return
+	}
+	*sp = s[:0]
+	resultsPool.Put(sp)
+}

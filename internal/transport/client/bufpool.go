@@ -1,0 +1,28 @@
+package client
+
+import "sync"
+
+// Pooled encode/read buffers, mirroring the server-side discipline:
+// request bodies are encoded into and response bodies read out of
+// these, so steady-state calls allocate no per-request buffers. A
+// buffer is returned only after its bytes are done with — the request
+// has been sent, or the decode destination has copied what it keeps.
+
+// maxPooledBuf bounds what a put returns to the pool, so one oversized
+// response does not pin its buffer forever.
+const maxPooledBuf = 1 << 20
+
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(b *[]byte) {
+	if cap(*b) > maxPooledBuf {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}

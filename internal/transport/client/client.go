@@ -5,6 +5,12 @@
 // retries overload rejections with the same deterministic
 // exponential-backoff-with-jitter scheme the pool itself uses, so a
 // retrying client is exactly as reproducible as a retrying pool.
+//
+// The hot paths (Run, RunBatch, Stream) encode and decode through a
+// pluggable wire.Codec — the zero-allocation fastjson codec by default,
+// encoding/json via wire.Std on request — and read every response body
+// to EOF into a pooled buffer before closing it, so connections always
+// return to the keep-alive pool.
 package client
 
 import (
@@ -22,6 +28,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/transport/wire"
+	"repro/internal/transport/wire/fastjson"
 )
 
 // Typed sentinels mirroring the service's error taxonomy. Wire errors
@@ -89,9 +96,20 @@ func (e *Error) Unwrap() error {
 
 // Options configure a Client.
 type Options struct {
-	// HTTPClient issues the requests; default http.DefaultClient.
-	// Deadlines come from the per-call context, not from here.
+	// HTTPClient issues the requests. When nil, the client builds its
+	// own from http.DefaultTransport with the idle connection pool sized
+	// to Concurrency, so a fan-out workload reuses keep-alive
+	// connections instead of redialing. Deadlines come from the per-call
+	// context, not from here.
 	HTTPClient *http.Client
+	// Concurrency is the expected number of in-flight requests; it
+	// sizes MaxIdleConnsPerHost on the default transport (ignored when
+	// HTTPClient is set). Default 16.
+	Concurrency int
+	// Codec encodes requests and decodes responses on the hot paths.
+	// Default is the zero-allocation fastjson codec; set wire.Std{} for
+	// the encoding/json fallback.
+	Codec wire.Codec
 	// MaxRetries, when positive, transparently re-issues a request
 	// rejected with ErrOverloaded up to this many extra attempts, with
 	// exponential backoff and deterministic jitter between attempts —
@@ -103,17 +121,30 @@ type Options struct {
 	// RetrySeed seeds the deterministic jitter sequence.
 	RetrySeed int64
 	// Tenant, when set, is the session every request runs under unless
-	// the request names its own tenant: Run and RunBatch fill
-	// RunRequest.Tenant with it when the field is empty. Sessions are a
-	// schema-v2 feature; leave empty for anonymous (v1-style) calls.
+	// the request names its own tenant: Run, RunBatch, and Stream.Send
+	// fill RunRequest.Tenant with it when the field is empty. Sessions
+	// are a schema-v2 feature; leave empty for anonymous (v1-style)
+	// calls.
 	Tenant string
+	// CoalesceWindow, when positive, micro-batches Run calls: a Run
+	// opens (or joins) a linger window of this duration, and every Run
+	// that arrives before it closes ships as one /v1/batch POST. Callers
+	// still see per-call responses and errors. Trades up to one window
+	// of latency for an N-fold cut in HTTP round trips under concurrent
+	// load.
+	CoalesceWindow time.Duration
+	// CoalesceMax bounds a coalesced batch; a full window flushes
+	// immediately. Default 64.
+	CoalesceMax int
 }
 
 // Client talks to one mitigation service endpoint. Safe for concurrent
 // use.
 type Client struct {
-	base string
-	opts Options
+	base  string
+	opts  Options
+	codec wire.Codec
+	co    *coalescer
 	// retrySeq numbers backoff sleeps so jitter is a deterministic
 	// function of (RetrySeed, sequence number), as in the pool.
 	retrySeq atomic.Uint64
@@ -124,21 +155,55 @@ type Client struct {
 
 // New builds a client for a base URL like "http://127.0.0.1:8080".
 func New(baseURL string, opts Options) *Client {
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 16
+	}
 	if opts.HTTPClient == nil {
-		opts.HTTPClient = http.DefaultClient
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = opts.Concurrency
+		if tr.MaxIdleConns < opts.Concurrency {
+			tr.MaxIdleConns = opts.Concurrency
+		}
+		opts.HTTPClient = &http.Client{Transport: tr}
+	}
+	if opts.Codec == nil {
+		opts.Codec = fastjson.Codec{}
 	}
 	if opts.RetryBase <= 0 {
 		opts.RetryBase = time.Millisecond
 	}
-	c := &Client{base: strings.TrimRight(baseURL, "/"), opts: opts}
+	if opts.CoalesceMax <= 0 {
+		opts.CoalesceMax = 64
+	}
+	c := &Client{base: strings.TrimRight(baseURL, "/"), opts: opts, codec: opts.Codec}
 	c.sleep = c.timerSleep
+	if opts.CoalesceWindow > 0 {
+		c.co = newCoalescer(c)
+	}
 	return c
 }
 
-// Run executes one request and returns its timing result.
+// Run executes one request and returns its timing result. With
+// CoalesceWindow set, concurrent Runs are transparently merged into
+// batch calls.
 func (c *Client) Run(ctx context.Context, req wire.RunRequest) (*wire.RunResponse, error) {
+	req = c.tenanted(req)
+	if c.co != nil {
+		return c.co.run(ctx, req)
+	}
+	return c.postRun(ctx, req)
+}
+
+// postRun issues a single /v1/run call, bypassing the coalescer.
+func (c *Client) postRun(ctx context.Context, req wire.RunRequest) (*wire.RunResponse, error) {
 	var out wire.RunResponse
-	if err := c.postRetry(ctx, "/v1/run", c.tenanted(req), &out); err != nil {
+	err := c.postRetry(ctx, "/v1/run",
+		func(dst []byte) ([]byte, error) { return c.codec.AppendRunRequest(dst, &req) },
+		func(data []byte) error {
+			out = wire.RunResponse{}
+			return c.codec.DecodeRunResponse(data, &out, false)
+		})
+	if err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -162,8 +227,14 @@ func (c *Client) RunBatch(ctx context.Context, reqs []wire.RunRequest) (*wire.Ba
 	for i, r := range reqs {
 		tenanted[i] = c.tenanted(r)
 	}
+	breq := wire.BatchRequest{Requests: tenanted}
 	var out wire.BatchResponse
-	err := c.postRetry(ctx, "/v1/batch", wire.BatchRequest{Requests: tenanted}, &out)
+	err := c.postRetry(ctx, "/v1/batch",
+		func(dst []byte) ([]byte, error) { return c.codec.AppendBatchRequest(dst, &breq) },
+		func(data []byte) error {
+			out = wire.BatchResponse{}
+			return c.codec.DecodeBatchResponse(data, &out, false)
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +262,7 @@ func (c *Client) Metrics(ctx context.Context) (*obs.Export, error) {
 		return nil, err
 	}
 	var out obs.Export
-	if err := c.do(req, &out); err != nil {
+	if err := c.do(req, func(data []byte) error { return json.Unmarshal(data, &out) }); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -204,15 +275,17 @@ func (c *Client) Health(ctx context.Context) (*wire.Health, error) {
 		return nil, err
 	}
 	var out wire.Health
-	if err := c.do(req, &out); err != nil {
+	if err := c.do(req, func(data []byte) error { return json.Unmarshal(data, &out) }); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
 // postRetry issues a POST, retrying overload rejections per Options.
-func (c *Client) postRetry(ctx context.Context, path string, body, out any) error {
-	err := c.post(ctx, path, body, out)
+// The decode callback must reset its destination: it can run once per
+// attempt.
+func (c *Client) postRetry(ctx context.Context, path string, encode func([]byte) ([]byte, error), decode func([]byte) error) error {
+	err := c.post(ctx, path, encode, decode)
 	for attempt := 1; err != nil && attempt <= c.opts.MaxRetries; attempt++ {
 		if !errors.Is(err, ErrOverloaded) || ctx.Err() != nil {
 			break
@@ -220,7 +293,7 @@ func (c *Client) postRetry(ctx context.Context, path string, body, out any) erro
 		if !c.sleep(ctx, c.backoff(attempt)) {
 			break
 		}
-		err = c.post(ctx, path, body, out)
+		err = c.post(ctx, path, encode, decode)
 	}
 	return err
 }
@@ -253,48 +326,85 @@ func (c *Client) timerSleep(ctx context.Context, d time.Duration) bool {
 	}
 }
 
-// post issues one POST and decodes the response or error envelope.
-func (c *Client) post(ctx context.Context, path string, body, out any) error {
-	raw, err := json.Marshal(body)
+// post issues one POST, encoding the body into a pooled buffer and
+// decoding the response or error envelope.
+func (c *Client) post(ctx context.Context, path string, encode func([]byte) ([]byte, error), decode func([]byte) error) error {
+	bp := getBuf()
+	defer putBuf(bp)
+	b, err := encode((*bp)[:0])
+	*bp = b[:0]
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(b))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, out)
+	return c.do(req, decode)
 }
 
-// do executes a prepared request. Non-2xx responses decode the error
+// do executes a prepared request. The response body is always read to
+// EOF into a pooled buffer and closed — on success, failure, and decode
+// error alike — so the underlying connection re-enters the keep-alive
+// pool instead of being torn down. Non-2xx responses decode the error
 // envelope into a typed *Error.
-func (c *Client) do(req *http.Request, out any) error {
+func (c *Client) do(req *http.Request, decode func([]byte) error) error {
 	resp, err := c.opts.HTTPClient.Do(req)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	bp := getBuf()
+	defer putBuf(bp)
+	b, rerr := readBody(resp.Body, (*bp)[:0])
+	*bp = b[:0]
+	resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return decodeError(resp)
+		// A malformed error body (a proxy's 502 page) still surfaces as
+		// a typed error; a body read error is secondary to the status.
+		return c.decodeError(resp.StatusCode, b)
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if rerr != nil {
+		return rerr
+	}
+	return decode(b)
 }
 
-// decodeError turns a non-2xx response into a typed error, surviving
-// non-JSON bodies (a proxy's 502 page) with CodeInternal.
-func decodeError(resp *http.Response) error {
-	cerr := &Error{Status: resp.StatusCode, Code: wire.CodeInternal}
-	var envelope struct {
-		Error *wire.Error `json:"error"`
+// maxErrorBody bounds how much of a failure response is retained for
+// the error message.
+const maxErrorBody = 1 << 20
+
+// readBody reads r to EOF into buf, growing it as needed.
+func readBody(r io.Reader, buf []byte) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
 	}
-	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err := json.Unmarshal(raw, &envelope); err == nil && envelope.Error != nil {
-		cerr.Code = envelope.Error.Code
-		cerr.Message = envelope.Error.Message
-		cerr.RetryAfter = time.Duration(envelope.Error.RetryAfterMS) * time.Millisecond
+}
+
+// decodeError turns a non-2xx response body into a typed error,
+// surviving non-JSON bodies with CodeInternal.
+func (c *Client) decodeError(status int, body []byte) error {
+	cerr := &Error{Status: status, Code: wire.CodeInternal}
+	if len(body) > maxErrorBody {
+		body = body[:maxErrorBody]
+	}
+	var werr wire.Error
+	if err := c.codec.DecodeErrorEnvelope(body, &werr, false); err == nil && werr.Code != "" {
+		cerr.Code = werr.Code
+		cerr.Message = werr.Message
+		cerr.RetryAfter = time.Duration(werr.RetryAfterMS) * time.Millisecond
 	} else {
-		cerr.Message = strings.TrimSpace(string(raw))
+		cerr.Message = strings.TrimSpace(string(body))
 	}
 	return cerr
 }

@@ -1,0 +1,112 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/transport/wire"
+)
+
+// errShortBatch reports a batch response with fewer results than
+// requests — a server contract violation surfaced per caller rather
+// than silently dropped.
+var errShortBatch = errors.New("client: batch response shorter than request")
+
+// coalescer micro-batches Run calls. The first Run of a quiet period
+// opens a linger window of Options.CoalesceWindow; every Run arriving
+// before it closes joins the same pending batch, which ships as one
+// /v1/batch POST when the window fires or the batch reaches
+// CoalesceMax, whichever is first. Each caller gets its own item's
+// response or error back, so the batching is invisible except as up to
+// one window of added latency.
+type coalescer struct {
+	c  *Client
+	mu sync.Mutex
+	// pending is the open batch; armed reports whether a window timer
+	// is counting down to flush it.
+	pending []coItem
+	armed   bool
+}
+
+type coItem struct {
+	req wire.RunRequest
+	ch  chan coResult
+}
+
+type coResult struct {
+	resp *wire.RunResponse
+	err  error
+}
+
+func newCoalescer(c *Client) *coalescer {
+	return &coalescer{c: c}
+}
+
+// run enqueues one request and waits for its item result.
+func (co *coalescer) run(ctx context.Context, req wire.RunRequest) (*wire.RunResponse, error) {
+	ch := make(chan coResult, 1)
+	co.mu.Lock()
+	co.pending = append(co.pending, coItem{req: req, ch: ch})
+	if len(co.pending) >= co.c.opts.CoalesceMax {
+		batch := co.pending
+		co.pending = nil
+		co.mu.Unlock()
+		go co.flush(batch)
+	} else {
+		if !co.armed {
+			co.armed = true
+			time.AfterFunc(co.c.opts.CoalesceWindow, co.onWindow)
+		}
+		co.mu.Unlock()
+	}
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-ctx.Done():
+		// The batch still runs server-side; only this caller stops
+		// waiting. The 1-buffered channel lets flush deliver and move on.
+		return nil, ctx.Err()
+	}
+}
+
+// onWindow fires when the linger window closes.
+func (co *coalescer) onWindow() {
+	co.mu.Lock()
+	co.armed = false
+	batch := co.pending
+	co.pending = nil
+	co.mu.Unlock()
+	if len(batch) > 0 {
+		co.flush(batch)
+	}
+}
+
+// flush ships one batch and fans results back out to the callers. It
+// runs under context.Background(): the batch serves many callers, so
+// no single caller's cancellation may abort it.
+func (co *coalescer) flush(batch []coItem) {
+	reqs := make([]wire.RunRequest, len(batch))
+	for i := range batch {
+		reqs[i] = batch[i].req
+	}
+	bresp, err := co.c.RunBatch(context.Background(), reqs)
+	if err != nil {
+		for _, it := range batch {
+			it.ch <- coResult{err: err}
+		}
+		return
+	}
+	for i, it := range batch {
+		switch {
+		case i >= len(bresp.Results):
+			it.ch <- coResult{err: errShortBatch}
+		case bresp.Results[i].Error != nil:
+			it.ch <- coResult{err: Err(bresp.Results[i])}
+		default:
+			r := *bresp.Results[i].Response
+			it.ch <- coResult{resp: &r}
+		}
+	}
+}

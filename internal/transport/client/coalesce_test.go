@@ -1,0 +1,168 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/transport/wire"
+)
+
+// batchEchoService answers /v1/batch by echoing each request's h input
+// as the response Time, counting batch calls and their sizes.
+func batchEchoService(t *testing.T) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var calls, items atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/batch" {
+			t.Errorf("unexpected path %s (coalesced Runs must use the batch endpoint)", r.URL.Path)
+			http.NotFound(w, r)
+			return
+		}
+		var breq wire.BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&breq); err != nil {
+			t.Errorf("bad batch body: %v", err)
+		}
+		calls.Add(1)
+		items.Add(int64(len(breq.Requests)))
+		out := wire.BatchResponse{SchemaVersion: wire.SchemaVersion}
+		for _, req := range breq.Requests {
+			h := req.Inputs["h"]
+			if h == 666 {
+				out.Results = append(out.Results, wire.BatchResult{
+					Error: &wire.Error{Code: wire.CodeBudgetExceeded, Message: "item failed"},
+				})
+				continue
+			}
+			out.Results = append(out.Results, wire.BatchResult{
+				Response: &wire.RunResponse{SchemaVersion: wire.SchemaVersion, Time: uint64(h)},
+			})
+		}
+		json.NewEncoder(w).Encode(out)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls, &items
+}
+
+// TestCoalesceMergesConcurrentRuns: N concurrent Runs inside one
+// linger window become one batch POST, and every caller gets its own
+// item's result back.
+func TestCoalesceMergesConcurrentRuns(t *testing.T) {
+	ts, calls, items := batchEchoService(t)
+	c := New(ts.URL, Options{CoalesceWindow: 50 * time.Millisecond})
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	times := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := c.Run(context.Background(), wire.RunRequest{Inputs: map[string]int64{"h": int64(i + 1)}})
+			errs[i] = err
+			if resp != nil {
+				times[i] = resp.Time
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if times[i] != uint64(i+1) {
+			t.Errorf("run %d got Time %d, want %d (cross-caller result mixup)", i, times[i], i+1)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("batch calls = %d, want 1 (coalescing must merge the burst)", got)
+	}
+	if got := items.Load(); got != n {
+		t.Errorf("batched items = %d, want %d", got, n)
+	}
+}
+
+// TestCoalesceFullBatchFlushesEarly: reaching CoalesceMax ships the
+// batch without waiting out the window.
+func TestCoalesceFullBatchFlushesEarly(t *testing.T) {
+	ts, calls, _ := batchEchoService(t)
+	c := New(ts.URL, Options{CoalesceWindow: time.Hour, CoalesceMax: 4})
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Run(context.Background(), wire.RunRequest{Inputs: map[string]int64{"h": int64(i)}}); err != nil {
+				t.Errorf("run %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("full batch took %v; must flush at CoalesceMax, not at the window", elapsed)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("batch calls = %d, want 1", got)
+	}
+}
+
+// TestCoalescePerItemErrors: one item's failure maps back to its own
+// caller as a typed error; the others succeed.
+func TestCoalescePerItemErrors(t *testing.T) {
+	ts, _, _ := batchEchoService(t)
+	c := New(ts.URL, Options{CoalesceWindow: time.Hour, CoalesceMax: 2})
+
+	var wg sync.WaitGroup
+	var okErr, failErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, okErr = c.Run(context.Background(), wire.RunRequest{Inputs: map[string]int64{"h": 1}})
+	}()
+	go func() {
+		defer wg.Done()
+		_, failErr = c.Run(context.Background(), wire.RunRequest{Inputs: map[string]int64{"h": 666}})
+	}()
+	wg.Wait()
+
+	if okErr != nil {
+		t.Errorf("healthy item failed: %v", okErr)
+	}
+	if !errors.Is(failErr, ErrBudgetExceeded) {
+		t.Errorf("failing item error = %v, want ErrBudgetExceeded", failErr)
+	}
+}
+
+// TestCoalesceAppliesDefaultTenant: the client-level tenant reaches
+// coalesced requests exactly as it does direct ones.
+func TestCoalesceAppliesDefaultTenant(t *testing.T) {
+	got := make(chan string, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var breq wire.BatchRequest
+		json.NewDecoder(r.Body).Decode(&breq)
+		got <- breq.Requests[0].Tenant
+		json.NewEncoder(w).Encode(wire.BatchResponse{
+			SchemaVersion: wire.SchemaVersion,
+			Results:       []wire.BatchResult{{Response: &wire.RunResponse{}}},
+		})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, Options{CoalesceWindow: time.Millisecond, Tenant: "alice"})
+	if _, err := c.Run(context.Background(), wire.RunRequest{Inputs: map[string]int64{"h": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if tenant := <-got; tenant != "alice" {
+		t.Errorf("coalesced tenant = %q, want alice", tenant)
+	}
+}

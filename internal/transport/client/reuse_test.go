@@ -1,0 +1,104 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/transport/wire"
+)
+
+// dialCountingClient builds an http.Client tuned the way New does by
+// default, with DialContext hooked to count physical connections.
+func dialCountingClient(concurrency int) (*http.Client, *atomic.Int64) {
+	var dials atomic.Int64
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = concurrency
+	if tr.MaxIdleConns < concurrency {
+		tr.MaxIdleConns = concurrency
+	}
+	var d net.Dialer
+	tr.DialContext = func(ctx context.Context, network, addr string) (net.Conn, error) {
+		dials.Add(1)
+		return d.DialContext(ctx, network, addr)
+	}
+	return &http.Client{Transport: tr}, &dials
+}
+
+// TestConnectionReuseAcrossPaths is the keep-alive regression test:
+// success responses, error responses, and metrics fetches must all
+// drain their bodies, so a serial workload mixing them uses exactly
+// one connection.
+func TestConnectionReuseAcrossPaths(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/run":
+			var req wire.RunRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				t.Errorf("bad body: %v", err)
+			}
+			if req.Inputs["h"] == 99 {
+				w.WriteHeader(http.StatusTooManyRequests)
+				json.NewEncoder(w).Encode(map[string]*wire.Error{
+					"error": {Code: wire.CodeLeakageBudget, Message: "budget"},
+				})
+				return
+			}
+			json.NewEncoder(w).Encode(wire.RunResponse{SchemaVersion: wire.SchemaVersion, Time: 7})
+		case "/v1/metrics":
+			w.Write([]byte(`{"schema_version":3}`))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer ts.Close()
+
+	hc, dials := dialCountingClient(4)
+	c := New(ts.URL, Options{HTTPClient: hc})
+
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Run(ctx, wire.RunRequest{Inputs: map[string]int64{"h": 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Error path: the 429 body must be drained too.
+	if _, err := c.Run(ctx, wire.RunRequest{Inputs: map[string]int64{"h": 99}}); err == nil {
+		t.Fatal("want error from 429")
+	}
+	if _, err := c.Metrics(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Run(ctx, wire.RunRequest{Inputs: map[string]int64{"h": 2}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if n := dials.Load(); n != 1 {
+		t.Errorf("serial workload dialed %d times, want 1 (a leaked body kills keep-alive)", n)
+	}
+}
+
+// TestDefaultTransportTuned: New without an explicit HTTPClient must
+// size the idle pool to Concurrency so fan-out does not thrash dials.
+func TestDefaultTransportTuned(t *testing.T) {
+	c := New("http://localhost:0", Options{Concurrency: 32})
+	tr, ok := c.opts.HTTPClient.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("default client transport is %T", c.opts.HTTPClient.Transport)
+	}
+	if tr.MaxIdleConnsPerHost != 32 {
+		t.Errorf("MaxIdleConnsPerHost = %d, want 32", tr.MaxIdleConnsPerHost)
+	}
+	if tr.MaxIdleConns < 32 {
+		t.Errorf("MaxIdleConns = %d, want >= 32", tr.MaxIdleConns)
+	}
+	if tr == http.DefaultTransport {
+		t.Error("must clone, not mutate, http.DefaultTransport")
+	}
+}

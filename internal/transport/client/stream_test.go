@@ -1,0 +1,146 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/transport/wire"
+)
+
+// ndjsonEchoService is a minimal /v1/stream peer: it answers each
+// request line with a result echoing the h input as Time, flushing per
+// line like the real handler.
+func ndjsonEchoService(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/stream" {
+			http.NotFound(w, r)
+			return
+		}
+		rc := http.NewResponseController(w)
+		rc.EnableFullDuplex()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		rc.Flush()
+		sc := bufio.NewScanner(r.Body)
+		enc := json.NewEncoder(w)
+		for sc.Scan() {
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			var req wire.RunRequest
+			if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+				enc.Encode(wire.BatchResult{Error: &wire.Error{Code: wire.CodeInvalidRequest, Message: err.Error()}})
+				rc.Flush()
+				return
+			}
+			if req.Inputs["h"] == 666 {
+				enc.Encode(wire.BatchResult{Error: &wire.Error{Code: wire.CodeBudgetExceeded, Message: "item"}})
+			} else {
+				enc.Encode(wire.BatchResult{Response: &wire.RunResponse{
+					SchemaVersion: wire.SchemaVersion,
+					Tenant:        req.Tenant,
+					Time:          uint64(req.Inputs["h"]),
+				}})
+			}
+			rc.Flush()
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestStreamPipelinesInOrder: send N, then receive N in order without
+// closing the send side first — true pipelining, not batch-at-EOF.
+func TestStreamPipelinesInOrder(t *testing.T) {
+	ts := ndjsonEchoService(t)
+	c := New(ts.URL, Options{Tenant: "alice"})
+
+	s, err := c.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const n = 10
+	for i := 1; i <= n; i++ {
+		if err := s.Send(wire.RunRequest{Inputs: map[string]int64{"h": int64(i)}}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	// All results must arrive while the send side is still open.
+	for i := 1; i <= n; i++ {
+		res, err := s.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if res.Response == nil || res.Response.Time != uint64(i) {
+			t.Fatalf("recv %d: out of order or failed: %+v", i, res)
+		}
+		if res.Response.Tenant != "alice" {
+			t.Errorf("recv %d: default tenant not applied: %q", i, res.Response.Tenant)
+		}
+	}
+
+	if err := s.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recv(); err != io.EOF {
+		t.Fatalf("after CloseSend want io.EOF, got %v", err)
+	}
+}
+
+// TestStreamPerItemErrors: an error line maps through Err to the same
+// typed sentinels as batch items.
+func TestStreamPerItemErrors(t *testing.T) {
+	ts := ndjsonEchoService(t)
+	c := New(ts.URL, Options{})
+
+	s, err := c.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if err := s.Send(wire.RunRequest{Inputs: map[string]int64{"h": 666}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error == nil {
+		t.Fatalf("want error result, got %+v", res)
+	}
+	if !errors.Is(Err(*res), ErrBudgetExceeded) {
+		t.Errorf("Err mapping = %v, want ErrBudgetExceeded", Err(*res))
+	}
+}
+
+// TestStreamOpenError: a non-200 on stream open surfaces as a typed
+// error, not a broken stream.
+func TestStreamOpenError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Mirror the real handler: full duplex before refusing, so the
+		// 503 is committed without first draining the still-open pipe
+		// body (the client closes its side once it sees the refusal).
+		http.NewResponseController(w).EnableFullDuplex()
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]*wire.Error{
+			"error": {Code: wire.CodeShuttingDown, Message: "draining"},
+		})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, Options{})
+	_, err := c.Stream(context.Background())
+	if !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("stream open error = %v, want ErrShuttingDown", err)
+	}
+}

@@ -1,0 +1,82 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/transport/client"
+	"repro/internal/transport/wire"
+)
+
+// TestStreamSDKPipelinesAgainstRealHandler drives the real /v1/stream
+// handler through the SDK: interleaved Send/Recv without closing the
+// send side, results in order, clean EOF after CloseSend.
+func TestStreamSDKPipelinesAgainstRealHandler(t *testing.T) {
+	_, ts := newService(t, server0(), Options{})
+	c := client.New(ts.URL, client.Options{})
+
+	s, err := c.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Interactive ping-pong first: one request, one result, while the
+	// send side stays open — the pipelined handler must not sit on the
+	// result waiting for more input.
+	if err := s.Send(wire.RunRequest{Inputs: map[string]int64{"h": 3}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Response == nil {
+		t.Fatalf("interactive result failed: %+v", res)
+	}
+
+	// Then a pipelined burst.
+	const n = 16
+	for i := 0; i < n; i++ {
+		if err := s.Send(wire.RunRequest{Inputs: map[string]int64{"h": int64(i % 8)}}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := s.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for {
+		res, err := s.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Response == nil {
+			t.Fatalf("result %d failed: %+v", got, res)
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("received %d results for %d pipelined sends", got, n)
+	}
+}
+
+// TestStreamSDKOpenRefusedWhileDraining: a draining service refuses
+// the stream with a typed error even though the SDK's request body is
+// a still-open pipe — the handler must not block trying to drain it.
+func TestStreamSDKOpenRefusedWhileDraining(t *testing.T) {
+	h, ts := newService(t, server0(), Options{})
+	if err := h.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	c := client.New(ts.URL, client.Options{})
+	_, err := c.Stream(context.Background())
+	if !errors.Is(err, client.ErrShuttingDown) {
+		t.Fatalf("stream open during drain: err = %v, want ErrShuttingDown", err)
+	}
+}

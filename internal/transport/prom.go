@@ -41,6 +41,10 @@ func writeProm(w io.Writer, e obs.Export) {
 	counter("sessions_evicted_ttl_total", "Sessions evicted after idle TTL expiry.", e.SessionsEvictedTTL)
 	counter("sessions_evicted_lru_total", "Sessions evicted by the LRU capacity bound.", e.SessionsEvictedLRU)
 	counter("budget_denials_total", "Requests rejected over the tenant leakage budget.", e.BudgetDenials)
+	counter("bytes_in_total", "Request body bytes read by the transport.", e.BytesIn)
+	counter("bytes_out_total", "Response body bytes written by the transport.", e.BytesOut)
+	counter("stream_items_total", "Items served over /v1/stream connections.", e.StreamItems)
+	gauge("streams_active", "Open /v1/stream connections.", float64(e.StreamsActive))
 
 	// Latency as a native Prometheus histogram. The Export's buckets are
 	// already cumulative with power-of-two upper bounds, which is exactly

@@ -20,16 +20,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/lang/ast"
+	"repro/internal/obs"
 	"repro/internal/sem/mem"
 	"repro/internal/server"
 	"repro/internal/session"
 	"repro/internal/transport/wire"
+	"repro/internal/transport/wire/fastjson"
 )
 
 // TenantHeader is the header fallback for naming a tenant when the
@@ -77,7 +80,21 @@ type Options struct {
 	// account reaches the manager's budget. Nil ignores tenant names —
 	// every request is anonymous, the schema-v1 behavior.
 	Sessions *session.Manager
+	// Codec encodes and decodes the wire messages. Nil takes the fast
+	// hand-rolled codec (fastjson); `timingc serve -codec std` installs
+	// wire.Std, the encoding/json fallback the fast path is proven
+	// byte-identical to.
+	Codec wire.Codec
+	// StreamWindow bounds how many anonymous /v1/stream items may be in
+	// flight in the pool per connection before the decode loop blocks on
+	// the oldest result. 0 takes DefaultStreamWindow.
+	StreamWindow int
 }
+
+// DefaultStreamWindow is the per-stream pipelining depth when
+// Options.StreamWindow is 0 — deep enough to keep every shard busy,
+// shallow enough that one stream cannot queue unbounded work.
+const DefaultStreamWindow = 256
 
 // Handler is the HTTP front-end. Create with New; it implements
 // http.Handler and is safe for concurrent use.
@@ -87,6 +104,11 @@ type Handler struct {
 	// names is a template memory over the served program, used only for
 	// declaration lookups (never written).
 	names *mem.Memory
+	// codec is the resolved wire codec (Options.Codec or the fast
+	// default); metrics the pool's accumulator, for the transport-level
+	// byte and stream counters.
+	codec   wire.Codec
+	metrics *obs.Metrics
 
 	mu       sync.Mutex
 	inFlight int
@@ -105,10 +127,22 @@ func New(opts Options) (*Handler, error) {
 	if opts.RetryAfter <= 0 {
 		opts.RetryAfter = time.Second
 	}
-	h := &Handler{opts: opts, names: mem.New(opts.Prog)}
+	if opts.Codec == nil {
+		opts.Codec = fastjson.Codec{}
+	}
+	if opts.StreamWindow <= 0 {
+		opts.StreamWindow = DefaultStreamWindow
+	}
+	h := &Handler{
+		opts:    opts,
+		names:   mem.New(opts.Prog),
+		codec:   opts.Codec,
+		metrics: opts.Pool.Metrics(),
+	}
 	h.mux = http.NewServeMux()
 	h.mux.HandleFunc("POST /v1/run", h.handleRun)
 	h.mux.HandleFunc("POST /v1/batch", h.handleBatch)
+	h.mux.HandleFunc("POST /v1/stream", h.handleStream)
 	h.mux.HandleFunc("GET /v1/metrics", h.handleMetrics)
 	h.mux.HandleFunc("GET /v1/healthz", h.handleHealthz)
 	return h, nil
@@ -201,9 +235,16 @@ func (h *Handler) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	defer h.end()
 
-	var req wire.RunRequest
-	if werr := decodeBody(r, &req); werr != nil {
+	body, werr := h.readBody(r)
+	if werr != nil {
 		h.writeError(w, werr)
+		return
+	}
+	var req wire.RunRequest
+	err := h.codec.DecodeRunRequest(*body, &req, true)
+	putBuf(body)
+	if err != nil {
+		h.writeError(w, invalidRequest(err))
 		return
 	}
 	if werr := checkVersion(req.SchemaVersion); werr != nil {
@@ -228,7 +269,7 @@ func (h *Handler) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		out := toRunResponse(resp, req)
 		server.ReleaseResponse(resp)
-		writeJSON(w, http.StatusOK, out)
+		h.writeRunResponse(w, &out)
 		return
 	}
 	resp, info, werr := h.runSession(r.Context(), tenant, sreq)
@@ -241,7 +282,33 @@ func (h *Handler) handleRun(w http.ResponseWriter, r *http.Request) {
 	out.Epoch = info.Epoch
 	out.LeakageBits = info.SpentBits
 	server.ReleaseResponse(resp)
-	writeJSON(w, http.StatusOK, out)
+	h.writeRunResponse(w, &out)
+}
+
+// writeRunResponse encodes a run response through the codec into a
+// pooled buffer and writes it with an exact Content-Length.
+func (h *Handler) writeRunResponse(w http.ResponseWriter, out *wire.RunResponse) {
+	bp := getBuf()
+	b, err := h.codec.AppendRunResponse((*bp)[:0], out)
+	*bp = b[:0]
+	if err != nil {
+		putBuf(bp)
+		h.writeError(w, &wire.Error{Code: wire.CodeInternal, Message: err.Error()})
+		return
+	}
+	h.writeBody(w, http.StatusOK, b)
+	putBuf(bp)
+}
+
+// writeBody writes one fully buffered JSON body: exact Content-Length
+// (so keep-alive needs no chunking), bytes counted. The buffer is the
+// caller's; it is not retained after Write returns.
+func (h *Handler) writeBody(w http.ResponseWriter, status int, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.WriteHeader(status)
+	n, _ := w.Write(b)
+	h.metrics.AddBytesOut(n)
 }
 
 // tenantOf resolves a request's tenant: the body field, then the
@@ -303,9 +370,16 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer h.end()
 
-	var req wire.BatchRequest
-	if werr := decodeBody(r, &req); werr != nil {
+	body, werr := h.readBody(r)
+	if werr != nil {
 		h.writeError(w, werr)
+		return
+	}
+	var req wire.BatchRequest
+	err := h.codec.DecodeBatchRequest(*body, &req, true)
+	putBuf(body)
+	if err != nil {
+		h.writeError(w, invalidRequest(err))
 		return
 	}
 	if werr := checkVersion(req.SchemaVersion); werr != nil {
@@ -344,9 +418,11 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 			tenanted = true
 		}
 	}
+	resultsBuf := getResults(len(sreqs))
+	defer putResults(resultsBuf)
 	out := wire.BatchResponse{
 		SchemaVersion: wire.SchemaVersion,
-		Results:       make([]wire.BatchResult, len(sreqs)),
+		Results:       *resultsBuf,
 	}
 	if tenanted {
 		// Session batches run item by item in submission order: each
@@ -379,7 +455,7 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 			out.Results[i].Response = &rr
 			server.ReleaseResponse(resp)
 		}
-		writeJSON(w, http.StatusOK, out)
+		h.writeBatchResponse(w, &out)
 		return
 	}
 	resps, errs := h.opts.Pool.HandleAllErrs(r.Context(), sreqs)
@@ -392,7 +468,24 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 		out.Results[i].Response = &rr
 		server.ReleaseResponse(resps[i])
 	}
-	writeJSON(w, http.StatusOK, out)
+	h.writeBatchResponse(w, &out)
+}
+
+// writeBatchResponse encodes a batch response through the codec into a
+// pooled buffer. The Results slice itself is pooled by the caller; it
+// is released only after the encode has copied everything onto the
+// wire.
+func (h *Handler) writeBatchResponse(w http.ResponseWriter, out *wire.BatchResponse) {
+	bp := getBuf()
+	b, err := h.codec.AppendBatchResponse((*bp)[:0], out)
+	*bp = b[:0]
+	if err != nil {
+		putBuf(bp)
+		h.writeError(w, &wire.Error{Code: wire.CodeInternal, Message: err.Error()})
+		return
+	}
+	h.writeBody(w, http.StatusOK, b)
+	putBuf(bp)
 }
 
 func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -422,15 +515,36 @@ func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // ---------------------------------------------------------------------------
 // Conversions
 
-// decodeBody parses a JSON body, rejecting unknown fields so typos
-// fail loudly instead of silently defaulting.
-func decodeBody(r *http.Request, dst any) *wire.Error {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(dst); err != nil {
-		return &wire.Error{Code: wire.CodeInvalidRequest, Message: err.Error()}
+// readBody slurps a request body into a pooled buffer and counts the
+// bytes. The caller owns the returned buffer and must putBuf it after
+// the decoded request no longer aliases it (wire decoders copy or
+// intern everything they keep, so after decode is safe).
+func (h *Handler) readBody(r *http.Request) (*[]byte, *wire.Error) {
+	bp := getBuf()
+	b := *bp
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := r.Body.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			*bp = b[:0]
+			putBuf(bp)
+			return nil, &wire.Error{Code: wire.CodeInvalidRequest, Message: err.Error()}
+		}
 	}
-	return nil
+	*bp = b
+	h.metrics.AddBytesIn(len(b))
+	return bp, nil
+}
+
+// invalidRequest wraps a decode failure in the stable error shape.
+func invalidRequest(err error) *wire.Error {
+	return &wire.Error{Code: wire.CodeInvalidRequest, Message: err.Error()}
 }
 
 // checkVersion accepts 0 (meaning "current") and every schema from
@@ -555,9 +669,18 @@ func (h *Handler) writeError(w http.ResponseWriter, werr *wire.Error) {
 		secs := (werr.RetryAfterMS + 999) / 1000 // Retry-After is whole seconds; round up
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}
-	writeJSON(w, status, struct {
-		Error *wire.Error `json:"error"`
-	}{werr})
+	bp := getBuf()
+	b, err := h.codec.AppendErrorEnvelope((*bp)[:0], werr)
+	*bp = b[:0]
+	if err != nil {
+		putBuf(bp)
+		writeJSON(w, status, struct {
+			Error *wire.Error `json:"error"`
+		}{werr})
+		return
+	}
+	h.writeBody(w, status, b)
+	putBuf(bp)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

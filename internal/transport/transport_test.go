@@ -35,7 +35,7 @@ mitigate (1, H) [L,L] {
 reply := 1;
 `
 
-func buildProg(t *testing.T, src string) (*ast.Program, *types.Result) {
+func buildProg(t testing.TB, src string) (*ast.Program, *types.Result) {
 	t.Helper()
 	p, err := parser.Parse(src)
 	if err != nil {
@@ -49,7 +49,7 @@ func buildProg(t *testing.T, src string) (*ast.Program, *types.Result) {
 }
 
 // newService builds a pool + handler + httptest server over echoSrc.
-func newService(t *testing.T, popts server.PoolOptions, hopts Options) (*Handler, *httptest.Server) {
+func newService(t testing.TB, popts server.PoolOptions, hopts Options) (*Handler, *httptest.Server) {
 	t.Helper()
 	p, r := buildProg(t, echoSrc)
 	if popts.Env == nil {

@@ -1,0 +1,133 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+)
+
+// Codec is the seam between the transport layers and the bytes on the
+// wire: append-style encoders (grow a caller-owned buffer, so pooled
+// buffers make the steady state allocation-free) and in-place decoders
+// for every hot message type. Two implementations exist: Std below
+// wraps encoding/json, and fastjson.Codec is the hand-rolled fast path
+// proven byte-identical to it. Both server and client default to the
+// fast codec; `timingc serve -codec std` selects the stdlib fallback.
+//
+// Decoders take a strict flag: strict rejects unknown object keys with
+// an error naming the field (the server's request-validation posture),
+// lenient skips them (the client's forward-compatibility posture).
+// Either way trailing non-whitespace after the document is an error.
+type Codec interface {
+	// Name identifies the codec ("std", "fast") in banners and benches.
+	Name() string
+
+	AppendRunRequest(dst []byte, v *RunRequest) ([]byte, error)
+	AppendRunResponse(dst []byte, v *RunResponse) ([]byte, error)
+	AppendBatchRequest(dst []byte, v *BatchRequest) ([]byte, error)
+	AppendBatchResponse(dst []byte, v *BatchResponse) ([]byte, error)
+	AppendBatchResult(dst []byte, v *BatchResult) ([]byte, error)
+	AppendErrorEnvelope(dst []byte, v *Error) ([]byte, error)
+
+	DecodeRunRequest(data []byte, v *RunRequest, strict bool) error
+	DecodeRunResponse(data []byte, v *RunResponse, strict bool) error
+	DecodeBatchRequest(data []byte, v *BatchRequest, strict bool) error
+	DecodeBatchResponse(data []byte, v *BatchResponse, strict bool) error
+	DecodeBatchResult(data []byte, v *BatchResult, strict bool) error
+	DecodeErrorEnvelope(data []byte, v *Error, strict bool) error
+}
+
+// Std is the encoding/json implementation of Codec — the reference
+// the fast codec is proven against, and the runtime fallback behind
+// `-codec std`.
+type Std struct{}
+
+// Name implements Codec.
+func (Std) Name() string { return "std" }
+
+// errorEnvelope is the {"error":{...}} failure body shape.
+type errorEnvelope struct {
+	Error *Error `json:"error"`
+}
+
+func stdAppend(dst []byte, v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, b...), nil
+}
+
+// AppendRunRequest implements Codec.
+func (Std) AppendRunRequest(dst []byte, v *RunRequest) ([]byte, error) { return stdAppend(dst, v) }
+
+// AppendRunResponse implements Codec.
+func (Std) AppendRunResponse(dst []byte, v *RunResponse) ([]byte, error) { return stdAppend(dst, v) }
+
+// AppendBatchRequest implements Codec.
+func (Std) AppendBatchRequest(dst []byte, v *BatchRequest) ([]byte, error) { return stdAppend(dst, v) }
+
+// AppendBatchResponse implements Codec.
+func (Std) AppendBatchResponse(dst []byte, v *BatchResponse) ([]byte, error) {
+	return stdAppend(dst, v)
+}
+
+// AppendBatchResult implements Codec.
+func (Std) AppendBatchResult(dst []byte, v *BatchResult) ([]byte, error) { return stdAppend(dst, v) }
+
+// AppendErrorEnvelope implements Codec.
+func (Std) AppendErrorEnvelope(dst []byte, v *Error) ([]byte, error) {
+	return stdAppend(dst, errorEnvelope{v})
+}
+
+// stdDecode applies json.Unmarshal semantics with an optional
+// DisallowUnknownFields: a Decoder provides the strict mode, and the
+// explicit second Decode call restores Unmarshal's trailing-data
+// rejection that Decoder alone does not have.
+func stdDecode(data []byte, v any, strict bool) error {
+	if !strict {
+		return json.Unmarshal(data, v)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var trailing any
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return errors.New("invalid character after top-level value")
+	}
+	return nil
+}
+
+// DecodeRunRequest implements Codec.
+func (Std) DecodeRunRequest(data []byte, v *RunRequest, strict bool) error {
+	return stdDecode(data, v, strict)
+}
+
+// DecodeRunResponse implements Codec.
+func (Std) DecodeRunResponse(data []byte, v *RunResponse, strict bool) error {
+	return stdDecode(data, v, strict)
+}
+
+// DecodeBatchRequest implements Codec.
+func (Std) DecodeBatchRequest(data []byte, v *BatchRequest, strict bool) error {
+	return stdDecode(data, v, strict)
+}
+
+// DecodeBatchResponse implements Codec.
+func (Std) DecodeBatchResponse(data []byte, v *BatchResponse, strict bool) error {
+	return stdDecode(data, v, strict)
+}
+
+// DecodeBatchResult implements Codec.
+func (Std) DecodeBatchResult(data []byte, v *BatchResult, strict bool) error {
+	return stdDecode(data, v, strict)
+}
+
+// DecodeErrorEnvelope implements Codec.
+func (Std) DecodeErrorEnvelope(data []byte, v *Error, strict bool) error {
+	env := errorEnvelope{Error: v}
+	return stdDecode(data, &env, strict)
+}

@@ -1,0 +1,73 @@
+package fastjson
+
+import "repro/internal/transport/wire"
+
+// Codec adapts the package's free functions to the wire.Codec seam.
+// It is stateless; the zero value is ready to use and is what the
+// transport and client default to.
+type Codec struct{}
+
+var _ wire.Codec = Codec{}
+
+// Name implements wire.Codec.
+func (Codec) Name() string { return "fast" }
+
+// AppendRunRequest implements wire.Codec.
+func (Codec) AppendRunRequest(dst []byte, v *wire.RunRequest) ([]byte, error) {
+	return AppendRunRequest(dst, v)
+}
+
+// AppendRunResponse implements wire.Codec.
+func (Codec) AppendRunResponse(dst []byte, v *wire.RunResponse) ([]byte, error) {
+	return AppendRunResponse(dst, v)
+}
+
+// AppendBatchRequest implements wire.Codec.
+func (Codec) AppendBatchRequest(dst []byte, v *wire.BatchRequest) ([]byte, error) {
+	return AppendBatchRequest(dst, v)
+}
+
+// AppendBatchResponse implements wire.Codec.
+func (Codec) AppendBatchResponse(dst []byte, v *wire.BatchResponse) ([]byte, error) {
+	return AppendBatchResponse(dst, v)
+}
+
+// AppendBatchResult implements wire.Codec.
+func (Codec) AppendBatchResult(dst []byte, v *wire.BatchResult) ([]byte, error) {
+	return AppendBatchResult(dst, v)
+}
+
+// AppendErrorEnvelope implements wire.Codec.
+func (Codec) AppendErrorEnvelope(dst []byte, v *wire.Error) ([]byte, error) {
+	return AppendErrorEnvelope(dst, v)
+}
+
+// DecodeRunRequest implements wire.Codec.
+func (Codec) DecodeRunRequest(data []byte, v *wire.RunRequest, strict bool) error {
+	return DecodeRunRequest(data, v, strict)
+}
+
+// DecodeRunResponse implements wire.Codec.
+func (Codec) DecodeRunResponse(data []byte, v *wire.RunResponse, strict bool) error {
+	return DecodeRunResponse(data, v, strict)
+}
+
+// DecodeBatchRequest implements wire.Codec.
+func (Codec) DecodeBatchRequest(data []byte, v *wire.BatchRequest, strict bool) error {
+	return DecodeBatchRequest(data, v, strict)
+}
+
+// DecodeBatchResponse implements wire.Codec.
+func (Codec) DecodeBatchResponse(data []byte, v *wire.BatchResponse, strict bool) error {
+	return DecodeBatchResponse(data, v, strict)
+}
+
+// DecodeBatchResult implements wire.Codec.
+func (Codec) DecodeBatchResult(data []byte, v *wire.BatchResult, strict bool) error {
+	return DecodeBatchResult(data, v, strict)
+}
+
+// DecodeErrorEnvelope implements wire.Codec.
+func (Codec) DecodeErrorEnvelope(data []byte, v *wire.Error, strict bool) error {
+	return DecodeErrorEnvelope(data, v, strict)
+}

@@ -1,0 +1,69 @@
+package fastjson
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/transport/wire"
+)
+
+// FuzzWireCodecIdentity is the differential oracle for the fast codec:
+// for every input, in both lenient and strict modes, every hot wire
+// type must make the same accept/reject decision as encoding/json,
+// produce a deeply equal value on accept, and re-encode that value
+// byte-identically to json.Marshal. The seed corpus under testdata/fuzz
+// pins the golden fixtures and the adversarial documents; make
+// fuzz-smoke runs a short randomized session on top.
+func FuzzWireCodecIdentity(f *testing.F) {
+	for _, doc := range decodeDocs {
+		f.Add([]byte(doc), false)
+		f.Add([]byte(doc), true)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, strict bool) {
+		diffOne(t, data, strict, &wire.RunRequest{}, &wire.RunRequest{}, DecodeRunRequest,
+			func(v *wire.RunRequest) ([]byte, error) { return AppendRunRequest(nil, v) })
+		diffOne(t, data, strict, &wire.RunResponse{}, &wire.RunResponse{}, DecodeRunResponse,
+			func(v *wire.RunResponse) ([]byte, error) { return AppendRunResponse(nil, v) })
+		diffOne(t, data, strict, &wire.BatchRequest{}, &wire.BatchRequest{}, DecodeBatchRequest,
+			func(v *wire.BatchRequest) ([]byte, error) { return AppendBatchRequest(nil, v) })
+		diffOne(t, data, strict, &wire.BatchResponse{}, &wire.BatchResponse{}, DecodeBatchResponse,
+			func(v *wire.BatchResponse) ([]byte, error) { return AppendBatchResponse(nil, v) })
+		diffOne(t, data, strict, &wire.BatchResult{}, &wire.BatchResult{}, DecodeBatchResult,
+			func(v *wire.BatchResult) ([]byte, error) { return AppendBatchResult(nil, v) })
+		diffOne(t, data, strict, &wire.Error{}, &wire.Error{}, DecodeError,
+			func(v *wire.Error) ([]byte, error) { return AppendError(nil, v), nil })
+	})
+}
+
+// diffOne runs one type's decode differential and, when both codecs
+// accept, the encode differential on the decoded value.
+func diffOne[T any](t *testing.T, data []byte, strict bool, std, fast *T,
+	dec func([]byte, *T, bool) error, enc func(*T) ([]byte, error)) {
+	t.Helper()
+	var stdErr error
+	if strict {
+		stdErr = stdStrictUnmarshal(data, std)
+	} else {
+		stdErr = json.Unmarshal(data, std)
+	}
+	fastErr := dec(data, fast, strict)
+	if (stdErr == nil) != (fastErr == nil) {
+		t.Fatalf("%T strict=%v accept mismatch on %q: std=%v fast=%v", std, strict, data, stdErr, fastErr)
+	}
+	if stdErr != nil {
+		return
+	}
+	if !reflect.DeepEqual(std, fast) {
+		t.Fatalf("%T strict=%v value mismatch on %q:\n std=%+v\nfast=%+v", std, strict, data, std, fast)
+	}
+	wantEnc, stdEncErr := json.Marshal(fast)
+	gotEnc, fastEncErr := enc(fast)
+	if (stdEncErr == nil) != (fastEncErr == nil) {
+		t.Fatalf("%T encode accept mismatch: std=%v fast=%v", std, stdEncErr, fastEncErr)
+	}
+	if stdEncErr == nil && !bytes.Equal(wantEnc, gotEnc) {
+		t.Fatalf("%T encode mismatch:\n std=%s\nfast=%s", std, wantEnc, gotEnc)
+	}
+}

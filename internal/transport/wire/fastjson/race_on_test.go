@@ -1,0 +1,8 @@
+//go:build race
+
+package fastjson
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates, so the zero-alloc pins only hold without
+// it.
+const raceEnabled = true
